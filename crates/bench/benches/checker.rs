@@ -1,0 +1,76 @@
+//! Causal-consistency checker scaling: cost of `check_causal` as the
+//! history grows (the bitset transitive closure is the hot loop), and
+//! the exhaustive Definition 1 search on small histories.
+
+use cbf_model::history::TxRecord;
+use cbf_model::{check_causal, check_causal_exhaustive, ClientId, History, Key, TxId, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A consistent random history: `n` transactions over `keys` keys and 8
+/// clients — writers allocate distinct values, readers read the latest
+/// value of a random key (globally latest, which is always legal).
+fn consistent_history(n: usize, keys: u32, seed: u64) -> History {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut latest: std::collections::HashMap<Key, Value> = Default::default();
+    let mut next = 1u64;
+    (0..n)
+        .map(|i| {
+            let client = ClientId(rng.gen_range(0..8));
+            if rng.gen_bool(0.5) || latest.is_empty() {
+                let k = Key(rng.gen_range(0..keys));
+                let v = Value(next);
+                next += 1;
+                latest.insert(k, v);
+                TxRecord {
+                    id: TxId(i as u64),
+                    client,
+                    reads: vec![],
+                    writes: vec![(k, v)],
+                    invoked_at: 0,
+                    completed_at: 0,
+                }
+            } else {
+                let ks: Vec<Key> = latest.keys().copied().collect();
+                let k = ks[rng.gen_range(0..ks.len())];
+                TxRecord {
+                    id: TxId(i as u64),
+                    client,
+                    reads: vec![(k, latest[&k])],
+                    writes: vec![],
+                    invoked_at: 0,
+                    completed_at: 0,
+                }
+            }
+        })
+        .collect()
+}
+
+fn checker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("check_causal");
+    for n in [50usize, 200, 800] {
+        let h = consistent_history(n, 16, 42);
+        assert!(check_causal(&h).is_ok());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| check_causal(h))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("check_causal_exhaustive");
+    for n in [6usize, 8] {
+        let h = consistent_history(n, 2, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| check_causal_exhaustive(h, 5_000_000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = checker
+}
+criterion_main!(benches);

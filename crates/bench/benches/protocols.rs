@@ -1,0 +1,56 @@
+//! Wall-clock cost of simulating one transaction, per protocol — the
+//! artifact's own performance (how much host CPU one simulated op costs),
+//! complementing the virtual-time latency tables of `repro latency`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snowbound::prelude::*;
+
+fn bench_rot<N: ProtocolNode>(c: &mut Criterion, group: &str) {
+    let mut g = c.benchmark_group(group);
+    // Pre-populate once; measure steady-state ROTs on clones.
+    let mut base: Cluster<N> = Cluster::new(Topology::minimal(4));
+    if N::SUPPORTS_MULTI_WRITE {
+        base.write_tx_auto(ClientId(0), &[Key(0), Key(1)]).unwrap();
+    } else {
+        base.write_tx_auto(ClientId(0), &[Key(0)]).unwrap();
+        base.write_tx_auto(ClientId(0), &[Key(1)]).unwrap();
+    }
+    base.world.run_for(2 * snowbound::sim::MILLIS);
+
+    g.bench_function(BenchmarkId::new("rot", N::NAME), |b| {
+        let mut cluster = base.clone();
+        b.iter(|| {
+            cluster
+                .read_tx(ClientId(1), &[Key(0), Key(1)])
+                .expect("rot")
+        });
+    });
+    g.bench_function(BenchmarkId::new("write", N::NAME), |b| {
+        let mut cluster = base.clone();
+        b.iter(|| {
+            if N::SUPPORTS_MULTI_WRITE {
+                cluster.write_tx_auto(ClientId(2), &[Key(0), Key(1)]).expect("wtx")
+            } else {
+                cluster.write_tx_auto(ClientId(2), &[Key(0)]).expect("w")
+            }
+        });
+    });
+    g.finish();
+}
+
+fn protocols(c: &mut Criterion) {
+    bench_rot::<CopsSnowNode>(c, "cops_snow");
+    bench_rot::<CopsNode>(c, "cops");
+    bench_rot::<EigerNode>(c, "eiger");
+    bench_rot::<WrenNode>(c, "wren");
+    bench_rot::<CopsRwNode>(c, "cops_rw");
+    bench_rot::<SpannerNode>(c, "spanner");
+    bench_rot::<NaiveFast>(c, "naive_fast");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = protocols
+}
+criterion_main!(benches);

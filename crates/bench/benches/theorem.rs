@@ -1,0 +1,52 @@
+//! Cost of the theorem machinery itself: Figure 1 setup, one visibility
+//! probe, one full γ attack, and a complete Lemma 3 run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowbound::prelude::*;
+use snowbound::theorem::{minimal_topology, probe_reads, ProbeSchedule};
+
+fn theorem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem");
+
+    g.bench_function("setup_c0", |b| {
+        b.iter(|| setup_c0::<NaiveFast>(minimal_topology()).unwrap().x_in)
+    });
+
+    let setup = setup_c0::<NaiveFast>(minimal_topology()).unwrap();
+    g.bench_function("visibility_probe", |b| {
+        b.iter(|| {
+            probe_reads(
+                &setup.cluster,
+                setup.probe,
+                &setup.keys,
+                ProbeSchedule::Fast,
+            )
+            .unwrap()
+        })
+    });
+
+    g.bench_function("gamma_attack", |b| {
+        b.iter(|| {
+            let out =
+                mixed_snapshot_attack(&setup, snowbound::sim::ProcessId(0), None).unwrap();
+            assert!(out.caught());
+            out.reads
+        })
+    });
+
+    g.bench_function("full_induction_2pc", |b| {
+        b.iter(|| {
+            let r = run_theorem::<NaiveTwoPhase>(8);
+            matches!(r.conclusion, Conclusion::Caught { .. })
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = theorem
+}
+criterion_main!(benches);

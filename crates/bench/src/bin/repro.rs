@@ -1,0 +1,619 @@
+//! `repro` — regenerate every table and figure of *Distributed
+//! Transactional Systems Cannot Be Fast*.
+//!
+//! ```sh
+//! cargo run --release -p cbf-bench --bin repro -- all
+//! cargo run --release -p cbf-bench --bin repro -- table1
+//! ```
+//!
+//! Exhibits: `table1`, `table2`, `fig1`, `fig2`, `fig3`, `theorem1`,
+//! `theorem2`, `limits`, `latency`, `all`. Results are printed and, for
+//! the tabular exhibits, also written as JSON under `results/`.
+
+use cbf_bench::{latency_table, LatencyRow};
+use snowbound::prelude::*;
+use snowbound::theorem::{
+    audit_protocol_on, general_topologies, minimal_topology, paper_table1, probe_reads,
+    ProbeSchedule, SystemRow,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    std::fs::create_dir_all("results").ok();
+    match what {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "theorem1" => theorem1(),
+        "theorem2" => theorem2(),
+        "limits" => limits(),
+        "latency" => latency(),
+        "ablations" => ablations(),
+        "daggers" => daggers(),
+        "freshness" => freshness(),
+        "all" => {
+            for f in [
+                table1 as fn(),
+                table2,
+                fig1,
+                fig2,
+                fig3,
+                theorem1,
+                theorem2,
+                limits,
+                latency,
+                ablations,
+                daggers,
+                freshness,
+            ] {
+                f();
+                println!("\n{}\n", "=".repeat(78));
+            }
+        }
+        other => {
+            eprintln!("unknown exhibit: {other}");
+            eprintln!("known: table1 table2 fig1 fig2 fig3 theorem1 theorem2 limits latency ablations daggers freshness all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = format!("results/{name}.json");
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if std::fs::write(&path, s).is_ok() {
+                println!("  [written {path}]");
+            }
+        }
+        Err(e) => eprintln!("  [failed to serialize {name}: {e}]"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+fn table1() {
+    println!("TABLE 1 — measured rows (this artifact) vs the paper's characterization");
+    println!("Deployment: 2 servers, 2 objects, 6 clients; R/V/N audited from traces.\n");
+
+    let rows: Vec<SystemRow> = vec![
+        audit_protocol::<RampNode>(8),
+        audit_protocol::<CopsNode>(8),
+        audit_protocol::<GentleRainNode>(8),
+        audit_protocol::<ContrarianNode>(8),
+        audit_protocol::<CopsSnowNode>(8),
+        audit_protocol::<EigerNode>(8),
+        audit_protocol::<WrenNode>(8),
+        audit_protocol::<CureNode>(8),
+        audit_protocol::<CopsRwNode>(8),
+        audit_protocol::<SpannerNode>(8),
+        audit_protocol_on::<OccultNode>(Topology::partially_replicated(3, 5, 2, 2), 8),
+        audit_protocol::<CalvinNode>(8),
+        audit_protocol::<NaiveFast>(8),
+        audit_protocol::<NaiveTwoPhase>(8),
+    ];
+    println!(
+        "| {:<14} | {:>2} | {:>2} | {:^3} | {:^3} | {:<22} | {:^6} | theorem",
+        "system", "R", "V", "N", "W", "consistency", "causal"
+    );
+    println!("|{}", "-".repeat(100));
+    for r in &rows {
+        println!(
+            "| {:<14} | {:>2} | {:>2} | {:^3} | {:^3} | {:<22} | {:^6} | {}",
+            r.name,
+            r.rounds,
+            r.values,
+            if r.nonblocking { "yes" } else { "no" },
+            if r.write_tx { "yes" } else { "no" },
+            r.consistency,
+            if r.causal_ok { "OK" } else { "FAIL" },
+            r.theorem
+        );
+    }
+    save_json("table1_measured", &rows);
+
+    println!("\nPaper's Table 1 (all 22 systems, reference):");
+    println!(
+        "| {:<14} | {:>3} | {:>3} | {:^3} | {:^3} | consistency",
+        "system", "R", "V", "N", "W"
+    );
+    for r in paper_table1() {
+        println!(
+            "| {:<14} | {:>3} | {:>3} | {:^3} | {:^3} | {}{}",
+            r.system,
+            r.r,
+            r.v,
+            if r.n { "yes" } else { "no" },
+            if r.w { "yes" } else { "no" },
+            r.consistency,
+            if r.dagger { " †" } else { "" }
+        );
+    }
+    println!("\n† different system model (out of the theorem's scope).");
+    println!("Shape check: no non-† causal-or-stronger row has R=1, V=1, N and W.");
+}
+
+// ---------------------------------------------------------------------
+// Table 2 — the symbol table (appendix)
+// ---------------------------------------------------------------------
+
+fn table2() {
+    println!("TABLE 2 — the paper's symbols, mapped to this artifact\n");
+    let rows: &[(&str, &str, &str)] = &[
+        ("X_i", "object i", "cbf_model::Key"),
+        ("x_in_i", "initial value of X_i", "TheoremSetup::x_in"),
+        ("p_i", "server storing X_i", "cbf_sim::ProcessId(i)"),
+        ("T_in_i", "initializing write transaction", "setup_c0 (Figure 1)"),
+        ("c_in_i", "client issuing T_in_i", "TheoremSetup::c_in"),
+        ("cw", "writer client (reads x_in, then writes Tw)", "TheoremSetup::cw"),
+        ("Tw", "troublesome write-only transaction", "induction::run_theorem"),
+        ("x_i", "new value written by Tw", "AttackOutcome::new"),
+        ("c_r / c_r^k", "reader client of the constructions", "TheoremSetup::reader"),
+        ("T_r", "fast read-only transaction", "Cluster::read_tx + RotAudit"),
+        ("Qin, Q0, C0", "initial configurations", "setup::setup_c0"),
+        ("γ_old/σ_old", "Construction 1", "attack (phase σ_old) + ProbeSchedule::Delay"),
+        ("γ_new/σ_new", "Construction 2", "attack (phase σ_new)"),
+        ("β, β_new", "solo run making Tw visible", "attack (phase β_new)"),
+        ("γ, δ", "contradictory executions", "attack::mixed_snapshot_attack"),
+        ("ms_k", "forced message of prefix α_k", "induction::ForcedMsg"),
+        ("α_k, C_k", "prefixes of the infinite execution", "induction::InductionStep"),
+    ];
+    println!("| {:<12} | {:<42} | here", "symbol", "meaning");
+    println!("|{}", "-".repeat(96));
+    for (s, m, h) in rows {
+        println!("| {s:<12} | {m:<42} | {h}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 — Qin → Q0 → C0
+// ---------------------------------------------------------------------
+
+fn fig1() {
+    println!("FIGURE 1 — configurations Qin → Q0 → C0 (naive-fast deployment)\n");
+    let s = setup_c0::<NaiveFast>(minimal_topology()).expect("setup");
+    println!(
+        "clients: c_in0={}, c_in1={}, cw={}, reader={}, probe={}",
+        s.c_in[0], s.c_in[1], s.cw, s.reader, s.probe
+    );
+    println!("x_in = {:?}\n", s.x_in);
+    println!("execution space-time diagram (T_in_0, T_in_1, then cw's T_in_r):");
+    println!("{}", s.cluster.world.render_lanes());
+    println!("history at C0 (causal: {}):", s.cluster.check().is_ok());
+    for t in s.cluster.history().transactions() {
+        println!(
+            "  {:?} by {:?}: reads={:?} writes={:?}",
+            t.id, t.client, t.reads, t.writes
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — Constructions 1 and 2
+// ---------------------------------------------------------------------
+
+fn fig2() {
+    println!("FIGURE 2 — Constructions 1 (γ_old) and 2 (γ_new)\n");
+    println!("Both constructions run the same fast ROT T_r = (r(X0)*, r(X1)*);");
+    println!("they differ in where along Tw's solo execution the adversary");
+    println!("places it.\n");
+
+    let mut s = setup_c0::<NaiveFast>(minimal_topology()).expect("setup");
+    let cw_pid = s.cluster.topo.client_pid(s.cw);
+    let (v0, v1) = (s.cluster.alloc_value(), s.cluster.alloc_value());
+    let id = s.cluster.alloc_tx();
+    s.cluster.world.inject(
+        cw_pid,
+        <NaiveFast as ProtocolNode>::wtx_invoke(id, vec![(Key(0), v0), (Key(1), v1)]),
+    );
+    println!("Tw = (w(X0){v0:?}, w(X1){v1:?}) injected at cw; x_in = {:?}\n", s.x_in);
+
+    // Construction 1: C = a configuration where the new values are not
+    // visible (here: Tw has taken no steps). T_r returns the old world,
+    // whichever server answers first.
+    for sched in [
+        ProbeSchedule::Delay(snowbound::sim::ProcessId(1)), // p0 answers first
+        ProbeSchedule::Delay(snowbound::sim::ProcessId(0)), // p1 answers first
+    ] {
+        let reads = probe_reads(&s.cluster, s.probe, &s.keys, sched).expect("probe");
+        println!("Construction 1 ({sched:?}): T_r returned {reads:?}  (x_in — as Observation 1 claims)");
+    }
+
+    // Construction 2: C = a configuration where the new values are
+    // visible (Tw ran solo to completion). T_r returns the new world.
+    let solo: Vec<snowbound::sim::ProcessId> = s
+        .cluster
+        .topo
+        .servers()
+        .chain(std::iter::once(cw_pid))
+        .collect();
+    s.cluster.world.run_restricted(&solo);
+    for sched in [
+        ProbeSchedule::Delay(snowbound::sim::ProcessId(1)),
+        ProbeSchedule::Delay(snowbound::sim::ProcessId(0)),
+    ] {
+        let reads = probe_reads(&s.cluster, s.probe, &s.keys, sched).expect("probe");
+        println!("Construction 2 ({sched:?}): T_r returned {reads:?}  (x_new — as Observation 2 claims)");
+    }
+    println!("\nThe proof splices a σ_old prefix of Construction 1 with a σ_new");
+    println!("suffix of Construction 2 — fig3 shows the splice.");
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — the contradictory execution γ
+// ---------------------------------------------------------------------
+
+fn fig3() {
+    println!("FIGURE 3 — the spliced execution γ = σ_old · β_new · σ_new\n");
+    let s = setup_c0::<NaiveFast>(minimal_topology()).expect("setup");
+    let out = attack_all_servers(&s).expect("attack");
+    println!(
+        "first responder: {} (σ_old) — then Tw runs solo to visibility (β_new),",
+        out.first_server
+    );
+    println!("then the other server answers (σ_new).\n");
+    println!("reader returned: {:?}", out.reads);
+    println!("x_in (old):      {:?}", out.old);
+    println!("Tw    (new):     {:?}", out.new);
+    println!(
+        "snapshot shape:  {:?}  (Lemma 1 allows AllOld/AllNew only)",
+        out.snapshot_kind()
+    );
+    println!("checker verdict: {:?}\n", out.violations);
+    println!("trace of γ (first events):");
+    println!("{}", out.trace);
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1 — the induction
+// ---------------------------------------------------------------------
+
+fn theorem1() {
+    println!("THEOREM 1 — Lemma 3's prefixes α_k against the claimant family\n");
+    println!("{}", run_theorem::<NaiveNode<1>>(12).render());
+    println!("{}", run_theorem::<NaiveNode<2>>(12).render());
+    println!("{}", run_theorem::<NaiveNode<3>>(12).render());
+    println!("{}", run_theorem::<NaiveNode<4>>(12).render());
+    println!("P coordination phases ⇒ 2P−3 forced messages, caught at k = 2P−2");
+    println!("(P=1 caught immediately). A true fast+W+causal protocol would go on");
+    println!("forever — that is the impossibility.\n");
+    // Claim 2's other shoe: a claimant whose servers do communicate
+    // (decoy gossip) but whose values become visible mid-induction is
+    // caught by the δ execution instead of γ.
+    println!("{}", run_theorem::<snowbound::protocols::naive::NaiveChatty>(12).render());
+    println!("naive-chatty's forced messages are real but useless: the values turn");
+    println!("visible at C_1, claim 2 fails, and the δ execution extracts the same");
+    println!("forbidden snapshot — the induction covers both of Lemma 3's claims.");
+}
+
+// ---------------------------------------------------------------------
+// Theorem 2 — partial replication
+// ---------------------------------------------------------------------
+
+fn theorem2() {
+    println!("THEOREM 2 — the general case (Appendix A): partial replication\n");
+    for topo in general_topologies() {
+        let report = run_general::<NaiveFast>(topo).expect("general run");
+        println!("{}", report.render());
+    }
+    // Lemma 6: the general induction — forced messages from *any* server.
+    println!("General induction (Lemma 6) on m=3, replication 2:");
+    println!(
+        "{}",
+        snowbound::theorem::run_theorem_general::<NaiveNode<2>>(
+            Topology::partially_replicated(3, 6, 3, 2),
+            10
+        )
+        .render()
+    );
+}
+
+// ---------------------------------------------------------------------
+// §3.4 — the limits of the impossibility result
+// ---------------------------------------------------------------------
+
+fn limits() {
+    println!("§3.4 — the limits: every 3-of-4 corner is achievable\n");
+    let rows = vec![
+        ("N+R+V (COPS-SNOW)", audit_protocol::<CopsSnowNode>(6)),
+        ("N+V+W (Wren)", audit_protocol::<WrenNode>(6)),
+        ("N+R+W (§3.4 sketch)", audit_protocol::<CopsRwNode>(6)),
+        ("R+V+W (Spanner-like)", audit_protocol::<SpannerNode>(6)),
+    ];
+    for (corner, row) in &rows {
+        println!(
+            "{corner:<22} R:{} V:{} N:{} W:{} causal:{} — {}",
+            row.rounds,
+            row.values,
+            if row.nonblocking { "yes" } else { "no" },
+            if row.write_tx { "yes" } else { "no" },
+            if row.causal_ok { "OK" } else { "FAIL" },
+            row.theorem
+        );
+    }
+    println!("\nCost signatures (the property each corner pays with):");
+    println!("  COPS-SNOW: write latency grows with dependency fan-out (old-reader queries)");
+    println!("  Wren: every read pays a snapshot round + visibility lag (stabilization)");
+    println!("  §3.4 sketch: message payloads grow with the session's causal history");
+    println!("  Spanner-like: reads block up to ε + commit-wait under write contention");
+}
+
+// ---------------------------------------------------------------------
+// Quantitative companion — latency tables
+// ---------------------------------------------------------------------
+
+fn latency() {
+    println!("LATENCY — virtual-time ROT latency across the design space\n");
+    let mut all: Vec<LatencyRow> = Vec::new();
+    for (mix, name) in [
+        (Mix::ycsb_c(), "YCSB-C (100% read)"),
+        (Mix::ycsb_b(), "YCSB-B (95% read)"),
+        (Mix::ycsb_a(), "YCSB-A (50% read)"),
+    ] {
+        println!("-- {name}");
+        println!(
+            "   {:<16} {:>6} {:>10} {:>9} {:>9} {:>9} {:>5}  causal",
+            "protocol", "ROTs", "mean µs", "p50 µs", "p99 µs", "msgs/op", "V"
+        );
+        let rows = latency_table(mix, name, 120, 42);
+        for r in &rows {
+            println!(
+                "   {:<16} {:>6} {:>10.1} {:>9} {:>9} {:>9.2} {:>5}  {}",
+                r.protocol,
+                r.rots,
+                r.rot_mean_us,
+                r.rot_p50_us,
+                r.rot_p99_us,
+                r.msgs_per_op,
+                r.max_values,
+                if r.causal_ok { "OK" } else { "FAIL" }
+            );
+        }
+        all.extend(rows);
+        println!();
+    }
+    save_json("latency", &all);
+    println!("Shape to verify against the theorem: one-round designs (COPS-SNOW,");
+    println!("Spanner-like off the write path) sit at ~1 RTT (100 µs); two-round");
+    println!("designs (COPS contention-free, Wren, Eiger round-1-settled) at ~2 RTT;");
+    println!("Spanner's p99 inflates under writes (blocking); COPS-RW's V grows.");
+}
+
+// ---------------------------------------------------------------------
+// Ablations — quantifying the design choices
+// ---------------------------------------------------------------------
+
+fn ablations() {
+    use snowbound::sim::MICROS;
+    println!("ABLATIONS — the knobs behind each corner's cost\n");
+
+    // A1: Spanner-like, TrueTime ε sweep. Commit-wait and read parking
+    // scale with ε: the protocol converts clock quality into latency.
+    println!("A1. Spanner-like: TrueTime ε vs latency (YCSB-A, 80 ops, seed 11)");
+    println!("    {:>8} {:>12} {:>12} {:>12}", "ε µs", "ROT p50 µs", "ROT p99 µs", "ROT mean µs");
+    let mut last_mean = 0.0;
+    for eps in [50 * MICROS, 250 * MICROS, 1000 * MICROS] {
+        let topo = Topology::minimal(4).with_tuning(eps);
+        let mut cluster: Cluster<SpannerNode> = Cluster::new(topo);
+        let mut wl = Workload::new(WorkloadSpec::minimal(Mix::ycsb_a()), 11);
+        let s = drive(&mut cluster, &mut wl, 80, DriveOptions::default()).expect("drive");
+        let mean = s.profile.mean_rot_latency() / 1_000.0;
+        println!(
+            "    {:>8} {:>12} {:>12} {:>12.1}",
+            eps / 1_000,
+            s.rot_latency_percentile(50.0) / 1_000,
+            s.rot_latency_percentile(99.0) / 1_000,
+            mean,
+        );
+        assert!(s.verdict.is_ok());
+        assert!(mean >= last_mean, "latency must grow with ε");
+        last_mean = mean;
+    }
+
+    // A2: Wren, stabilization period vs visibility latency. The GSS only
+    // advances at broadcast boundaries: slower stabilization = staler
+    // snapshots = later visibility.
+    println!("\nA2. Wren: stabilization period vs write-visibility latency");
+    println!("    {:>10} {:>18}", "period µs", "visibility µs");
+    let mut last_vis = 0;
+    for period in [100 * MICROS, 500 * MICROS, 2000 * MICROS] {
+        let topo = Topology::minimal(4).with_tuning(period);
+        let mut cluster: Cluster<WrenNode> = Cluster::new(topo);
+        // Warm the stabilization machinery.
+        cluster.world.run_for(5 * period);
+        let t0 = cluster.world.now();
+        let w = cluster.write_tx_auto(ClientId(0), &[Key(0), Key(1)]).expect("write");
+        let want = w.writes[0].1;
+        let mut visible_at = None;
+        for _ in 0..200 {
+            let r = cluster.read_tx(ClientId(1), &[Key(0), Key(1)]).expect("read");
+            if r.reads[0].1 == want {
+                visible_at = Some(cluster.world.now());
+                break;
+            }
+            cluster.world.run_for(period / 4);
+        }
+        let vis = (visible_at.expect("must become visible") - t0) / 1_000;
+        println!("    {:>10} {:>18}", period / 1_000, vis);
+        assert!(vis >= last_vis, "visibility latency must grow with the period");
+        last_vis = vis;
+    }
+
+    // A3: COPS-SNOW, write cost vs dependency fan-out. Each write must
+    // query the servers of its dependencies for old readers before
+    // becoming visible: more dependency servers, more messages.
+    println!("\nA3. COPS-SNOW: dependency fan-out vs write messages / latency");
+    println!("    {:>10} {:>12} {:>14}", "dep srvs", "msgs/write", "write µs");
+    let mut last_msgs = 0;
+    for fanout in [0u32, 1, 2, 3] {
+        let mut cluster: Cluster<CopsSnowNode> = Cluster::new(Topology::sharded(4, 6, 8));
+        // Seed values on `fanout` other servers and read them to build
+        // the client's dependency context.
+        for j in 0..fanout {
+            let k = Key(1 + j); // primaries 1..=3
+            cluster.write_tx_auto(ClientId(1), &[k]).expect("seed");
+            cluster.read_tx(ClientId(0), &[k]).expect("observe");
+        }
+        let before = cluster.world.stats().total_sent();
+        let w = cluster.write_tx_auto(ClientId(0), &[Key(0)]).expect("write");
+        let msgs = cluster.world.stats().total_sent() - before;
+        println!(
+            "    {:>10} {:>12} {:>14}",
+            fanout,
+            msgs,
+            w.audit.latency / 1_000
+        );
+        assert!(msgs >= last_msgs, "messages must grow with fan-out");
+        last_msgs = msgs;
+    }
+
+    // A4: COPS-RW, session length vs payload size. The fat-message
+    // design's cost curve: values per message over a client's lifetime.
+    println!("\nA4. COPS-RW (§3.4): session length vs values per message");
+    println!("    {:>10} {:>16}", "ops", "max values/msg");
+    let mut cluster: Cluster<CopsRwNode> = Cluster::new(Topology::minimal(4));
+    let mut last_vals = 0;
+    for checkpoint in [4usize, 16, 48] {
+        let mut max_vals = 0;
+        while cluster.history().len() < checkpoint {
+            cluster.write_tx_auto(ClientId(0), &[Key(0), Key(1)]).expect("w");
+            let r = cluster.read_tx(ClientId(0), &[Key(0), Key(1)]).expect("r");
+            max_vals = max_vals.max(r.audit.max_values_per_msg);
+        }
+        println!("    {:>10} {:>16}", checkpoint, max_vals);
+        assert!(max_vals >= last_vals, "payload must grow with the session");
+        last_vals = max_vals;
+    }
+    assert!(last_vals > 10, "the fat-message cost must be visible");
+
+    // A5: the claimant family — coordination phases vs survival depth
+    // (the induction law, tabulated).
+    println!("\nA5. Claimants: write phases P vs induction survival");
+    println!("    {:>4} {:>16} {:>12}", "P", "forced msgs", "caught at k");
+    for (p, report) in [
+        (1, run_theorem::<NaiveNode<1>>(14)),
+        (2, run_theorem::<NaiveNode<2>>(14)),
+        (3, run_theorem::<NaiveNode<3>>(14)),
+        (4, run_theorem::<NaiveNode<4>>(14)),
+    ] {
+        let caught = match report.conclusion {
+            Conclusion::Caught { at_k, .. } => at_k,
+            _ => panic!("claimant must be caught"),
+        };
+        println!("    {:>4} {:>16} {:>12}", p, report.steps.len(), caught);
+    }
+    println!("\n    Law: forced = 2P−3 (P ≥ 2); caught at k = 2P−2.");
+}
+
+// ---------------------------------------------------------------------
+// The † rows — fast + W + causal, without minimal progress
+// ---------------------------------------------------------------------
+
+fn daggers() {
+    println!("† SYSTEMS — SwiftCloud / Eiger-PS escape the theorem by violating");
+    println!("its progress premise, not its consistency premise.\n");
+    println!("The `pinned` protocol distills them: reads at a client-pinned");
+    println!("snapshot that advances only on the client's own commits.\n");
+
+    // A hands-on run: fast reads, write transactions, causal histories…
+    let mut db: Cluster<PinnedNode> = Cluster::new(Topology::minimal(4));
+    let w = db.write_tx_auto(ClientId(0), &[Key(0), Key(1)]).expect("wtx");
+    let own = db.read_tx(ClientId(0), &[Key(0), Key(1)]).expect("own read");
+    println!(
+        "writer's read:   {:?}  (fast: {}, own write visible)",
+        own.reads,
+        own.audit.is_fast()
+    );
+    let mut stale = None;
+    for _ in 0..5 {
+        db.world.run_for(10 * snowbound::sim::MILLIS);
+        stale = Some(db.read_tx(ClientId(1), &[Key(0), Key(1)]).expect("other read"));
+    }
+    let stale = stale.unwrap();
+    println!(
+        "bystander's read {:?}  (fast: {}, 50 ms of virtual time later: still ⊥)",
+        stale.reads,
+        stale.audit.is_fast(),
+    );
+    assert_ne!(stale.reads[0].1, w.writes[0].1);
+    let p = db.profile();
+    println!(
+        "profile: R:{} V:{} N:{} W:{} — claims the impossible: {}",
+        p.max_rounds,
+        p.max_values,
+        p.nonblocking(),
+        p.multi_write_supported,
+        p.claims_the_impossible()
+    );
+    println!("history causal:  {}  (reading the frozen past is consistent)\n", db.check().is_ok());
+
+    // And the theorem machinery pinpoints the escape hatch: Definition 3.
+    // Even Figure 1's Q0 — a configuration where the *initial* values are
+    // visible — never materializes: the setup loop times out.
+    let report = run_theorem::<PinnedNode>(8);
+    println!("{}", report.render());
+    println!("(Q0 is well-defined *because of* Definition 3, as the paper notes;");
+    println!("a †-style system never reaches it for non-writing clients.)\n");
+    println!("The paper's own words (related work): \"Although they eventually");
+    println!("complete all writes, the values they write may be invisible to");
+    println!("some clients for an indefinitely long time.\" Definition 3 rules");
+    println!("such designs out of scope — and the machinery detects exactly that.");
+}
+
+// ---------------------------------------------------------------------
+// Freshness — the stale-read price of order-preserving fast-ish reads
+// ---------------------------------------------------------------------
+
+fn freshness() {
+    use snowbound::model::measure_freshness;
+    println!("FRESHNESS — Tomsic et al.'s companion trade-off (paper §4): with an");
+    println!("order-preserving consistency level, quick reads may have to return");
+    println!("stale values. Staleness = completed-but-missed newer writes per read.\n");
+    println!(
+        "   {:<16} {:>8} {:>10} {:>12} {:>10}",
+        "protocol", "reads", "fresh %", "mean stale", "max stale"
+    );
+
+    fn row<N: ProtocolNode>(tuning: u64) -> (String, snowbound::model::FreshnessReport) {
+        let mut cluster: Cluster<N> =
+            Cluster::new(Topology::minimal(4).with_tuning(tuning));
+        let mut wl = Workload::new(WorkloadSpec::minimal(Mix::ycsb_a()), 33);
+        drive(&mut cluster, &mut wl, 150, DriveOptions::default()).expect("drive");
+        (N::NAME.to_string(), measure_freshness(cluster.history()))
+    }
+
+    // Stabilized designs all run a 1 ms period so the comparison is fair.
+    let ms = snowbound::sim::MILLIS;
+    let mut rows = vec![
+        row::<CopsSnowNode>(0),
+        row::<CopsNode>(0),
+        row::<EigerNode>(0),
+        row::<SpannerNode>(0),
+        row::<ContrarianNode>(ms),
+        row::<WrenNode>(ms),
+        row::<CureNode>(ms),
+        row::<GentleRainNode>(ms),
+    ];
+    // The †-style pinned protocol is the extreme of the trade-off.
+    rows.push(row::<PinnedNode>(0));
+    for (name, r) in &rows {
+        println!(
+            "   {:<16} {:>8} {:>9.1}% {:>12.2} {:>10}",
+            name,
+            r.reads,
+            r.fresh_fraction() * 100.0,
+            r.mean_staleness(),
+            r.max_staleness
+        );
+    }
+    println!("\nShape: immediate-visibility designs (COPS family, Eiger, Spanner)");
+    println!("read fresh; stabilized snapshots (Contrarian/Wren/Cure/GentleRain)");
+    println!("trade freshness for their read guarantees; the †-style pinned");
+    println!("protocol — \"fast\" reads with W — is maximally stale, which is the");
+    println!("degenerate end of exactly this trade-off.");
+}

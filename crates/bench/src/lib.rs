@@ -1,0 +1,108 @@
+//! # cbf-bench — shared harness code for the `repro` binary and the
+//! criterion benchmarks.
+//!
+//! The quantitative exhibits live in two places:
+//!
+//! * `cargo run --release -p cbf-bench --bin repro -- <exhibit>` —
+//!   regenerates the paper's tables and figures (virtual-time results,
+//!   deterministic);
+//! * `cargo bench` — criterion wall-clock performance of the artifact
+//!   itself (simulator event throughput, checker scaling, per-protocol
+//!   simulation cost).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use snowbound::prelude::*;
+
+/// Latency landmark of one protocol under one mix: mean / p50 / p99 of
+/// ROT latency in virtual microseconds, plus write latency and message
+/// counts.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LatencyRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Workload mix label.
+    pub mix: String,
+    /// ROTs completed.
+    pub rots: u64,
+    /// Mean ROT latency (virtual µs).
+    pub rot_mean_us: f64,
+    /// Median ROT latency (virtual µs).
+    pub rot_p50_us: u64,
+    /// Tail ROT latency (virtual µs).
+    pub rot_p99_us: u64,
+    /// Messages sent per completed operation.
+    pub msgs_per_op: f64,
+    /// Worst values-per-message observed (V).
+    pub max_values: u32,
+    /// History check passed.
+    pub causal_ok: bool,
+}
+
+/// Run `ops` operations of `mix` against a fresh deployment of `N` and
+/// summarize. Deterministic in `seed`.
+pub fn latency_row<N: ProtocolNode>(mix: Mix, mix_name: &str, ops: usize, seed: u64) -> LatencyRow {
+    let mut cluster: Cluster<N> = Cluster::new(Topology::minimal(4));
+    let mut wl = Workload::new(WorkloadSpec::minimal(mix), seed);
+    let before_msgs = cluster.world.stats().total_sent();
+    let summary = drive(&mut cluster, &mut wl, ops, DriveOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", N::NAME));
+    let sent = cluster.world.stats().total_sent() - before_msgs;
+    LatencyRow {
+        protocol: N::NAME.to_string(),
+        mix: mix_name.to_string(),
+        rots: summary.rot_latencies.len() as u64,
+        rot_mean_us: summary.profile.mean_rot_latency() / 1_000.0,
+        rot_p50_us: summary.rot_latency_percentile(50.0) / 1_000,
+        rot_p99_us: summary.rot_latency_percentile(99.0) / 1_000,
+        msgs_per_op: sent as f64 / summary.completed.max(1) as f64,
+        max_values: summary.profile.max_values,
+        causal_ok: summary.verdict.is_ok(),
+    }
+}
+
+/// The latency table across the whole implemented design space, for one
+/// mix. Order: fast-read corner first.
+pub fn latency_table(mix: Mix, mix_name: &str, ops: usize, seed: u64) -> Vec<LatencyRow> {
+    vec![
+        latency_row::<CopsSnowNode>(mix, mix_name, ops, seed),
+        latency_row::<CopsNode>(mix, mix_name, ops, seed),
+        latency_row::<RampNode>(mix, mix_name, ops, seed),
+        latency_row::<EigerNode>(mix, mix_name, ops, seed),
+        latency_row::<ContrarianNode>(mix, mix_name, ops, seed),
+        latency_row::<WrenNode>(mix, mix_name, ops, seed),
+        latency_row::<GentleRainNode>(mix, mix_name, ops, seed),
+        latency_row::<CopsRwNode>(mix, mix_name, ops, seed),
+        latency_row::<CalvinNode>(mix, mix_name, ops, seed),
+        latency_row::<SpannerNode>(mix, mix_name, ops, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_rows_are_deterministic() {
+        let a = latency_row::<WrenNode>(Mix::ycsb_b(), "b", 30, 5);
+        let b = latency_row::<WrenNode>(Mix::ycsb_b(), "b", 30, 5);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(a.causal_ok);
+    }
+
+    #[test]
+    fn fast_reader_beats_two_round_reader_on_virtual_latency() {
+        // The theorem's trade-off, quantified: COPS-SNOW's one-round
+        // reads complete in about half the virtual time of Wren's
+        // two-round reads.
+        let snow = latency_row::<CopsSnowNode>(Mix::ycsb_c(), "c", 40, 9);
+        let wren = latency_row::<WrenNode>(Mix::ycsb_c(), "c", 40, 9);
+        assert!(
+            snow.rot_p50_us * 2 <= wren.rot_p50_us + 10,
+            "snow {} vs wren {}",
+            snow.rot_p50_us,
+            wren.rot_p50_us
+        );
+    }
+}

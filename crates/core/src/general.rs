@@ -1,0 +1,184 @@
+//! Theorem 2 (Appendix A): the impossibility for the general case — any
+//! number of servers and **partial replication**.
+//!
+//! The paper's general model stores `N + 1` objects across `m` servers
+//! whose (overlapping) shards none of which contain every object, and
+//! adapts the fast-ROT definition: for each object, exactly one of its
+//! replicas answers the client, with one value (Definition 5). The
+//! machinery in [`crate::setup`], [`crate::visibility`] and
+//! [`crate::attack`] is already generic in the topology, so the general
+//! theorem run is a matter of instantiating it on partially replicated
+//! deployments and iterating the attack over every server as the
+//! early-responder (the appendix's server `p` chosen from the
+//! response-set `M`).
+
+use crate::attack::{mixed_snapshot_attack, AttackError, AttackOutcome};
+use crate::setup::{setup_c0, TheoremSetup};
+use cbf_protocols::{ProtocolNode, Topology};
+use cbf_sim::ProcessId;
+
+/// Outcome of the general (partially replicated) theorem run.
+#[derive(Clone, Debug)]
+pub struct GeneralReport {
+    /// Protocol under test.
+    pub protocol: &'static str,
+    /// Deployment shape: (servers, keys, replication factor).
+    pub shape: (u32, u32, u32),
+    /// Per early-responder server: did the attack produce a violation?
+    pub per_server: Vec<(ProcessId, bool)>,
+    /// The first witness found, if any.
+    pub witness: Option<AttackOutcome>,
+}
+
+impl GeneralReport {
+    /// Was the protocol's claim refuted on this deployment?
+    pub fn caught(&self) -> bool {
+        self.witness.is_some()
+    }
+
+    /// Render for the `repro` binary.
+    pub fn render(&self) -> String {
+        let (m, nk, r) = self.shape;
+        let mut out = format!(
+            "Theorem 2 vs {} on m={m} servers, {nk} objects, replication {r}\n",
+            self.protocol
+        );
+        for (srv, caught) in &self.per_server {
+            out.push_str(&format!(
+                "  early responder {srv}: {}\n",
+                if *caught { "MIXED SNAPSHOT (Lemma 1 violated)" } else { "consistent" }
+            ));
+        }
+        if let Some(w) = &self.witness {
+            out.push_str(&format!(
+                "  witness: reader returned {:?}\n  (old {:?} / new {:?})\n  violations: {:?}\n",
+                w.reads, w.old, w.new, w.violations
+            ));
+        }
+        out
+    }
+}
+
+/// Errors of the general run.
+#[derive(Clone, Debug)]
+pub enum GeneralError {
+    /// Setup to `C0` failed.
+    Setup(String),
+    /// The attack machinery failed.
+    Attack(AttackError),
+}
+
+/// Run the general attack against protocol `N` on `topo` (which should
+/// be partially replicated for the Appendix-A setting, but any topology
+/// with ≥ 2 servers works).
+pub fn run_general<N: ProtocolNode>(topo: Topology) -> Result<GeneralReport, GeneralError> {
+    assert!(N::SUPPORTS_MULTI_WRITE, "theorem 2 targets W-claimants");
+    let shape = (topo.num_servers, topo.num_keys, topo.replication);
+    let setup: TheoremSetup<N> =
+        setup_c0(topo).map_err(|e| GeneralError::Setup(e.to_string()))?;
+    let servers: Vec<ProcessId> = setup.cluster.topo.servers().collect();
+    let mut per_server = Vec::new();
+    let mut witness = None;
+    for srv in servers {
+        let out = mixed_snapshot_attack(&setup, srv, None).map_err(GeneralError::Attack)?;
+        let caught = out.caught();
+        per_server.push((srv, caught));
+        if caught && witness.is_none() {
+            witness = Some(out);
+        }
+    }
+    Ok(GeneralReport {
+        protocol: N::NAME,
+        shape,
+        per_server,
+        witness,
+    })
+}
+
+/// The Appendix-A deployment shapes exercised by tests and the harness.
+pub fn general_topologies() -> Vec<Topology> {
+    vec![
+        // Three servers, three objects, two replicas each: overlapping
+        // shards, no server stores everything.
+        pr_topo(3, 3, 2),
+        // Five servers, five objects, two replicas.
+        pr_topo(5, 5, 2),
+        // Five servers, five objects, three replicas.
+        pr_topo(5, 5, 3),
+    ]
+}
+
+fn pr_topo(servers: u32, keys: u32, replication: u32) -> Topology {
+    Topology::partially_replicated(servers, keys + 3, keys, replication)
+}
+
+/// The general induction (Lemma 6): like [`crate::run_theorem`], but on
+/// an arbitrary (possibly partially replicated) topology, with claim 1
+/// generalized — the forced message `m_k` may be sent by **any** server
+/// to another server, or by any server to `cw` such that `cw` then
+/// messages a different server.
+pub fn run_theorem_general<N: ProtocolNode>(
+    topo: Topology,
+    k_max: u32,
+) -> crate::induction::TheoremReport {
+    crate::induction::run_theorem_on::<N>(topo, k_max, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbf_protocols::eiger::EigerNode;
+    use cbf_protocols::naive::{NaiveFast, NaiveTwoPhase};
+
+    #[test]
+    fn naive_fast_is_caught_under_partial_replication() {
+        for topo in general_topologies() {
+            let shape = (topo.num_servers, topo.num_keys, topo.replication);
+            let r = run_general::<NaiveFast>(topo).unwrap();
+            assert!(r.caught(), "survived on {shape:?}: {}", r.render());
+        }
+    }
+
+    #[test]
+    fn naive_2pc_is_caught_under_partial_replication() {
+        let r = run_general::<NaiveTwoPhase>(pr_topo(3, 3, 2)).unwrap();
+        assert!(r.caught(), "{}", r.render());
+    }
+
+    #[test]
+    fn eiger_survives_under_partial_replication() {
+        // Eiger shards without replication in this workspace; the
+        // general run still applies on a plain m=3 sharded layout.
+        let topo = Topology::sharded(3, 6, 3);
+        let r = run_general::<EigerNode>(topo).unwrap();
+        assert!(!r.caught(), "{}", r.render());
+    }
+
+    #[test]
+    fn general_induction_catches_phased_claimants_under_partial_replication() {
+        use crate::induction::Conclusion;
+        let caught_at = |r: &crate::induction::TheoremReport| match r.conclusion {
+            Conclusion::Caught { at_k, .. } => at_k,
+            _ => panic!("claimant must be caught: {}", r.render()),
+        };
+        // One-phase claimant: no forced messages, caught immediately.
+        let r1 = run_theorem_general::<NaiveFast>(pr_topo(3, 3, 2), 10);
+        assert_eq!(caught_at(&r1), 1, "{}", r1.render());
+        // Two-phase claimant: survives some forced messages first.
+        let r2 = run_theorem_general::<NaiveTwoPhase>(pr_topo(3, 3, 2), 10);
+        assert!(caught_at(&r2) > 1, "{}", r2.render());
+        assert!(!r2.steps.is_empty());
+        for s in &r2.steps {
+            assert!(s.visible.iter().all(|&v| !v), "claim 2 at k={}", s.k);
+        }
+    }
+
+    #[test]
+    fn report_renders_the_shape() {
+        let r = run_general::<NaiveFast>(pr_topo(3, 3, 2)).unwrap();
+        let s = r.render();
+        assert!(s.contains("m=3"));
+        assert!(s.contains("replication 2"));
+        assert!(s.contains("MIXED"));
+    }
+}

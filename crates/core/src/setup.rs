@@ -1,0 +1,154 @@
+//! Figure 1: the initial configurations `Qin → Q0 → C0`.
+//!
+//! Every theorem execution starts the same way: one initial write-only
+//! transaction `T_in_j = (w(X_j) x_in_j)` per object, issued by a
+//! dedicated client `c_in_j`; a wait until all initial values are
+//! visible (`Q0`); and a read-only transaction `T_in_r` by the writer
+//! client `cw` that returns all the initial values (`C0`). `T_in_r` is
+//! what causally orders the initial values *below* everything `cw`
+//! subsequently writes — the hinge of Lemma 1.
+
+use cbf_model::{ClientId, Key, Value};
+use cbf_protocols::{Cluster, ProtocolNode, Topology, TxError};
+use cbf_sim::{Time, MILLIS};
+
+/// The paper's cast of characters plus the deployed cluster, positioned
+/// at configuration `C0`.
+pub struct TheoremSetup<N: ProtocolNode> {
+    /// The deployment, advanced to `C0`.
+    pub cluster: Cluster<N>,
+    /// All objects, in id order.
+    pub keys: Vec<Key>,
+    /// The initial value of each object (`x_in_j`).
+    pub x_in: Vec<Value>,
+    /// The initializing clients (`c_in_j`), one per object.
+    pub c_in: Vec<ClientId>,
+    /// The client that will issue the troublesome write-only `Tw`.
+    pub cw: ClientId,
+    /// The client whose fast ROT the constructions schedule (`c_r^k`).
+    pub reader: ClientId,
+    /// A spare client used only on forks, for visibility probes.
+    pub probe: ClientId,
+}
+
+impl<N: ProtocolNode> Clone for TheoremSetup<N> {
+    fn clone(&self) -> Self {
+        TheoremSetup {
+            cluster: self.cluster.clone(),
+            keys: self.keys.clone(),
+            x_in: self.x_in.clone(),
+            c_in: self.c_in.clone(),
+            cw: self.cw,
+            reader: self.reader,
+            probe: self.probe,
+        }
+    }
+}
+
+/// How long to let background stabilization (heartbeats, commit-waits)
+/// run between setup attempts.
+const SETTLE: Time = 2 * MILLIS;
+/// Attempts to observe all initial values before giving up.
+const MAX_TRIES: u32 = 64;
+
+/// Drive a deployment of protocol `N` on `topo` to configuration `C0`
+/// (Figure 1). `topo` must provide `num_keys + 3` clients.
+pub fn setup_c0<N: ProtocolNode>(topo: Topology) -> Result<TheoremSetup<N>, TxError> {
+    assert!(
+        topo.num_clients >= topo.num_keys + 3,
+        "need one init client per key, plus cw, reader and probe"
+    );
+    let keys: Vec<Key> = (0..topo.num_keys).map(Key).collect();
+    let c_in: Vec<ClientId> = (0..topo.num_keys).map(ClientId).collect();
+    let cw = ClientId(topo.num_keys);
+    let reader = ClientId(topo.num_keys + 1);
+    let probe = ClientId(topo.num_keys + 2);
+
+    let mut cluster: Cluster<N> = Cluster::new(topo);
+
+    // T_in_j: client c_in_j writes x_in_j into X_j (single-object writes,
+    // which every protocol in the workspace supports).
+    let mut x_in = Vec::with_capacity(keys.len());
+    for (&k, &c) in keys.iter().zip(&c_in) {
+        let v = cluster.alloc_value();
+        cluster.write(c, k, v)?;
+        x_in.push(v);
+    }
+
+    // Q0: wait until the initial values are visible, then C0: cw's
+    // T_in_r returns them all. Stabilization-based protocols need a few
+    // settle rounds first.
+    for _ in 0..MAX_TRIES {
+        let r = cluster.read_tx(cw, &keys)?;
+        let got: Vec<Value> = r.reads.iter().map(|&(_, v)| v).collect();
+        if got == x_in {
+            return Ok(TheoremSetup {
+                cluster,
+                keys,
+                x_in,
+                c_in,
+                cw,
+                reader,
+                probe,
+            });
+        }
+        cluster.world.run_for(SETTLE);
+    }
+    Err(TxError::Incomplete)
+}
+
+/// The minimal theorem deployment: two servers, two objects, five
+/// clients (`c_in0`, `c_in1`, `cw`, the reader, and a probe).
+pub fn minimal_topology() -> Topology {
+    let mut t = Topology::minimal(5);
+    t.num_clients = 5;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbf_protocols::naive::NaiveFast;
+    use cbf_protocols::wren::WrenNode;
+
+    #[test]
+    fn c0_for_naive_fast() {
+        let s = setup_c0::<NaiveFast>(minimal_topology()).unwrap();
+        assert_eq!(s.keys.len(), 2);
+        assert_eq!(s.x_in.len(), 2);
+        assert_eq!(s.cw, ClientId(2));
+        assert_eq!(s.reader, ClientId(3));
+        assert_eq!(s.probe, ClientId(4));
+        // The setup history is causal: two writes and cw's read.
+        assert!(s.cluster.check().is_ok());
+    }
+
+    #[test]
+    fn c0_for_wren_waits_for_stabilization() {
+        // Wren's initial values are invisible until the GSS passes them;
+        // the setup loop must ride that out.
+        let s = setup_c0::<WrenNode>(minimal_topology()).unwrap();
+        assert!(s.cluster.check().is_ok());
+        // The setup read(s) returned the initial values in the end.
+        let h = s.cluster.history();
+        let last = h.transactions().last().unwrap();
+        assert_eq!(last.reads.len(), 2);
+        assert_eq!(last.reads[0].1, s.x_in[0]);
+    }
+
+    #[test]
+    fn clone_forks_the_whole_setup() {
+        let s = setup_c0::<NaiveFast>(minimal_topology()).unwrap();
+        let mut f = s.clone();
+        f.cluster.write_tx_auto(s.cw, &[Key(0), Key(1)]).unwrap();
+        // The original is untouched.
+        assert_eq!(s.cluster.history().len(), 3);
+        assert_eq!(f.cluster.history().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "need one init client")]
+    fn rejects_too_few_clients() {
+        let _ = setup_c0::<NaiveFast>(Topology::minimal(4));
+    }
+}

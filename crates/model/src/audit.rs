@@ -1,0 +1,260 @@
+//! Fast-read-only-transaction accounting (Definitions 4 and 5).
+//!
+//! A ROT is **fast** when it is one-round (R), non-blocking (N) and its
+//! server→client messages are one-value (V). Protocol facades emit one
+//! [`RotAudit`] per read-only transaction and one [`WtxAudit`] per write
+//! transaction; [`PropertyProfile`] aggregates them into the measured row
+//! of Table 1 for that protocol.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Consistency levels appearing in Table 1, ordered weakest → strongest
+/// where comparable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ConsistencyLevel {
+    /// RAMP's read atomicity.
+    ReadAtomicity,
+    /// Causal consistency (the paper's baseline assumption).
+    Causal,
+    /// Snapshot isolation.
+    SnapshotIsolation,
+    /// Per-client parallel snapshot isolation (Occult).
+    PerClientPSI,
+    /// Serializability.
+    Serializable,
+    /// Process-ordered serializability (Eiger-PS).
+    ProcessOrderedSerializable,
+    /// Strict serializability.
+    StrictSerializable,
+    /// The protocol makes no consistency promise the theorem cares about
+    /// (used for the deliberately broken claimants once caught).
+    None,
+}
+
+impl ConsistencyLevel {
+    /// Does this level imply causal consistency? The theorem applies to
+    /// every level for which this returns true.
+    pub fn implies_causal(self) -> bool {
+        matches!(
+            self,
+            ConsistencyLevel::Causal
+                | ConsistencyLevel::SnapshotIsolation
+                | ConsistencyLevel::Serializable
+                | ConsistencyLevel::ProcessOrderedSerializable
+                | ConsistencyLevel::StrictSerializable
+        )
+    }
+}
+
+impl fmt::Display for ConsistencyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConsistencyLevel::ReadAtomicity => "Read Atomicity",
+            ConsistencyLevel::Causal => "Causal Consistency",
+            ConsistencyLevel::SnapshotIsolation => "Snapshot Isolation",
+            ConsistencyLevel::PerClientPSI => "Per-Client Parallel SI",
+            ConsistencyLevel::Serializable => "Serializability",
+            ConsistencyLevel::ProcessOrderedSerializable => "PO-Serializability",
+            ConsistencyLevel::StrictSerializable => "Strict Serializability",
+            ConsistencyLevel::None => "(none)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Measured behaviour of one read-only transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct RotAudit {
+    /// Client→servers communication rounds used (R). A fast ROT uses 1.
+    pub rounds: u32,
+    /// Total server→client messages received.
+    pub server_msgs: u32,
+    /// Maximum number of *written values* carried by any single
+    /// server→client message (V). A fast ROT's messages carry 1.
+    /// Metadata (timestamps) is free, per the paper's footnote 3.
+    pub max_values_per_msg: u32,
+    /// A server deferred its response past the computation step in which
+    /// it received the request (N violated).
+    pub blocked: bool,
+    /// Virtual time from invocation to response.
+    pub latency: u64,
+}
+
+impl RotAudit {
+    /// Non-blocking, one-round, one-value — Definition 4.
+    pub fn is_fast(&self) -> bool {
+        self.rounds <= 1 && self.max_values_per_msg <= 1 && !self.blocked
+    }
+}
+
+/// Measured behaviour of one write transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct WtxAudit {
+    /// Number of distinct objects written.
+    pub objects: u32,
+    /// Client→server rounds until the commit acknowledgement.
+    pub rounds: u32,
+    /// Virtual time from invocation to commit ack.
+    pub latency: u64,
+    /// Virtual time from invocation until the written values were visible
+    /// to other clients (if measured; 0 when not probed).
+    pub visibility_latency: u64,
+}
+
+/// Aggregated measured properties of a protocol — one Table 1 row.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct PropertyProfile {
+    /// Worst-case observed ROT rounds.
+    pub max_rounds: u32,
+    /// Worst-case observed values per server→client message.
+    pub max_values: u32,
+    /// Any ROT blocked.
+    pub any_blocking: bool,
+    /// The protocol executed at least one multi-object write transaction.
+    pub multi_write_supported: bool,
+    /// Number of ROTs aggregated.
+    pub rot_count: u64,
+    /// Number of write transactions aggregated.
+    pub wtx_count: u64,
+    /// Sum of ROT latencies (for the mean).
+    pub rot_latency_sum: u64,
+}
+
+impl PropertyProfile {
+    /// Fold one ROT audit into the profile.
+    pub fn record_rot(&mut self, a: &RotAudit) {
+        self.max_rounds = self.max_rounds.max(a.rounds);
+        self.max_values = self.max_values.max(a.max_values_per_msg);
+        self.any_blocking |= a.blocked;
+        self.rot_count += 1;
+        self.rot_latency_sum += a.latency;
+    }
+
+    /// Fold one write-transaction audit into the profile.
+    pub fn record_wtx(&mut self, a: &WtxAudit) {
+        if a.objects > 1 {
+            self.multi_write_supported = true;
+        }
+        self.wtx_count += 1;
+    }
+
+    /// R: observed one-round reads.
+    pub fn one_round(&self) -> bool {
+        self.max_rounds <= 1
+    }
+
+    /// V: observed one-value messages.
+    pub fn one_value(&self) -> bool {
+        self.max_values <= 1
+    }
+
+    /// N: no observed blocking.
+    pub fn nonblocking(&self) -> bool {
+        !self.any_blocking
+    }
+
+    /// All of Definition 4 held for every observed ROT.
+    pub fn fast_rots(&self) -> bool {
+        self.one_round() && self.one_value() && self.nonblocking()
+    }
+
+    /// Mean ROT latency in virtual nanoseconds.
+    pub fn mean_rot_latency(&self) -> f64 {
+        if self.rot_count == 0 {
+            0.0
+        } else {
+            self.rot_latency_sum as f64 / self.rot_count as f64
+        }
+    }
+
+    /// The theorem's conclusion as a predicate: a causally consistent
+    /// protocol may measure fast ROTs or multi-object writes — never both.
+    pub fn claims_the_impossible(&self) -> bool {
+        self.fast_rots() && self.multi_write_supported
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_audit() -> RotAudit {
+        RotAudit {
+            rounds: 1,
+            server_msgs: 2,
+            max_values_per_msg: 1,
+            blocked: false,
+            latency: 100,
+        }
+    }
+
+    #[test]
+    fn definition_4_predicate() {
+        assert!(fast_audit().is_fast());
+        assert!(!RotAudit { rounds: 2, ..fast_audit() }.is_fast());
+        assert!(!RotAudit { max_values_per_msg: 2, ..fast_audit() }.is_fast());
+        assert!(!RotAudit { blocked: true, ..fast_audit() }.is_fast());
+    }
+
+    #[test]
+    fn profile_aggregates_worst_case() {
+        let mut p = PropertyProfile::default();
+        p.record_rot(&fast_audit());
+        p.record_rot(&RotAudit { rounds: 2, latency: 300, ..fast_audit() });
+        assert_eq!(p.max_rounds, 2);
+        assert!(!p.one_round());
+        assert!(p.one_value());
+        assert!(p.nonblocking());
+        assert!(!p.fast_rots());
+        assert_eq!(p.rot_count, 2);
+        assert!((p.mean_rot_latency() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_tracks_write_support() {
+        let mut p = PropertyProfile::default();
+        p.record_wtx(&WtxAudit {
+            objects: 1,
+            rounds: 1,
+            latency: 0,
+            visibility_latency: 0,
+        });
+        assert!(!p.multi_write_supported);
+        p.record_wtx(&WtxAudit {
+            objects: 2,
+            rounds: 1,
+            latency: 0,
+            visibility_latency: 0,
+        });
+        assert!(p.multi_write_supported);
+    }
+
+    #[test]
+    fn impossible_claim_detection() {
+        let mut p = PropertyProfile::default();
+        p.record_rot(&fast_audit());
+        assert!(!p.claims_the_impossible());
+        p.record_wtx(&WtxAudit {
+            objects: 2,
+            rounds: 1,
+            latency: 0,
+            visibility_latency: 0,
+        });
+        assert!(p.claims_the_impossible());
+    }
+
+    #[test]
+    fn consistency_hierarchy() {
+        assert!(ConsistencyLevel::Causal.implies_causal());
+        assert!(ConsistencyLevel::StrictSerializable.implies_causal());
+        assert!(!ConsistencyLevel::ReadAtomicity.implies_causal());
+        assert!(!ConsistencyLevel::PerClientPSI.implies_causal());
+        assert_eq!(ConsistencyLevel::Causal.to_string(), "Causal Consistency");
+    }
+
+    #[test]
+    fn empty_profile_latency_is_zero() {
+        assert_eq!(PropertyProfile::default().mean_rot_latency(), 0.0);
+    }
+}

@@ -1,0 +1,537 @@
+//! Graph-based causal-consistency checker.
+//!
+//! Implements Definition 1 as a polynomial-time decision procedure for
+//! histories with distinct written values (which the harnesses guarantee
+//! by construction, and the paper assumes when explaining its definitions):
+//!
+//! 1. every read must return `⊥` or a value some transaction wrote;
+//! 2. the causal relation `<c = (∪ program-order ∪ reads-from)⁺` must be
+//!    acyclic;
+//! 3. **no stale read**: if `T` reads object `k` from writer `W1`, no other
+//!    writer `W2` of `k` may satisfy `W1 <c W2 <c T` — in every
+//!    serialization respecting `<c`, `W2` would sit between `W1` and `T`,
+//!    making the read illegal (this is the rule the paper's contradictory
+//!    execution `γ` trips: the mixed snapshot `(x_in_{k%2}, x_{(k-1)%2})`);
+//! 4. **per-client serializability under `<c`**: for each client, the
+//!    constraint graph (causal edges plus, for every read by that client,
+//!    "any other writer of the same object that must precede the reader
+//!    must precede the writer it read from") must be acyclic. This catches
+//!    fractured reads between *concurrent* multi-object write transactions
+//!    that rule 3 alone cannot see.
+//!
+//! Rules 1–4 together are checked against the literal Definition 1 search
+//! ([`crate::exhaustive`]) by property tests.
+
+use crate::history::History;
+use crate::relations::{CausalOrder, Relation};
+use crate::types::{ClientId, Key, TxId, Value};
+use serde::Serialize;
+
+/// A specific way a history fails causal consistency.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[allow(missing_docs)] // fields are self-describing
+pub enum Violation {
+    /// Two transactions wrote the same value; the graph checker requires
+    /// distinct values (the harnesses allocate them from a counter).
+    DuplicateValues,
+    /// A read returned a value nobody wrote.
+    UnknownValue {
+        reader: TxId,
+        key: Key,
+        value: Value,
+    },
+    /// Program order and reads-from form a cycle.
+    CausalityCycle,
+    /// `reader` read `key` from `read_from`, but `overwritten_by` writes
+    /// `key` and `read_from <c overwritten_by <c reader`.
+    StaleRead {
+        reader: TxId,
+        key: Key,
+        read_from: TxId,
+        overwritten_by: TxId,
+    },
+    /// `reader` read `⊥` for `key` although `written_by` writes `key`
+    /// and `written_by <c reader` — the initial value was already
+    /// causally overwritten.
+    BottomReadAfterWrite {
+        reader: TxId,
+        key: Key,
+        written_by: TxId,
+    },
+    /// No serialization respecting the causal order makes this client's
+    /// reads legal (fractured reads across concurrent write transactions).
+    Unserializable { client: ClientId },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DuplicateValues => {
+                write!(f, "two transactions wrote the same value (checker precondition)")
+            }
+            Violation::UnknownValue { reader, key, value } => {
+                write!(f, "{reader:?} read {value:?} for {key:?}, which nobody wrote")
+            }
+            Violation::CausalityCycle => write!(f, "program order and reads-from form a cycle"),
+            Violation::StaleRead { reader, key, read_from, overwritten_by } => write!(
+                f,
+                "{reader:?} read {key:?} from {read_from:?}, but {overwritten_by:?} overwrote it causally in between"
+            ),
+            Violation::BottomReadAfterWrite { reader, key, written_by } => write!(
+                f,
+                "{reader:?} read ⊥ for {key:?} although {written_by:?} causally preceded it"
+            ),
+            Violation::Unserializable { client } => write!(
+                f,
+                "no serialization respecting causality makes client {client}'s reads legal"
+            ),
+        }
+    }
+}
+
+/// The checker's result: empty `violations` means the history is causally
+/// consistent.
+#[derive(Clone, Debug, Default)]
+pub struct Verdict {
+    /// All detected violations, in detection order.
+    pub violations: Vec<Violation>,
+}
+
+impl Verdict {
+    /// True if the history passed.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// A human-readable multi-line report.
+    pub fn render(&self) -> String {
+        if self.is_ok() {
+            "causally consistent".to_string()
+        } else {
+            let mut out = format!("{} violation(s):\n", self.violations.len());
+            for v in &self.violations {
+                out.push_str(&format!("  - {v}\n"));
+            }
+            out
+        }
+    }
+}
+
+/// Check a history for causal consistency. See module docs for the rules.
+pub fn check_causal(h: &History) -> Verdict {
+    let mut v = Verdict::default();
+    if !h.values_distinct() {
+        v.violations.push(Violation::DuplicateValues);
+        return v;
+    }
+    let co = CausalOrder::build(h);
+
+    for &(reader, key, value) in &co.unknown_reads {
+        v.violations.push(Violation::UnknownValue {
+            reader: co.tx_ids[reader],
+            key,
+            value,
+        });
+    }
+
+    if !co.causal.is_irreflexive() {
+        v.violations.push(Violation::CausalityCycle);
+        return v; // the remaining rules assume a partial order
+    }
+
+    // Rule 3: stale reads.
+    let txs = h.transactions();
+    for rf in &co.reads_from {
+        for (j, t) in txs.iter().enumerate() {
+            if j == rf.writer || j == rf.reader {
+                continue;
+            }
+            if t.wrote(rf.key).is_some()
+                && co.before(rf.writer, j)
+                && co.before(j, rf.reader)
+            {
+                v.violations.push(Violation::StaleRead {
+                    reader: co.tx_ids[rf.reader],
+                    key: rf.key,
+                    read_from: co.tx_ids[rf.writer],
+                    overwritten_by: co.tx_ids[j],
+                });
+            }
+        }
+    }
+
+    // Rule 3b: reads of ⊥ that a causally-preceding write already
+    // invalidated.
+    for (i, t) in txs.iter().enumerate() {
+        for &(k, val) in &t.reads {
+            if !val.is_bottom() {
+                continue;
+            }
+            for (j, w) in txs.iter().enumerate() {
+                if j != i && w.wrote(k).is_some() && co.before(j, i) {
+                    v.violations.push(Violation::BottomReadAfterWrite {
+                        reader: co.tx_ids[i],
+                        key: k,
+                        written_by: co.tx_ids[j],
+                    });
+                }
+            }
+        }
+    }
+
+    // Rule 4: per-client constraint saturation.
+    for client in h.clients() {
+        if !client_serializable(h, &co, client) {
+            v.violations.push(Violation::Unserializable { client });
+        }
+    }
+
+    v
+}
+
+/// Saturate the per-client constraint graph to a fixpoint and test
+/// acyclicity. Constraint: for each read by `client`'s transaction `T` of
+/// object `k` from `W1`, every other writer `W2` of `k` that is forced
+/// before `T` must be forced before `W1`.
+fn client_serializable(h: &History, co: &CausalOrder, client: ClientId) -> bool {
+    let txs = h.transactions();
+    // Writers per key, precomputed.
+    let mut writers_of: std::collections::HashMap<Key, Vec<usize>> = Default::default();
+    for (i, t) in txs.iter().enumerate() {
+        for (k, _) in &t.writes {
+            let ws = writers_of.entry(*k).or_default();
+            if ws.last() != Some(&i) {
+                ws.push(i);
+            }
+        }
+    }
+    let my_reads: Vec<_> = co
+        .reads_from
+        .iter()
+        .filter(|rf| txs[rf.reader].client == client)
+        .collect();
+    // ⊥-reads by this client: (reader index, key). No writer of the key
+    // may ever be forced before the reader.
+    let my_bottom_reads: Vec<(usize, Key)> = txs
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.client == client)
+        .flat_map(|(i, t)| {
+            t.reads
+                .iter()
+                .filter(|(_, v)| v.is_bottom())
+                .map(move |&(k, _)| (i, k))
+        })
+        .collect();
+
+    let bottom_ok = |forced: &Relation| {
+        my_bottom_reads.iter().all(|&(reader, k)| {
+            writers_of
+                .get(&k)
+                .is_none_or(|ws| ws.iter().all(|&w| w == reader || !forced.get(w, reader)))
+        })
+    };
+
+    let mut forced: Relation = co.causal.clone(); // already closed
+    loop {
+        if !bottom_ok(&forced) {
+            return false;
+        }
+        let mut added = false;
+        for rf in &my_reads {
+            let Some(ws) = writers_of.get(&rf.key) else {
+                continue;
+            };
+            for &w2 in ws {
+                if w2 == rf.writer || w2 == rf.reader {
+                    continue;
+                }
+                if forced.get(w2, rf.reader) && !forced.get(w2, rf.writer) {
+                    forced.set(w2, rf.writer);
+                    added = true;
+                }
+            }
+        }
+        if !added {
+            break;
+        }
+        forced.transitive_close();
+        if !forced.is_irreflexive() {
+            return false;
+        }
+    }
+    forced.is_irreflexive() && bottom_ok(&forced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::tx;
+
+    fn ok(h: &History) {
+        let v = check_causal(h);
+        assert!(v.is_ok(), "unexpected violations: {:?}", v.violations);
+    }
+
+    fn bad(h: &History) -> Vec<Violation> {
+        let v = check_causal(h);
+        assert!(!v.is_ok(), "expected violations, found none");
+        v.violations
+    }
+
+    #[test]
+    fn empty_history_is_consistent() {
+        ok(&History::new());
+    }
+
+    #[test]
+    fn simple_write_then_read_is_consistent() {
+        ok(&vec![tx(0, 0, &[], &[(0, 1)]), tx(1, 1, &[(0, 1)], &[])]
+            .into_iter()
+            .collect());
+    }
+
+    #[test]
+    fn read_of_bottom_is_consistent() {
+        ok(&vec![tx(0, 0, &[(0, u64::MAX)], &[])].into_iter().collect());
+    }
+
+    #[test]
+    fn unknown_value_is_flagged() {
+        let vs = bad(&vec![tx(0, 0, &[(0, 7)], &[])].into_iter().collect());
+        assert!(matches!(vs[0], Violation::UnknownValue { .. }));
+    }
+
+    #[test]
+    fn duplicate_values_are_flagged() {
+        let vs = bad(&vec![tx(0, 0, &[], &[(0, 1)]), tx(1, 1, &[], &[(1, 1)])]
+            .into_iter()
+            .collect());
+        assert_eq!(vs, vec![Violation::DuplicateValues]);
+    }
+
+    #[test]
+    fn the_papers_mixed_snapshot_is_a_stale_read() {
+        // The γ execution of Lemma 3 for k=1:
+        //   T0 = T_in_0 writes X0=1; T1 = T_in_1 writes X1=2   (init)
+        //   T2 = T_in_r by cw reads (X0=1, X1=2)               (C0 setup)
+        //   T3 = Tw by cw writes X0=10, X1=11
+        //   T4 = Tr by cr reads (X0=1, X1=11)  ← old X0, new X1: forbidden
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 1, &[], &[(1, 2)]),
+            tx(2, 2, &[(0, 1), (1, 2)], &[]),
+            tx(3, 2, &[], &[(0, 10), (1, 11)]),
+            tx(4, 3, &[(0, 1), (1, 11)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        let vs = bad(&h);
+        assert!(
+            vs.iter().any(|v| matches!(
+                v,
+                Violation::StaleRead { reader: TxId(4), key: Key(0), read_from: TxId(0), overwritten_by: TxId(3) }
+            )),
+            "got {vs:?}"
+        );
+    }
+
+    #[test]
+    fn fresh_snapshot_of_both_values_is_consistent() {
+        // Same prefix, but Tr reads both new values: fine.
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 1, &[], &[(1, 2)]),
+            tx(2, 2, &[(0, 1), (1, 2)], &[]),
+            tx(3, 2, &[], &[(0, 10), (1, 11)]),
+            tx(4, 3, &[(0, 10), (1, 11)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        ok(&h);
+    }
+
+    #[test]
+    fn old_snapshot_of_both_values_is_consistent() {
+        // ...and reading both old values is also fine (causal ≠ fresh).
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 1, &[], &[(1, 2)]),
+            tx(2, 2, &[(0, 1), (1, 2)], &[]),
+            tx(3, 2, &[], &[(0, 10), (1, 11)]),
+            tx(4, 3, &[(0, 1), (1, 2)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        ok(&h);
+    }
+
+    #[test]
+    fn stale_read_via_program_order_chain() {
+        // c0 writes X0=1, then X0=2. c1 reads X0=2 then X0=1: the second
+        // read is stale (W1=T0 <c W2=T1 <c reader via rf on first read?).
+        // Here: reader T3 reads from T0, and T1 (writes X0) satisfies
+        // T0 <po T1 and T1 <rf T2 <po T3.
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 0, &[], &[(0, 2)]),
+            tx(2, 1, &[(0, 2)], &[]),
+            tx(3, 1, &[(0, 1)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        let vs = bad(&h);
+        assert!(vs.iter().any(|v| matches!(v, Violation::StaleRead { .. })));
+    }
+
+    #[test]
+    fn concurrent_writes_may_be_read_in_either_order_by_different_clients() {
+        // W(X0)=1 by c0 and W(X0)=2 by c1 are concurrent. c2 reads 1 then
+        // 2; c3 reads 2 then... reading 2 then 1 *is* allowed under causal
+        // consistency (no convergence requirement): each client has its
+        // own serialization.
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 1, &[], &[(0, 2)]),
+            tx(2, 2, &[(0, 1)], &[]),
+            tx(3, 2, &[(0, 2)], &[]),
+            tx(4, 3, &[(0, 2)], &[]),
+            tx(5, 3, &[(0, 1)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        ok(&h);
+    }
+
+    #[test]
+    fn oscillating_reads_by_one_client_are_flagged() {
+        // One client reading 1, 2, 1 for the same object: after seeing
+        // 2 (which must be serialized after 1 given read 1 first? no —
+        // but re-reading 1 after 2 forces 1 between 2 and the reader and
+        // simultaneously 1 before 2): unserializable for that client.
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 1, &[], &[(0, 2)]),
+            tx(2, 2, &[(0, 1)], &[]),
+            tx(3, 2, &[(0, 2)], &[]),
+            tx(4, 2, &[(0, 1)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        let vs = bad(&h);
+        assert!(
+            vs.iter().any(|v| matches!(
+                v,
+                Violation::Unserializable { client: ClientId(2) } | Violation::StaleRead { .. }
+            )),
+            "got {vs:?}"
+        );
+    }
+
+    #[test]
+    fn fractured_read_of_concurrent_write_txs_is_flagged() {
+        // Tw1 writes (X0=1, X1=2); Tw2 writes (X0=3, X1=4); concurrent.
+        // Tr reads X0=1 (from Tw1) and X1=4 (from Tw2). For Tr's client:
+        // Tw2 <c Tr (rf), Tw2 writes X0 → must precede Tw1; Tw1 <c Tr
+        // (rf), Tw1 writes X1 → must precede Tw2. Cycle → unserializable.
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1), (1, 2)]),
+            tx(1, 1, &[], &[(0, 3), (1, 4)]),
+            tx(2, 2, &[(0, 1), (1, 4)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        let vs = bad(&h);
+        assert!(
+            vs.iter()
+                .any(|v| matches!(v, Violation::Unserializable { client: ClientId(2) })),
+            "got {vs:?}"
+        );
+    }
+
+    #[test]
+    fn reading_concurrent_write_txs_whole_is_consistent() {
+        // Same two write transactions, but the reader sees Tw2 entirely.
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1), (1, 2)]),
+            tx(1, 1, &[], &[(0, 3), (1, 4)]),
+            tx(2, 2, &[(0, 3), (1, 4)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        ok(&h);
+    }
+
+    #[test]
+    fn causality_cycle_is_flagged() {
+        // T0 (c0) reads c1's value and writes its own; T1 (c1) reads T0's
+        // value and wrote the value T0 read: rf cycle.
+        let h: History = vec![tx(0, 0, &[(0, 2)], &[(1, 1)]), tx(1, 1, &[(1, 1)], &[(0, 2)])]
+            .into_iter()
+            .collect();
+        let vs = bad(&h);
+        assert!(vs.contains(&Violation::CausalityCycle));
+    }
+
+    #[test]
+    fn long_causal_chain_is_consistent() {
+        // A relay: each client reads the previous value and writes the
+        // next; a final reader sees the latest.
+        let mut txs = vec![tx(0, 0, &[], &[(0, 100)])];
+        for i in 1..20u64 {
+            txs.push(tx(
+                i,
+                i as u32,
+                &[(0, 99 + i)],
+                &[(0, 100 + i)],
+            ));
+        }
+        txs.push(tx(20, 20, &[(0, 119)], &[]));
+        ok(&txs.into_iter().collect());
+    }
+
+    #[test]
+    fn read_your_writes_violation_is_not_necessarily_causal_violation() {
+        // c0 writes 1 then reads a *concurrent* write 2: allowed by
+        // causal consistency (2 can serialize after 1).
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 1, &[], &[(0, 2)]),
+            tx(2, 0, &[(0, 2)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        ok(&h);
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 0, &[], &[(0, 2)]),
+            tx(2, 0, &[(0, 1)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        let v = check_causal(&h);
+        let report = v.render();
+        assert!(report.contains("violation"));
+        assert!(report.contains("overwrote it causally"), "{report}");
+        // And the happy path.
+        assert_eq!(check_causal(&History::new()).render(), "causally consistent");
+    }
+
+    #[test]
+    fn reading_own_overwritten_value_is_stale() {
+        // c0 writes 1, overwrites with 2, then reads 1 again: stale.
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 0, &[], &[(0, 2)]),
+            tx(2, 0, &[(0, 1)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        let vs = bad(&h);
+        assert!(vs.iter().any(|v| matches!(v, Violation::StaleRead { .. })));
+    }
+}

@@ -1,0 +1,190 @@
+//! Freshness analysis: how stale are the values read-only transactions
+//! return?
+//!
+//! The paper's related work cites Tomsic et al. (Middleware 2018): with
+//! an order-preserving consistency level, fast read-only transactions
+//! are possible *only if* they may return stale values. This module
+//! measures that staleness from a history: for each read, how many
+//! writes of the same object had already **completed** (were
+//! acknowledged to their writer) before the reading transaction was
+//! invoked, yet are newer than the value returned.
+//!
+//! A staleness of 0 means the read returned the newest completed value;
+//! snapshot-based designs (Wren, Contrarian, GentleRain, Cure) trade
+//! freshness for their other properties and show positive staleness
+//! under write load.
+
+use crate::history::History;
+use crate::types::{Key, Value};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Staleness statistics over every read in a history.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct FreshnessReport {
+    /// Reads analyzed (reads of `⊥` before any write are skipped).
+    pub reads: u64,
+    /// Reads that returned the newest completed value.
+    pub fresh: u64,
+    /// Total missed newer-completed writes, summed over reads.
+    pub total_staleness: u64,
+    /// The worst single read (missed newer writes).
+    pub max_staleness: u64,
+}
+
+impl FreshnessReport {
+    /// Fraction of reads that were perfectly fresh.
+    pub fn fresh_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            1.0
+        } else {
+            self.fresh as f64 / self.reads as f64
+        }
+    }
+
+    /// Mean missed writes per read.
+    pub fn mean_staleness(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.total_staleness as f64 / self.reads as f64
+        }
+    }
+}
+
+/// Measure read staleness over `h`.
+///
+/// Writes are ordered per key by their completion time (`completed_at`);
+/// a read of transaction `T` misses a write `W` when `W` completed
+/// before `T` was invoked but `T` returned an older value. Requires the
+/// harness-recorded invocation/completion times.
+pub fn measure_freshness(h: &History) -> FreshnessReport {
+    // Per key: completed writes as (completed_at, value), sorted.
+    let mut writes: HashMap<Key, Vec<(u64, Value)>> = HashMap::new();
+    for t in h.transactions() {
+        for &(k, v) in &t.writes {
+            writes.entry(k).or_default().push((t.completed_at, v));
+        }
+    }
+    for w in writes.values_mut() {
+        w.sort_unstable();
+    }
+
+    let mut report = FreshnessReport::default();
+    for t in h.transactions() {
+        for &(k, v) in &t.reads {
+            let Some(ws) = writes.get(&k) else { continue };
+            // Writes completed strictly before this read began.
+            let completed_before = ws.partition_point(|&(at, _)| at < t.invoked_at);
+            if completed_before == 0 {
+                continue; // nothing to miss yet
+            }
+            report.reads += 1;
+            // Position of the returned value among the completed writes.
+            let pos = ws[..completed_before].iter().position(|&(_, wv)| wv == v);
+            let missed = match pos {
+                Some(p) => (completed_before - 1 - p) as u64,
+                // The value is newer than every completed write (e.g. it
+                // completed after the read began): perfectly fresh.
+                None => 0,
+            };
+            if missed == 0 {
+                report.fresh += 1;
+            }
+            report.total_staleness += missed;
+            report.max_staleness = report.max_staleness.max(missed);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::TxRecord;
+    use crate::types::{ClientId, TxId};
+
+    fn tx_at(id: u64, reads: &[(u32, u64)], writes: &[(u32, u64)], inv: u64, done: u64) -> TxRecord {
+        TxRecord {
+            id: TxId(id),
+            client: ClientId(id as u32),
+            reads: reads.iter().map(|&(k, v)| (Key(k), Value(v))).collect(),
+            writes: writes.iter().map(|&(k, v)| (Key(k), Value(v))).collect(),
+            invoked_at: inv,
+            completed_at: done,
+        }
+    }
+
+    #[test]
+    fn fresh_read_scores_zero() {
+        let h: History = vec![
+            tx_at(0, &[], &[(0, 1)], 0, 10),
+            tx_at(1, &[(0, 1)], &[], 20, 30),
+        ]
+        .into_iter()
+        .collect();
+        let r = measure_freshness(&h);
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.fresh, 1);
+        assert_eq!(r.total_staleness, 0);
+        assert!((r.fresh_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_read_counts_missed_writes() {
+        // Three writes complete before the read; it returns the first.
+        let h: History = vec![
+            tx_at(0, &[], &[(0, 1)], 0, 10),
+            tx_at(1, &[], &[(0, 2)], 11, 20),
+            tx_at(2, &[], &[(0, 3)], 21, 30),
+            tx_at(3, &[(0, 1)], &[], 40, 50),
+        ]
+        .into_iter()
+        .collect();
+        let r = measure_freshness(&h);
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.fresh, 0);
+        assert_eq!(r.total_staleness, 2);
+        assert_eq!(r.max_staleness, 2);
+        assert!((r.mean_staleness() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_writes_do_not_count() {
+        // The write completes AFTER the read began: not "missed".
+        let h: History = vec![
+            tx_at(0, &[], &[(0, 1)], 0, 10),
+            tx_at(1, &[], &[(0, 2)], 11, 100),
+            tx_at(2, &[(0, 1)], &[], 40, 50),
+        ]
+        .into_iter()
+        .collect();
+        let r = measure_freshness(&h);
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.fresh, 1);
+    }
+
+    #[test]
+    fn reading_a_value_newer_than_all_completed_is_fresh() {
+        // The read returns a value whose write completes later (e.g. read
+        // served mid-commit): fresh by definition.
+        let h: History = vec![
+            tx_at(0, &[], &[(0, 1)], 0, 10),
+            tx_at(1, &[], &[(0, 2)], 11, 100),
+            tx_at(2, &[(0, 2)], &[], 40, 50),
+        ]
+        .into_iter()
+        .collect();
+        let r = measure_freshness(&h);
+        assert_eq!(r.fresh, 1);
+        assert_eq!(r.total_staleness, 0);
+    }
+
+    #[test]
+    fn empty_history_is_vacuously_fresh() {
+        let r = measure_freshness(&History::new());
+        assert_eq!(r.reads, 0);
+        assert!((r.fresh_fraction() - 1.0).abs() < 1e-9);
+        assert_eq!(r.mean_staleness(), 0.0);
+    }
+}

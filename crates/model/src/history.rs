@@ -1,0 +1,283 @@
+//! Transactions and histories.
+//!
+//! A *static transaction* `(R_T, W_T)` declares its read- and write-sets up
+//! front (§2 *Transactions*); the impossibility result for static
+//! transactions implies the result for dynamic ones. A [`History`] is the
+//! subsequence of an execution containing only the invocations and
+//! responses of object operations — here flattened to one record per
+//! completed transaction, in completion order, with per-client program
+//! order recoverable from the per-client subsequence.
+
+use crate::types::{ClientId, Key, TxId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// What a transaction declared it would do: its read-set and write-set
+/// (the paper's `T = (R_T, W_T)`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxSpec {
+    /// Objects to read.
+    pub read_set: Vec<Key>,
+    /// Objects to write, with the values to write.
+    pub write_set: Vec<(Key, Value)>,
+}
+
+impl TxSpec {
+    /// A read-only transaction (`W_T = ∅`).
+    pub fn read_only(keys: impl Into<Vec<Key>>) -> Self {
+        TxSpec {
+            read_set: keys.into(),
+            write_set: Vec::new(),
+        }
+    }
+
+    /// A write-only transaction (`R_T = ∅`).
+    pub fn write_only(writes: impl Into<Vec<(Key, Value)>>) -> Self {
+        TxSpec {
+            read_set: Vec::new(),
+            write_set: writes.into(),
+        }
+    }
+
+    /// True if this transaction reads no object.
+    pub fn is_write_only(&self) -> bool {
+        self.read_set.is_empty() && !self.write_set.is_empty()
+    }
+
+    /// True if this transaction writes no object.
+    pub fn is_read_only(&self) -> bool {
+        self.write_set.is_empty()
+    }
+
+    /// True if the transaction writes more than one object — the
+    /// functionality the theorem proves incompatible with fast ROTs.
+    pub fn is_multi_write(&self) -> bool {
+        let distinct: BTreeSet<Key> = self.write_set.iter().map(|(k, _)| *k).collect();
+        distinct.len() > 1
+    }
+}
+
+/// A completed transaction as observed at its client: the spec plus the
+/// values its reads returned.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxRecord {
+    /// Unique id of this transaction instance.
+    pub id: TxId,
+    /// The client that invoked it.
+    pub client: ClientId,
+    /// `(key, value returned)` for every object in the read-set, in
+    /// read-set order.
+    pub reads: Vec<(Key, Value)>,
+    /// `(key, value written)` for every object in the write-set.
+    pub writes: Vec<(Key, Value)>,
+    /// Virtual time of invocation (informational; not used by checkers).
+    pub invoked_at: u64,
+    /// Virtual time of completion (informational).
+    pub completed_at: u64,
+}
+
+impl TxRecord {
+    /// True if the transaction performed no write.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// True if the transaction performed no read.
+    pub fn is_write_only(&self) -> bool {
+        self.reads.is_empty() && !self.writes.is_empty()
+    }
+
+    /// The value this transaction wrote to `k`, if any (last write wins
+    /// within the transaction).
+    pub fn wrote(&self, k: Key) -> Option<Value> {
+        self.writes
+            .iter()
+            .rev()
+            .find(|(kk, _)| *kk == k)
+            .map(|(_, v)| *v)
+    }
+
+    /// The value this transaction read for `k`, if it read `k`.
+    pub fn read(&self, k: Key) -> Option<Value> {
+        self.reads.iter().find(|(kk, _)| *kk == k).map(|(_, v)| *v)
+    }
+}
+
+/// A history: completed transactions in completion order.
+///
+/// Program order `<_{H|c}` is the per-client subsequence. The checkers in
+/// [`crate::checker`] and [`crate::exhaustive`] consume this type.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct History {
+    transactions: Vec<TxRecord>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Append a completed transaction. Call in completion order.
+    pub fn push(&mut self, tx: TxRecord) {
+        self.transactions.push(tx);
+    }
+
+    /// All transactions, in completion order.
+    pub fn transactions(&self) -> &[TxRecord] {
+        &self.transactions
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True if no transaction completed.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// The transactions of one client, in program order.
+    pub fn of_client(&self, c: ClientId) -> Vec<&TxRecord> {
+        self.transactions.iter().filter(|t| t.client == c).collect()
+    }
+
+    /// All distinct clients appearing in the history.
+    pub fn clients(&self) -> Vec<ClientId> {
+        let mut cs: Vec<ClientId> = self.transactions.iter().map(|t| t.client).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs
+    }
+
+    /// All distinct keys read or written.
+    pub fn keys(&self) -> Vec<Key> {
+        let mut ks: Vec<Key> = self
+            .transactions
+            .iter()
+            .flat_map(|t| {
+                t.reads
+                    .iter()
+                    .map(|(k, _)| *k)
+                    .chain(t.writes.iter().map(|(k, _)| *k))
+            })
+            .collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    }
+
+    /// Look up a transaction by id.
+    pub fn get(&self, id: TxId) -> Option<&TxRecord> {
+        self.transactions.iter().find(|t| t.id == id)
+    }
+
+    /// True if every written value in the history is distinct — the
+    /// assumption under which the graph checker's staleness rule is exact.
+    pub fn values_distinct(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        for t in &self.transactions {
+            for (_, v) in &t.writes {
+                if !seen.insert(*v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<TxRecord> for History {
+    fn from_iter<I: IntoIterator<Item = TxRecord>>(iter: I) -> Self {
+        History {
+            transactions: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Shorthand for building test/example transactions.
+pub fn tx(
+    id: u64,
+    client: u32,
+    reads: &[(u32, u64)],
+    writes: &[(u32, u64)],
+) -> TxRecord {
+    TxRecord {
+        id: TxId(id),
+        client: ClientId(client),
+        reads: reads.iter().map(|&(k, v)| (Key(k), Value(v))).collect(),
+        writes: writes.iter().map(|&(k, v)| (Key(k), Value(v))).collect(),
+        invoked_at: 0,
+        completed_at: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_classification() {
+        let ro = TxSpec::read_only(vec![Key(0), Key(1)]);
+        assert!(ro.is_read_only());
+        assert!(!ro.is_write_only());
+        assert!(!ro.is_multi_write());
+
+        let wo = TxSpec::write_only(vec![(Key(0), Value(1)), (Key(1), Value(2))]);
+        assert!(wo.is_write_only());
+        assert!(wo.is_multi_write());
+
+        let single = TxSpec::write_only(vec![(Key(0), Value(1))]);
+        assert!(!single.is_multi_write());
+
+        // Two writes to the same object are not "multi-object".
+        let same = TxSpec::write_only(vec![(Key(0), Value(1)), (Key(0), Value(2))]);
+        assert!(!same.is_multi_write());
+    }
+
+    #[test]
+    fn record_lookups() {
+        let t = tx(1, 0, &[(0, 10)], &[(1, 20)]);
+        assert_eq!(t.read(Key(0)), Some(Value(10)));
+        assert_eq!(t.read(Key(1)), None);
+        assert_eq!(t.wrote(Key(1)), Some(Value(20)));
+        assert_eq!(t.wrote(Key(0)), None);
+    }
+
+    #[test]
+    fn last_write_wins_within_tx() {
+        let mut t = tx(1, 0, &[], &[(0, 1)]);
+        t.writes.push((Key(0), Value(2)));
+        assert_eq!(t.wrote(Key(0)), Some(Value(2)));
+    }
+
+    #[test]
+    fn history_client_and_key_queries() {
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 1, &[(0, 1)], &[]),
+            tx(2, 0, &[], &[(1, 2)]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.clients(), vec![ClientId(0), ClientId(1)]);
+        assert_eq!(h.keys(), vec![Key(0), Key(1)]);
+        assert_eq!(h.of_client(ClientId(0)).len(), 2);
+        assert!(h.get(TxId(1)).is_some());
+        assert!(h.get(TxId(9)).is_none());
+    }
+
+    #[test]
+    fn values_distinct_detects_duplicates() {
+        let good: History = vec![tx(0, 0, &[], &[(0, 1)]), tx(1, 0, &[], &[(1, 2)])]
+            .into_iter()
+            .collect();
+        assert!(good.values_distinct());
+        let bad: History = vec![tx(0, 0, &[], &[(0, 1)]), tx(1, 0, &[], &[(1, 1)])]
+            .into_iter()
+            .collect();
+        assert!(!bad.values_distinct());
+    }
+}

@@ -1,0 +1,106 @@
+//! Object, value, transaction and client identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An object (a key) of the storage system. The paper calls these
+/// "objects" `X0, X1, …`; key-value stores call them keys.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Key(pub u32);
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// A written value.
+///
+/// The proof (and the graph checker) assume all written values are
+/// distinct; the harnesses allocate values from a per-run counter, so the
+/// assumption holds by construction. `Value::BOTTOM` is the "never
+/// written" marker `⊥`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Value(pub u64);
+
+impl Value {
+    /// The `⊥` value: returned by a read of an object no transaction has
+    /// written. Progress-respecting setups never expose it.
+    pub const BOTTOM: Value = Value(u64::MAX);
+
+    /// True if this is `⊥`.
+    #[inline]
+    pub fn is_bottom(self) -> bool {
+        self == Value::BOTTOM
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_bottom() {
+            write!(f, "⊥")
+        } else {
+            write!(f, "v{}", self.0)
+        }
+    }
+}
+
+/// A transaction instance identifier, unique within a run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TxId(pub u64);
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A client identifier. Clients issue transactions sequentially (one
+/// outstanding transaction at a time), which yields the paper's
+/// program order `<_{H|c}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_is_recognized() {
+        assert!(Value::BOTTOM.is_bottom());
+        assert!(!Value(0).is_bottom());
+        assert_eq!(format!("{:?}", Value::BOTTOM), "⊥");
+        assert_eq!(format!("{:?}", Value(3)), "v3");
+    }
+
+    #[test]
+    fn ids_format_like_the_paper() {
+        assert_eq!(format!("{:?}", Key(0)), "X0");
+        assert_eq!(format!("{:?}", TxId(2)), "T2");
+        assert_eq!(format!("{:?}", ClientId(1)), "c1");
+    }
+
+    #[test]
+    fn keys_order_numerically() {
+        assert!(Key(1) < Key(2));
+        assert!(Value(1) < Value(2));
+    }
+}

@@ -1,0 +1,117 @@
+//! The uniform protocol interface every design-space implementation
+//! satisfies, so the auditor, the theorem machinery and the benchmarks can
+//! drive them interchangeably.
+
+use crate::common::topology::Topology;
+use cbf_model::{ConsistencyLevel, Key, TxId, Value};
+use cbf_sim::{Actor, ProcessId, Time};
+
+/// A transaction that finished at its client: the response the paper's
+/// model delivers (a value per read object, an ack per write).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completed {
+    /// The transaction.
+    pub id: TxId,
+    /// `(key, value)` responses for the read-set (empty for write-only).
+    pub reads: Vec<(Key, Value)>,
+    /// Virtual time of invocation.
+    pub invoked_at: Time,
+    /// Virtual time of completion.
+    pub completed_at: Time,
+}
+
+/// Why a transaction could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// The protocol does not support multi-object write transactions —
+    /// the functionality half of the paper's trade-off.
+    MultiWriteUnsupported,
+    /// The transaction did not complete within the run bound (a blocked
+    /// protocol under an adversarial schedule, or a bug).
+    Incomplete,
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::MultiWriteUnsupported => {
+                write!(f, "protocol supports only single-object write transactions")
+            }
+            TxError::Incomplete => write!(f, "transaction did not complete within the run bound"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// A node (client or server state machine) of one protocol.
+///
+/// The same `Self` type plays both roles — protocols define an enum — so
+/// one [`cbf_sim::World`] hosts the whole deployment. The associated
+/// functions let the generic [`crate::Cluster`] construct deployments,
+/// inject invocations, poll for completions and audit messages without
+/// knowing the protocol.
+pub trait ProtocolNode: Actor + Sized {
+    /// Human-readable protocol name (Table 1's "System" column).
+    const NAME: &'static str;
+    /// The consistency level the protocol is designed for (Table 1's
+    /// "Consistency" column); checked empirically by the auditor.
+    const CONSISTENCY: ConsistencyLevel;
+    /// Whether the protocol claims multi-object write transactions (W).
+    const SUPPORTS_MULTI_WRITE: bool;
+
+    /// Construct the server state machine for `id`.
+    fn server(topo: &Topology, id: ProcessId) -> Self;
+
+    /// Construct the client state machine for `id`.
+    fn client(topo: &Topology, id: ProcessId) -> Self;
+
+    /// The injection message that starts a read-only transaction at a
+    /// client.
+    fn rot_invoke(id: TxId, keys: Vec<Key>) -> Self::Msg;
+
+    /// The injection message that starts a write-only transaction.
+    fn wtx_invoke(id: TxId, writes: Vec<(Key, Value)>) -> Self::Msg;
+
+    /// Peek at a finished transaction on a client node (`None` while in
+    /// flight). The record stays until [`ProtocolNode::take_completed`].
+    fn completed(&self, id: TxId) -> Option<&Completed>;
+
+    /// Remove and return a finished transaction's record.
+    fn take_completed(&mut self, id: TxId) -> Option<Completed>;
+
+    /// The maximum number of *written values* this message carries for
+    /// any single object — Definition 4's one-value property, in the
+    /// per-object form its general version (Definition 5) makes precise:
+    /// a response may carry one value per object it serves, but carrying
+    /// several values (versions, siblings, dependency payloads) of one
+    /// object is the leak the property forbids. Timestamps and other
+    /// metadata are free. Audited over server→client messages.
+    fn msg_values(msg: &Self::Msg) -> u32;
+
+    /// Is this message a client→server transactional request? Used by the
+    /// trace auditor to count rounds.
+    fn msg_is_request(msg: &Self::Msg) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_error_displays() {
+        assert!(TxError::MultiWriteUnsupported.to_string().contains("single-object"));
+        assert!(TxError::Incomplete.to_string().contains("complete"));
+    }
+
+    #[test]
+    fn completed_is_comparable() {
+        let a = Completed {
+            id: TxId(1),
+            reads: vec![(Key(0), Value(5))],
+            invoked_at: 0,
+            completed_at: 10,
+        };
+        assert_eq!(a.clone(), a);
+    }
+}

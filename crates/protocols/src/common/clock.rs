@@ -1,0 +1,211 @@
+//! Logical clocks used by the protocol implementations.
+
+use cbf_sim::Time;
+
+/// A Lamport clock whose ticks embed a process id in the low bits, so
+/// timestamps from different processes never collide and are totally
+/// ordered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LamportClock {
+    counter: u64,
+    node: u8,
+}
+
+impl LamportClock {
+    /// A fresh clock for node `node`.
+    pub fn new(node: u8) -> Self {
+        LamportClock { counter: 0, node }
+    }
+
+    /// Advance and return a fresh timestamp strictly greater than every
+    /// timestamp previously returned or witnessed.
+    pub fn tick(&mut self) -> u64 {
+        self.counter += 1;
+        (self.counter << 8) | self.node as u64
+    }
+
+    /// Incorporate a timestamp received from elsewhere (Lamport's rule).
+    pub fn witness(&mut self, ts: u64) {
+        self.counter = self.counter.max(ts >> 8);
+    }
+
+    /// The latest returned timestamp (0 if never ticked).
+    pub fn current(&self) -> u64 {
+        if self.counter == 0 {
+            0
+        } else {
+            (self.counter << 8) | self.node as u64
+        }
+    }
+}
+
+/// A hybrid logical clock over virtual time: timestamps are
+/// `max(physical, logical+1)` with the node id in the low bits.
+/// Used by Wren-style stabilization, where timestamps must both respect
+/// causality and loosely track real (virtual) time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HybridClock {
+    last: u64,
+    node: u8,
+}
+
+impl HybridClock {
+    /// A fresh clock for node `node`.
+    pub fn new(node: u8) -> Self {
+        HybridClock { last: 0, node }
+    }
+
+    /// A fresh timestamp at virtual time `now`.
+    pub fn tick(&mut self, now: Time) -> u64 {
+        self.last = self.last.max(now) + 1;
+        (self.last << 8) | self.node as u64
+    }
+
+    /// Incorporate a remote timestamp.
+    pub fn witness(&mut self, ts: u64) {
+        self.last = self.last.max(ts >> 8);
+    }
+
+    /// The physical component of the last timestamp.
+    pub fn last_physical(&self) -> u64 {
+        self.last
+    }
+}
+
+/// A simulated TrueTime oracle: each process owns a clock whose offset
+/// from virtual time is bounded by `epsilon`; `now_interval` returns the
+/// guaranteed enclosing interval, exactly as Spanner's API does.
+#[derive(Clone, Copy, Debug)]
+pub struct TrueTime {
+    /// This process's fixed clock skew (|skew| ≤ epsilon), in virtual ns.
+    pub skew: i64,
+    /// The advertised uncertainty bound, in virtual ns.
+    pub epsilon: u64,
+}
+
+impl TrueTime {
+    /// An oracle with the given skew and bound. Panics if the skew
+    /// exceeds the bound (that deployment would be incorrect).
+    pub fn new(skew: i64, epsilon: u64) -> Self {
+        assert!(skew.unsigned_abs() <= epsilon, "skew exceeds epsilon");
+        TrueTime { skew, epsilon }
+    }
+
+    /// A deterministic per-node skew in `[-epsilon/2, epsilon/2]`,
+    /// derived from the node id and a seed.
+    pub fn for_node(node: u32, epsilon: u64, seed: u64) -> Self {
+        let h = (node as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(seed)
+            .rotate_left(17);
+        let half = (epsilon / 2) as i64;
+        let skew = if half == 0 { 0 } else { (h % (2 * half as u64 + 1)) as i64 - half };
+        TrueTime::new(skew, epsilon)
+    }
+
+    /// This process's local clock reading at virtual time `now`.
+    pub fn local(&self, now: Time) -> u64 {
+        (now as i64 + self.skew).max(0) as u64
+    }
+
+    /// TrueTime's `TT.now()`: `[earliest, latest]` guaranteed to contain
+    /// true (virtual) time.
+    pub fn now_interval(&self, now: Time) -> (u64, u64) {
+        let local = self.local(now);
+        (local.saturating_sub(self.epsilon), local + self.epsilon)
+    }
+
+    /// `TT.after(t)`: true once `t` is definitely in the past.
+    pub fn after(&self, now: Time, t: u64) -> bool {
+        self.now_interval(now).0 > t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lamport_is_monotonic_and_unique_per_node() {
+        let mut a = LamportClock::new(1);
+        let mut b = LamportClock::new(2);
+        let t1 = a.tick();
+        let t2 = b.tick();
+        assert_ne!(t1, t2); // node bits differ
+        let t3 = a.tick();
+        assert!(t3 > t1);
+    }
+
+    #[test]
+    fn lamport_witness_jumps_forward() {
+        let mut a = LamportClock::new(1);
+        a.witness((100 << 8) | 2);
+        assert!(a.tick() > (100 << 8));
+    }
+
+    #[test]
+    fn lamport_current_before_tick_is_zero() {
+        assert_eq!(LamportClock::new(3).current(), 0);
+    }
+
+    #[test]
+    fn hybrid_tracks_physical_time() {
+        let mut c = HybridClock::new(0);
+        let t1 = c.tick(1000);
+        assert!(t1 >> 8 >= 1000);
+        // Logical component keeps it monotonic even if time stalls.
+        let t2 = c.tick(1000);
+        assert!(t2 > t1);
+        // Witnessing a future timestamp pulls the clock forward.
+        c.witness((5000 << 8) | 1);
+        assert!(c.tick(1000) >> 8 > 5000);
+    }
+
+    #[test]
+    fn truetime_interval_contains_truth() {
+        let tt = TrueTime::new(-300, 1000);
+        let now = 10_000;
+        let (lo, hi) = tt.now_interval(now);
+        assert!(lo <= now && now <= hi, "[{lo},{hi}] should contain {now}");
+    }
+
+    #[test]
+    fn truetime_after_is_conservative() {
+        let tt = TrueTime::new(400, 1000);
+        // after(t) must imply t < true now.
+        for now in [0u64, 500, 1000, 5000, 100_000] {
+            if tt.after(now, 3000) {
+                assert!(now > 3000);
+            }
+        }
+        // And it eventually fires.
+        assert!(tt.after(10_000, 3000));
+    }
+
+    #[test]
+    fn for_node_respects_bound_and_is_deterministic() {
+        for node in 0..50 {
+            let a = TrueTime::for_node(node, 800, 42);
+            let b = TrueTime::for_node(node, 800, 42);
+            assert_eq!(a.skew, b.skew);
+            assert!(a.skew.unsigned_abs() <= 800);
+        }
+        // Different nodes get different skews at least sometimes.
+        let skews: std::collections::HashSet<i64> =
+            (0..20).map(|n| TrueTime::for_node(n, 800, 42).skew).collect();
+        assert!(skews.len() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew exceeds epsilon")]
+    fn truetime_rejects_out_of_bound_skew() {
+        TrueTime::new(2000, 1000);
+    }
+
+    #[test]
+    fn zero_epsilon_means_perfect_clock() {
+        let tt = TrueTime::for_node(7, 0, 1);
+        assert_eq!(tt.skew, 0);
+        assert_eq!(tt.now_interval(500), (500, 500));
+    }
+}

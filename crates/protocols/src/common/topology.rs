@@ -1,0 +1,207 @@
+//! Cluster layout: which process is a server, which is a client, and
+//! which server(s) store which object.
+
+use cbf_model::{ClientId, Key};
+use cbf_sim::ProcessId;
+
+/// The shape of a simulated deployment.
+///
+/// Process ids are laid out as `[servers..., clients...]`: server `i` is
+/// `ProcessId(i)` for `i < num_servers`, client `j` is
+/// `ProcessId(num_servers + j)`.
+///
+/// In the default (disjoint) layout each key lives on exactly one server
+/// (`key % num_servers`). A partially replicated layout stores key `k` on
+/// `replication` consecutive servers starting at `k % num_servers` — each
+/// server then stores several keys, the replica sets overlap, and no
+/// server stores everything (Appendix A's setting) provided
+/// `replication < num_servers`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of servers (`m > 1` in the paper).
+    pub num_servers: u32,
+    /// Number of clients (the theorem needs at least four).
+    pub num_clients: u32,
+    /// Number of objects stored in the system.
+    pub num_keys: u32,
+    /// Copies of each key (1 = disjoint shards; `2..num_servers` =
+    /// partial replication).
+    pub replication: u32,
+    /// Protocol-specific tuning knob (0 = protocol default). Used by the
+    /// ablation benchmarks: Spanner-like reads it as the TrueTime ε,
+    /// the stabilization protocols as their broadcast period (both in
+    /// virtual ns).
+    pub tuning: u64,
+}
+
+impl Topology {
+    /// The paper's minimal setting: two servers, two objects (one each),
+    /// `n` clients.
+    pub fn minimal(num_clients: u32) -> Self {
+        Topology {
+            num_servers: 2,
+            num_clients,
+            num_keys: 2,
+            replication: 1,
+            tuning: 0,
+        }
+    }
+
+    /// A sharded, non-replicated deployment.
+    pub fn sharded(num_servers: u32, num_clients: u32, num_keys: u32) -> Self {
+        assert!(num_servers > 0 && num_keys >= num_servers);
+        Topology {
+            num_servers,
+            num_clients,
+            num_keys,
+            replication: 1,
+            tuning: 0,
+        }
+    }
+
+    /// A partially replicated deployment (Appendix A): each key on
+    /// `replication` servers, no server holding every key.
+    pub fn partially_replicated(
+        num_servers: u32,
+        num_clients: u32,
+        num_keys: u32,
+        replication: u32,
+    ) -> Self {
+        assert!(replication >= 1 && replication < num_servers);
+        Topology {
+            num_servers,
+            num_clients,
+            num_keys,
+            replication,
+            tuning: 0,
+        }
+    }
+
+    /// Set the protocol tuning knob (builder style).
+    pub fn with_tuning(mut self, tuning: u64) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Total processes.
+    pub fn num_processes(&self) -> usize {
+        (self.num_servers + self.num_clients) as usize
+    }
+
+    /// Is this process a server?
+    pub fn is_server(&self, p: ProcessId) -> bool {
+        p.0 < self.num_servers
+    }
+
+    /// All server process ids.
+    pub fn servers(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.num_servers).map(ProcessId)
+    }
+
+    /// All client process ids.
+    pub fn clients(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (self.num_servers..self.num_servers + self.num_clients).map(ProcessId)
+    }
+
+    /// The process id of a client.
+    pub fn client_pid(&self, c: ClientId) -> ProcessId {
+        assert!(c.0 < self.num_clients, "client {c:?} out of range");
+        ProcessId(self.num_servers + c.0)
+    }
+
+    /// The client id of a client process.
+    pub fn client_of(&self, p: ProcessId) -> Option<ClientId> {
+        (p.0 >= self.num_servers && p.0 < self.num_servers + self.num_clients)
+            .then(|| ClientId(p.0 - self.num_servers))
+    }
+
+    /// The servers storing `key`, primary first.
+    pub fn replicas(&self, key: Key) -> Vec<ProcessId> {
+        let primary = key.0 % self.num_servers;
+        (0..self.replication)
+            .map(|r| ProcessId((primary + r) % self.num_servers))
+            .collect()
+    }
+
+    /// The primary server of `key` (its canonical home).
+    pub fn primary(&self, key: Key) -> ProcessId {
+        ProcessId(key.0 % self.num_servers)
+    }
+
+    /// Does `server` store `key`?
+    pub fn stores(&self, server: ProcessId, key: Key) -> bool {
+        self.replicas(key).contains(&server)
+    }
+
+    /// The keys stored by `server`.
+    pub fn keys_of(&self, server: ProcessId) -> Vec<Key> {
+        (0..self.num_keys)
+            .map(Key)
+            .filter(|k| self.stores(server, *k))
+            .collect()
+    }
+
+    /// Group `keys` by their primary server (for request fan-out).
+    pub fn group_by_primary(&self, keys: &[Key]) -> Vec<(ProcessId, Vec<Key>)> {
+        let mut groups: std::collections::BTreeMap<ProcessId, Vec<Key>> = Default::default();
+        for &k in keys {
+            groups.entry(self.primary(k)).or_default().push(k);
+        }
+        groups.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_layout() {
+        let t = Topology::minimal(4);
+        assert_eq!(t.num_processes(), 6);
+        assert!(t.is_server(ProcessId(0)));
+        assert!(t.is_server(ProcessId(1)));
+        assert!(!t.is_server(ProcessId(2)));
+        assert_eq!(t.client_pid(ClientId(0)), ProcessId(2));
+        assert_eq!(t.client_of(ProcessId(3)), Some(ClientId(1)));
+        assert_eq!(t.client_of(ProcessId(0)), None);
+        assert_eq!(t.primary(Key(0)), ProcessId(0));
+        assert_eq!(t.primary(Key(1)), ProcessId(1));
+        assert_eq!(t.replicas(Key(1)), vec![ProcessId(1)]);
+    }
+
+    #[test]
+    fn sharded_spreads_keys() {
+        let t = Topology::sharded(3, 2, 9);
+        assert_eq!(t.keys_of(ProcessId(0)), vec![Key(0), Key(3), Key(6)]);
+        assert_eq!(t.keys_of(ProcessId(2)).len(), 3);
+    }
+
+    #[test]
+    fn partial_replication_overlaps_without_full_copies() {
+        let t = Topology::partially_replicated(3, 4, 3, 2);
+        assert_eq!(t.replicas(Key(0)), vec![ProcessId(0), ProcessId(1)]);
+        assert_eq!(t.replicas(Key(2)), vec![ProcessId(2), ProcessId(0)]);
+        // Every server stores some but not all keys.
+        for s in t.servers() {
+            let ks = t.keys_of(s);
+            assert!(!ks.is_empty());
+            assert!(ks.len() < t.num_keys as usize);
+        }
+    }
+
+    #[test]
+    fn group_by_primary_partitions_request() {
+        let t = Topology::sharded(2, 1, 4);
+        let groups = t.group_by_primary(&[Key(0), Key(1), Key(2), Key(3)]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (ProcessId(0), vec![Key(0), Key(2)]));
+        assert_eq!(groups[1], (ProcessId(1), vec![Key(1), Key(3)]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn client_pid_bounds_checked() {
+        Topology::minimal(2).client_pid(ClientId(5));
+    }
+}

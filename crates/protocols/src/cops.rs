@@ -1,0 +1,471 @@
+//! COPS-GT [Lloyd et al., SOSP 2011]: causal consistency with
+//! dependency-tracked single-key writes and up-to-two-round read-only
+//! transactions.
+//!
+//! Table 1 row: R ≤ 2, V ≤ 2, non-blocking, **no** multi-object write
+//! transactions, causal consistency.
+//!
+//! Shape of the protocol (as relevant to the theorem):
+//!
+//! * every client carries a *dependency context* — the latest version it
+//!   has observed per object;
+//! * a `put` ships the context with the value; the server stores the
+//!   version with its dependencies;
+//! * a read-only transaction optimistically fetches the latest version of
+//!   every key (round 1), computes the *causally correct version* cut
+//!   from the returned dependencies, and — only when the optimistic
+//!   result is causally torn — fetches the exact dependency versions in a
+//!   second round. Both rounds answer from already-stored versions, so no
+//!   server ever blocks.
+//!
+//! Substitution note (see DESIGN.md): real COPS is geo-replicated; this
+//! implementation shards without replication, which preserves exactly the
+//! message pattern (rounds, values, blocking) the theorem is about.
+
+use crate::common::{Completed, LamportClock, MvStore, ProtocolNode, Topology, Version};
+use cbf_model::{ConsistencyLevel, Key, TxId, Value};
+use cbf_sim::{Actor, Ctx, ProcessId};
+use std::collections::HashMap;
+
+/// A dependency: the client observed version `ts` of `key`.
+pub type Dep = (Key, u64);
+
+/// One item of a read response.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// The object.
+    pub key: Key,
+    /// Its value (`⊥` if never written).
+    pub value: Value,
+    /// Version timestamp (0 for `⊥`).
+    pub ts: u64,
+    /// The version's stored dependencies (metadata, not values).
+    pub deps: Vec<Dep>,
+}
+
+/// COPS message alphabet.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // fields are self-describing
+pub enum Msg {
+    /// Injection: read-only transaction.
+    InvokeRot { id: TxId, keys: Vec<Key> },
+    /// Injection: write transaction (single-object only).
+    InvokeWtx { id: TxId, writes: Vec<(Key, Value)> },
+    /// Client → server: dependency-tracked single-key put.
+    PutReq {
+        id: TxId,
+        key: Key,
+        value: Value,
+        deps: Vec<Dep>,
+    },
+    /// Server → client: put applied at version `ts`.
+    PutAck { id: TxId, key: Key, ts: u64 },
+    /// Client → server: optimistic read of these keys (round 1).
+    GetReq { id: TxId, keys: Vec<Key> },
+    /// Server → client: latest versions (round 1 response).
+    GetResp { id: TxId, items: Vec<Item> },
+    /// Client → server: fetch the exact version `ts` of `key` (round 2).
+    GetExactReq { id: TxId, key: Key, ts: u64 },
+    /// Server → client: the exact version.
+    GetExactResp { id: TxId, key: Key, value: Value, ts: u64 },
+}
+
+/// In-flight ROT state at the client.
+#[derive(Clone, Debug)]
+struct PendingRot {
+    keys: Vec<Key>,
+    got: HashMap<Key, (Value, u64)>,
+    deps_seen: Vec<(Key, u64, Vec<Dep>)>,
+    awaiting: usize,
+    invoked_at: u64,
+}
+
+/// COPS client: dependency context plus in-flight transactions.
+#[derive(Clone, Debug)]
+pub struct ClientState {
+    topo: Topology,
+    /// Latest observed version per key (the COPS "context").
+    context: HashMap<Key, u64>,
+    rots: HashMap<TxId, PendingRot>,
+    /// In-flight put: invoked_at.
+    puts: HashMap<TxId, u64>,
+    completed: HashMap<TxId, Completed>,
+}
+
+/// COPS server: a multi-version store with per-version dependencies.
+#[derive(Clone, Debug)]
+pub struct ServerState {
+    store: MvStore,
+    /// Dependencies per (key, ts).
+    deps: HashMap<(Key, u64), Vec<Dep>>,
+    clock: LamportClock,
+}
+
+/// A COPS node.
+#[derive(Clone, Debug)]
+pub enum CopsNode {
+    /// A client.
+    Client(ClientState),
+    /// A server.
+    Server(ServerState),
+}
+
+impl CopsNode {
+    fn client_step(c: &mut ClientState, ctx: &mut Ctx<Msg>) {
+        for env in ctx.recv() {
+            match env.msg {
+                Msg::InvokeRot { id, keys } => {
+                    let groups = c.topo.group_by_primary(&keys);
+                    let awaiting = groups.len();
+                    for (server, ks) in groups {
+                        ctx.send(server, Msg::GetReq { id, keys: ks });
+                    }
+                    c.rots.insert(
+                        id,
+                        PendingRot {
+                            keys,
+                            got: HashMap::new(),
+                            deps_seen: Vec::new(),
+                            awaiting,
+                            invoked_at: ctx.now(),
+                        },
+                    );
+                }
+                Msg::InvokeWtx { id, writes } => {
+                    // COPS supports only single-object writes; the Cluster
+                    // facade rejects multi-writes before injection.
+                    let (key, value) = writes[0];
+                    let mut deps: Vec<Dep> = c.context.iter().map(|(&k, &t)| (k, t)).collect();
+                    deps.sort_unstable();
+                    ctx.send(c.topo.primary(key), Msg::PutReq { id, key, value, deps });
+                    c.puts.insert(id, ctx.now());
+                }
+                Msg::PutAck { id, key, ts } => {
+                    if let Some(invoked_at) = c.puts.remove(&id) {
+                        let slot = c.context.entry(key).or_insert(0);
+                        *slot = (*slot).max(ts);
+                        c.completed.insert(
+                            id,
+                            Completed {
+                                id,
+                                reads: Vec::new(),
+                                invoked_at,
+                                completed_at: ctx.now(),
+                            },
+                        );
+                    }
+                }
+                Msg::GetResp { id, items } => {
+                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    for it in items {
+                        p.got.insert(it.key, (it.value, it.ts));
+                        p.deps_seen.push((it.key, it.ts, it.deps));
+                    }
+                    p.awaiting -= 1;
+                    if p.awaiting == 0 {
+                        Self::finish_round_one(c, id, ctx);
+                    }
+                }
+                Msg::GetExactResp { id, key, value, ts } => {
+                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    p.got.insert(key, (value, ts));
+                    p.awaiting -= 1;
+                    if p.awaiting == 0 {
+                        Self::complete_rot(c, id, ctx.now());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// After all round-1 responses: compute the causally-correct-version
+    /// cut; fetch exact versions where the optimistic read is torn.
+    fn finish_round_one(c: &mut ClientState, id: TxId, ctx: &mut Ctx<Msg>) {
+        let p = c.rots.get_mut(&id).unwrap();
+        // ccv[k] = newest version of k that anything we saw (returned
+        // versions' deps, or our own context) causally requires.
+        let mut ccv: HashMap<Key, u64> = HashMap::new();
+        for (_, _, deps) in &p.deps_seen {
+            for &(k, t) in deps {
+                let slot = ccv.entry(k).or_insert(0);
+                *slot = (*slot).max(t);
+            }
+        }
+        for (&k, &t) in &c.context {
+            let slot = ccv.entry(k).or_insert(0);
+            *slot = (*slot).max(t);
+        }
+        let mut refetch: Vec<(Key, u64)> = Vec::new();
+        for &k in &p.keys {
+            let have = p.got.get(&k).map_or(0, |&(_, ts)| ts);
+            if let Some(&need) = ccv.get(&k) {
+                if need > have {
+                    refetch.push((k, need));
+                }
+            }
+        }
+        if refetch.is_empty() {
+            Self::complete_rot(c, id, ctx.now());
+            return;
+        }
+        p.awaiting = refetch.len();
+        for (key, ts) in refetch {
+            ctx.send(c.topo.primary(key), Msg::GetExactReq { id, key, ts });
+        }
+    }
+
+    fn complete_rot(c: &mut ClientState, id: TxId, now: u64) {
+        let p = c.rots.remove(&id).unwrap();
+        let mut reads: Vec<(Key, Value)> = Vec::with_capacity(p.keys.len());
+        for &k in &p.keys {
+            let (v, ts) = p.got.get(&k).copied().unwrap_or((Value::BOTTOM, 0));
+            reads.push((k, v));
+            if ts > 0 {
+                let slot = c.context.entry(k).or_insert(0);
+                *slot = (*slot).max(ts);
+            }
+        }
+        c.completed.insert(
+            id,
+            Completed {
+                id,
+                reads,
+                invoked_at: p.invoked_at,
+                completed_at: now,
+            },
+        );
+    }
+
+    fn server_step(s: &mut ServerState, ctx: &mut Ctx<Msg>) {
+        for env in ctx.recv() {
+            match env.msg {
+                Msg::PutReq { id, key, value, deps } => {
+                    for &(_, t) in &deps {
+                        s.clock.witness(t);
+                    }
+                    let ts = s.clock.tick();
+                    s.store.insert(key, Version { value, ts, tx: id });
+                    s.deps.insert((key, ts), deps);
+                    ctx.send(env.from, Msg::PutAck { id, key, ts });
+                }
+                Msg::GetReq { id, keys } => {
+                    let items: Vec<Item> = keys
+                        .iter()
+                        .map(|&k| match s.store.latest(k) {
+                            Some(v) => Item {
+                                key: k,
+                                value: v.value,
+                                ts: v.ts,
+                                deps: s.deps.get(&(k, v.ts)).cloned().unwrap_or_default(),
+                            },
+                            None => Item {
+                                key: k,
+                                value: Value::BOTTOM,
+                                ts: 0,
+                                deps: Vec::new(),
+                            },
+                        })
+                        .collect();
+                    ctx.send(env.from, Msg::GetResp { id, items });
+                }
+                Msg::GetExactReq { id, key, ts } => {
+                    // The requested version is a dependency some client
+                    // observed, so it was acked — it exists here.
+                    let v = s
+                        .store
+                        .at_exact(key, ts)
+                        .expect("dependency version must exist (causality)");
+                    ctx.send(
+                        env.from,
+                        Msg::GetExactResp {
+                            id,
+                            key,
+                            value: v.value,
+                            ts,
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Actor for CopsNode {
+    type Msg = Msg;
+    fn step(&mut self, ctx: &mut Ctx<Msg>) {
+        match self {
+            CopsNode::Client(c) => Self::client_step(c, ctx),
+            CopsNode::Server(s) => Self::server_step(s, ctx),
+        }
+    }
+}
+
+impl ProtocolNode for CopsNode {
+    const NAME: &'static str = "COPS";
+    const CONSISTENCY: ConsistencyLevel = ConsistencyLevel::Causal;
+    const SUPPORTS_MULTI_WRITE: bool = false;
+
+    fn server(_topo: &Topology, id: ProcessId) -> Self {
+        CopsNode::Server(ServerState {
+            store: MvStore::new(),
+            deps: HashMap::new(),
+            clock: LamportClock::new(id.0 as u8),
+        })
+    }
+
+    fn client(topo: &Topology, _id: ProcessId) -> Self {
+        CopsNode::Client(ClientState {
+            topo: topo.clone(),
+            context: HashMap::new(),
+            rots: HashMap::new(),
+            puts: HashMap::new(),
+            completed: HashMap::new(),
+        })
+    }
+
+    fn rot_invoke(id: TxId, keys: Vec<Key>) -> Msg {
+        Msg::InvokeRot { id, keys }
+    }
+
+    fn wtx_invoke(id: TxId, writes: Vec<(Key, Value)>) -> Msg {
+        Msg::InvokeWtx { id, writes }
+    }
+
+    fn completed(&self, id: TxId) -> Option<&Completed> {
+        match self {
+            CopsNode::Client(c) => c.completed.get(&id),
+            CopsNode::Server(_) => None,
+        }
+    }
+
+    fn take_completed(&mut self, id: TxId) -> Option<Completed> {
+        match self {
+            CopsNode::Client(c) => c.completed.remove(&id),
+            CopsNode::Server(_) => None,
+        }
+    }
+
+    fn msg_values(msg: &Msg) -> u32 {
+        match msg {
+            Msg::GetResp { items, .. } => crate::common::max_values_per_object(
+                items.iter().filter(|it| !it.value.is_bottom()).map(|it| it.key),
+            ),
+            Msg::GetExactResp { .. } => 1,
+            _ => 0,
+        }
+    }
+
+    fn msg_is_request(msg: &Msg) -> bool {
+        matches!(
+            msg,
+            Msg::GetReq { .. } | Msg::GetExactReq { .. } | Msg::PutReq { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{Cluster, TxError};
+    use cbf_model::ClientId;
+
+    fn minimal() -> Cluster<CopsNode> {
+        Cluster::new(Topology::minimal(4))
+    }
+
+    #[test]
+    fn multi_write_is_rejected() {
+        let mut c = minimal();
+        let err = c.write_tx_auto(ClientId(0), &[Key(0), Key(1)]).unwrap_err();
+        assert_eq!(err, TxError::MultiWriteUnsupported);
+    }
+
+    #[test]
+    fn single_writes_and_one_round_reads() {
+        let mut c = minimal();
+        c.write_tx_auto(ClientId(0), &[Key(0)]).unwrap();
+        c.write_tx_auto(ClientId(0), &[Key(1)]).unwrap();
+        let r = c.read_tx(ClientId(1), &[Key(0), Key(1)]).unwrap();
+        // Quiescent system: the optimistic round suffices.
+        assert_eq!(r.audit.rounds, 1);
+        assert!(!r.audit.blocked);
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn torn_read_takes_a_second_round() {
+        // Build a torn situation: the reader's optimistic request to p0
+        // is served with the old X0, then the writer's dependent put
+        // lands on p1 before the reader's request to p1 is delivered.
+        let mut c = minimal();
+        let writer = ClientId(0);
+        let v_old = c.alloc_value();
+        c.write_tx(writer, &[(Key(0), v_old)]).unwrap();
+
+        let reader = ClientId(1);
+        let rpid = c.topo.client_pid(reader);
+        c.world.hold(rpid, ProcessId(1));
+        let id = c.alloc_tx();
+        c.world
+            .inject(rpid, Msg::InvokeRot { id, keys: vec![Key(0), Key(1)] });
+        c.world.run_for(cbf_sim::MILLIS); // p0 answers; p1 request frozen
+
+        // Writer: new X0, then X1 depending on it.
+        let v0_new = c.alloc_value();
+        let v1_new = c.alloc_value();
+        c.write_tx(writer, &[(Key(0), v0_new)]).unwrap();
+        c.write_tx(writer, &[(Key(1), v1_new)]).unwrap();
+
+        // Release: p1 returns X1=new with dep X0@new → second round.
+        c.world.release(rpid, ProcessId(1));
+        c.world
+            .run_until_within(cbf_sim::SECONDS, |w| w.actor(rpid).completed(id).is_some());
+        let done = c.world.actor_mut(rpid).take_completed(id).unwrap();
+        // The reader must see the new X0 (fetched in round 2), not v_old.
+        assert_eq!(done.reads, vec![(Key(0), v0_new), (Key(1), v1_new)]);
+    }
+
+    #[test]
+    fn context_gives_read_your_writes() {
+        let mut c = minimal();
+        let v = c.alloc_value();
+        c.write_tx(ClientId(2), &[(Key(0), v)]).unwrap();
+        let r = c.read_tx(ClientId(2), &[Key(0)]).unwrap();
+        assert_eq!(r.reads, vec![(Key(0), v)]);
+        assert!(cbf_model::check_read_your_writes(c.history()).is_empty());
+    }
+
+    #[test]
+    fn history_is_causal_under_chaotic_schedules() {
+        // Issue a mixed workload, then let the chaotic scheduler deliver
+        // in random orders; the completed history must stay causal.
+        for seed in 0..5u64 {
+            let mut c = minimal();
+            for i in 0..12u32 {
+                let cl = ClientId(i % 4);
+                if i % 3 == 0 {
+                    c.write_tx_auto(cl, &[Key(i % 2)]).unwrap();
+                } else {
+                    c.read_tx(cl, &[Key(0), Key(1)]).unwrap();
+                }
+            }
+            c.world.run_chaotic(seed, 100_000);
+            assert!(c.check().is_ok(), "seed {seed}: {:?}", c.check().violations);
+        }
+    }
+
+    #[test]
+    fn profile_shows_no_write_tx_and_at_most_two_rounds() {
+        let mut c = minimal();
+        for i in 0..8u32 {
+            c.write_tx_auto(ClientId(i % 2), &[Key(i % 2)]).unwrap();
+            c.read_tx(ClientId(2 + (i % 2)), &[Key(0), Key(1)]).unwrap();
+        }
+        let p = c.profile();
+        assert!(p.max_rounds <= 2, "rounds {}", p.max_rounds);
+        assert!(!p.multi_write_supported);
+        assert!(p.nonblocking());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests: every causal protocol stays causally consistent under
+//! proptest-generated transaction sequences, and the audits stay within
+//! each design's declared envelope.
+
+use cbf_model::{check_causal, check_read_atomicity, ClientId, Key};
+use cbf_protocols::contrarian::ContrarianNode;
+use cbf_protocols::cops::CopsNode;
+use cbf_protocols::cops_rw::CopsRwNode;
+use cbf_protocols::cops_snow::CopsSnowNode;
+use cbf_protocols::eiger::EigerNode;
+use cbf_protocols::ramp::RampNode;
+use cbf_protocols::wren::WrenNode;
+use cbf_protocols::{Cluster, ProtocolNode, Topology};
+use proptest::prelude::*;
+
+/// Keep debug-profile runs quick; `--release` gets the full sweep.
+const CASES: u32 = if cfg!(debug_assertions) { 8 } else { 48 };
+
+/// A generated operation against the two-object deployment.
+#[derive(Clone, Debug)]
+enum GenOp {
+    Rot { client: u32 },
+    Write { client: u32, key: u32 },
+    MultiWrite { client: u32 },
+    /// Let background machinery run (stabilization, in-flight traffic).
+    Settle,
+}
+
+fn op_strategy() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0u32..4).prop_map(|client| GenOp::Rot { client }),
+        (0u32..4, 0u32..2).prop_map(|(client, key)| GenOp::Write { client, key }),
+        (0u32..4).prop_map(|client| GenOp::MultiWrite { client }),
+        Just(GenOp::Settle),
+    ]
+}
+
+fn run_ops<N: ProtocolNode>(ops: &[GenOp]) -> Cluster<N> {
+    let mut c: Cluster<N> = Cluster::new(Topology::minimal(4));
+    for op in ops {
+        match *op {
+            GenOp::Rot { client } => {
+                c.read_tx(ClientId(client), &[Key(0), Key(1)]).expect("rot");
+            }
+            GenOp::Write { client, key } => {
+                c.write_tx_auto(ClientId(client), &[Key(key)]).expect("write");
+            }
+            GenOp::MultiWrite { client } => {
+                if N::SUPPORTS_MULTI_WRITE {
+                    c.write_tx_auto(ClientId(client), &[Key(0), Key(1)]).expect("wtx");
+                } else {
+                    c.write_tx_auto(ClientId(client), &[Key(0)]).expect("w");
+                }
+            }
+            GenOp::Settle => {
+                c.world.run_for(cbf_sim::MILLIS);
+            }
+        }
+    }
+    c
+}
+
+fn causal_under<N: ProtocolNode>(ops: &[GenOp], chaos_seed: u64) -> Result<(), TestCaseError> {
+    let mut c = run_ops::<N>(ops);
+    prop_assert!(
+        check_causal(c.history()).is_ok(),
+        "{}: {:?}",
+        N::NAME,
+        check_causal(c.history()).violations
+    );
+    c.world.run_chaotic(chaos_seed, 300_000);
+    prop_assert!(check_causal(c.history()).is_ok(), "{} post-chaos", N::NAME);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn wren_is_causal(ops in prop::collection::vec(op_strategy(), 1..14), seed in any::<u64>()) {
+        causal_under::<WrenNode>(&ops, seed)?;
+    }
+
+    #[test]
+    fn eiger_is_causal(ops in prop::collection::vec(op_strategy(), 1..14), seed in any::<u64>()) {
+        causal_under::<EigerNode>(&ops, seed)?;
+    }
+
+    #[test]
+    fn cops_is_causal(ops in prop::collection::vec(op_strategy(), 1..14), seed in any::<u64>()) {
+        causal_under::<CopsNode>(&ops, seed)?;
+    }
+
+    #[test]
+    fn cops_snow_is_causal_and_fast(
+        ops in prop::collection::vec(op_strategy(), 1..14),
+        seed in any::<u64>()
+    ) {
+        let mut c = run_ops::<CopsSnowNode>(&ops);
+        prop_assert!(check_causal(c.history()).is_ok());
+        // Every ROT in the run was fast (Definition 4).
+        prop_assert!(c.profile().rot_count == 0 || c.profile().fast_rots(),
+            "profile: {:?}", c.profile());
+        c.world.run_chaotic(seed, 300_000);
+        prop_assert!(check_causal(c.history()).is_ok());
+    }
+
+    #[test]
+    fn cops_rw_is_causal(ops in prop::collection::vec(op_strategy(), 1..14), seed in any::<u64>()) {
+        causal_under::<CopsRwNode>(&ops, seed)?;
+    }
+
+    #[test]
+    fn contrarian_is_causal(ops in prop::collection::vec(op_strategy(), 1..14), seed in any::<u64>()) {
+        causal_under::<ContrarianNode>(&ops, seed)?;
+    }
+
+    #[test]
+    fn ramp_is_read_atomic(ops in prop::collection::vec(op_strategy(), 1..14)) {
+        let c = run_ops::<RampNode>(&ops);
+        prop_assert!(
+            check_read_atomicity(c.history()).is_empty(),
+            "fractured reads: {:?}",
+            check_read_atomicity(c.history())
+        );
+    }
+
+    /// The audits stay within each protocol's declared envelope.
+    #[test]
+    fn audit_envelopes(ops in prop::collection::vec(op_strategy(), 1..12)) {
+        let c = run_ops::<CopsSnowNode>(&ops);
+        prop_assert!(c.profile().max_rounds <= 1);
+        let c = run_ops::<CopsNode>(&ops);
+        prop_assert!(c.profile().max_rounds <= 2);
+        let c = run_ops::<EigerNode>(&ops);
+        prop_assert!(c.profile().max_rounds <= 3);
+        prop_assert!(!c.profile().any_blocking);
+        let c = run_ops::<WrenNode>(&ops);
+        prop_assert!(c.profile().max_rounds <= 2);
+        prop_assert!(c.profile().max_values <= 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Link-latency models.
+//!
+//! The paper's network is asynchronous: the adversary controls delay.
+//! In *automatic* runs we still need a concrete delay for every message so
+//! that virtual time is meaningful for latency measurements; these models
+//! provide that, deterministically from a seed. In *manual* (adversarial)
+//! runs the scheduler overrides delivery order entirely and the sampled
+//! latency is irrelevant.
+
+use crate::types::{ProcessId, Time, MICROS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, seeded source of per-message link latencies.
+///
+/// Cloning a `LatencyModel` clones its RNG state, so forked worlds replay
+/// identical latencies — configurations stay true forks.
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    kind: LatencyKind,
+    rng: StdRng,
+}
+
+/// The distribution family used for message latencies.
+#[derive(Clone, Copy, Debug)]
+#[allow(missing_docs)] // fields are self-describing
+pub enum LatencyKind {
+    /// Every message takes exactly this long.
+    Constant(Time),
+    /// Uniformly distributed in `[lo, hi)`.
+    Uniform { lo: Time, hi: Time },
+    /// Log-normal with the given median and sigma (in ln-space); a common
+    /// fit for datacenter RPC latency tails.
+    LogNormal { median: Time, sigma: f64 },
+    /// Different constants for client↔server and server↔server links:
+    /// `split` is the first server id; processes below it are servers.
+    /// Models geo-replication where servers are far apart but clients are
+    /// near their local server.
+    Tiered {
+        first_client: ProcessId,
+        client_server: Time,
+        server_server: Time,
+    },
+}
+
+impl LatencyModel {
+    /// A latency model with the given distribution and RNG seed.
+    pub fn new(kind: LatencyKind, seed: u64) -> Self {
+        LatencyModel {
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A fixed one-way delay of 50 virtual microseconds — the default for
+    /// protocol tests, where only message *counts* matter.
+    pub fn constant_default() -> Self {
+        Self::new(LatencyKind::Constant(50 * MICROS), 0)
+    }
+
+    /// Sample the one-way delay for a message sent now on `src → dst`.
+    pub fn sample(&mut self, src: ProcessId, dst: ProcessId) -> Time {
+        match self.kind {
+            LatencyKind::Constant(t) => t,
+            LatencyKind::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    self.rng.gen_range(lo..hi)
+                }
+            }
+            LatencyKind::LogNormal { median, sigma } => {
+                // Box-Muller: ln X ~ N(ln median, sigma).
+                let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = self.rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let x = (median as f64) * (sigma * z).exp();
+                x.max(1.0) as Time
+            }
+            LatencyKind::Tiered {
+                first_client,
+                client_server,
+                server_server,
+            } => {
+                let is_server = |p: ProcessId| p < first_client;
+                if is_server(src) && is_server(dst) {
+                    server_server
+                } else {
+                    client_server
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MILLIS;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut m = LatencyModel::new(LatencyKind::Constant(7), 1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(ProcessId(0), ProcessId(1)), 7);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut m = LatencyModel::new(LatencyKind::Uniform { lo: 10, hi: 20 }, 42);
+        for _ in 0..1000 {
+            let t = m.sample(ProcessId(0), ProcessId(1));
+            assert!((10..20).contains(&t));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range_returns_lo() {
+        let mut m = LatencyModel::new(LatencyKind::Uniform { lo: 10, hi: 10 }, 42);
+        assert_eq!(m.sample(ProcessId(0), ProcessId(1)), 10);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_centered() {
+        let mut m = LatencyModel::new(
+            LatencyKind::LogNormal {
+                median: MILLIS,
+                sigma: 0.5,
+            },
+            7,
+        );
+        let mut below = 0usize;
+        let n = 4000;
+        for _ in 0..n {
+            let t = m.sample(ProcessId(0), ProcessId(1));
+            assert!(t >= 1);
+            if t < MILLIS {
+                below += 1;
+            }
+        }
+        // Median should split samples roughly in half.
+        let frac = below as f64 / n as f64;
+        assert!((0.42..0.58).contains(&frac), "median fraction {frac}");
+    }
+
+    #[test]
+    fn tiered_distinguishes_link_classes() {
+        let mut m = LatencyModel::new(
+            LatencyKind::Tiered {
+                first_client: ProcessId(2),
+                client_server: 100,
+                server_server: 900,
+            },
+            3,
+        );
+        assert_eq!(m.sample(ProcessId(0), ProcessId(1)), 900); // server-server
+        assert_eq!(m.sample(ProcessId(0), ProcessId(5)), 100); // server-client
+        assert_eq!(m.sample(ProcessId(4), ProcessId(1)), 100); // client-server
+        assert_eq!(m.sample(ProcessId(4), ProcessId(5)), 100); // client-client (unused)
+    }
+
+    #[test]
+    fn cloned_model_replays_identically() {
+        let mut a = LatencyModel::new(LatencyKind::Uniform { lo: 0, hi: 1000 }, 9);
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(
+                a.sample(ProcessId(0), ProcessId(1)),
+                b.sample(ProcessId(0), ProcessId(1))
+            );
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Execution traces.
+//!
+//! Every send, delivery, step and injection can be recorded. Traces are the
+//! raw material for (a) the one-value / one-round audits in `cbf-model`,
+//! (b) the figure renderers in `cbf-bench`, and (c) determinism tests
+//! (same seed ⇒ identical trace).
+
+use crate::types::{MsgId, ProcessId, Time};
+use std::fmt;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // fields are self-describing
+pub enum TraceEvent<M> {
+    /// A process emitted a message during a computation step.
+    Send {
+        at: Time,
+        id: MsgId,
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    /// A message moved from the link into the destination's income buffer.
+    Deliver {
+        at: Time,
+        id: MsgId,
+        from: ProcessId,
+        to: ProcessId,
+    },
+    /// A process took a computation step.
+    Step { at: Time, pid: ProcessId },
+    /// The harness injected an external request (a transaction invocation)
+    /// into a process's income buffer.
+    Inject { at: Time, pid: ProcessId, msg: M },
+    /// A timer fired (delivered to its owner as a self-message).
+    TimerFire { at: Time, pid: ProcessId },
+}
+
+impl<M> TraceEvent<M> {
+    /// Virtual time at which the event occurred.
+    pub fn at(&self) -> Time {
+        match *self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Step { at, .. }
+            | TraceEvent::Inject { at, .. }
+            | TraceEvent::TimerFire { at, .. } => at,
+        }
+    }
+}
+
+/// An append-only log of [`TraceEvent`]s.
+#[derive(Clone, Debug)]
+pub struct Trace<M> {
+    events: Vec<TraceEvent<M>>,
+    enabled: bool,
+}
+
+impl<M: Clone + fmt::Debug> Trace<M> {
+    /// A new trace; when `enabled` is false, pushes are dropped.
+    pub fn new(enabled: bool) -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, ev: TraceEvent<M>) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent<M>] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events recorded after index `mark`; use with [`Trace::len`] to
+    /// observe what a sub-execution did.
+    pub fn since(&self, mark: usize) -> &[TraceEvent<M>] {
+        &self.events[mark..]
+    }
+
+    /// Drop all recorded events (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// All `Send` events from `from` to `to` after index `mark`.
+    pub fn sends_between(&self, from: ProcessId, to: ProcessId, mark: usize) -> Vec<&TraceEvent<M>> {
+        self.events[mark..]
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Send { from: f, to: t, .. } if *f == from && *t == to))
+            .collect()
+    }
+
+    /// Render the trace as a human-readable listing (used by the figure
+    /// reproductions). `names` maps process ids to display labels.
+    pub fn render(&self, names: &dyn Fn(ProcessId) -> String) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            let line = match ev {
+                TraceEvent::Send { at, id, from, to, msg } => format!(
+                    "{:>12} ns  SEND    {:?} {} -> {}  {:?}",
+                    at,
+                    id,
+                    names(*from),
+                    names(*to),
+                    msg
+                ),
+                TraceEvent::Deliver { at, id, from, to } => format!(
+                    "{:>12} ns  DELIVER {:?} {} -> {}",
+                    at,
+                    id,
+                    names(*from),
+                    names(*to)
+                ),
+                TraceEvent::Step { at, pid } => {
+                    format!("{:>12} ns  STEP    {}", at, names(*pid))
+                }
+                TraceEvent::Inject { at, pid, msg } => {
+                    format!("{:>12} ns  INJECT  {}  {:?}", at, names(*pid), msg)
+                }
+                TraceEvent::TimerFire { at, pid } => {
+                    format!("{:>12} ns  TIMER   {}", at, names(*pid))
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the trace as an ASCII space-time diagram: one lane per
+    /// process, one row per event, annotated on the right. `n` is the
+    /// number of processes; `names` maps ids to short labels (rendered in
+    /// the header). Useful for reproducing the paper's execution figures.
+    pub fn render_lanes(&self, n: usize, names: &dyn Fn(ProcessId) -> String) -> String {
+        self.render_lanes_range(0, usize::MAX, n, names)
+    }
+
+    /// Like [`Trace::render_lanes`], but over the event range
+    /// `[from, from + limit)`.
+    pub fn render_lanes_range(
+        &self,
+        from: usize,
+        limit: usize,
+        n: usize,
+        names: &dyn Fn(ProcessId) -> String,
+    ) -> String {
+        const W: usize = 9;
+        let mut out = String::new();
+        // Header.
+        out.push_str(&" ".repeat(14));
+        for i in 0..n {
+            let label = names(ProcessId(i as u32));
+            out.push_str(&format!("{label:^W$}"));
+        }
+        out.push('\n');
+        let lane = |cols: &mut Vec<String>, p: ProcessId, sym: &str| {
+            cols[p.index()] = format!("{sym:^W$}");
+        };
+        for ev in self.events.iter().skip(from).take(limit) {
+            let mut cols: Vec<String> = vec![" ".repeat(W); n];
+            let note = match ev {
+                TraceEvent::Send { at, id, from, to, msg } => {
+                    lane(&mut cols, *from, &format!("{id:?}→"));
+                    format!(
+                        "t={at:>9} {} sends {id:?} to {}: {msg:?}",
+                        names(*from),
+                        names(*to)
+                    )
+                }
+                TraceEvent::Deliver { at, id, from, to } => {
+                    lane(&mut cols, *to, &format!("▶{id:?}"));
+                    format!("t={at:>9} {} receives {id:?} from {}", names(*to), names(*from))
+                }
+                TraceEvent::Step { at, pid } => {
+                    lane(&mut cols, *pid, "●");
+                    format!("t={at:>9} {} takes a step", names(*pid))
+                }
+                TraceEvent::Inject { at, pid, msg } => {
+                    lane(&mut cols, *pid, "◆");
+                    format!("t={at:>9} {} invoked: {msg:?}", names(*pid))
+                }
+                TraceEvent::TimerFire { at, pid } => {
+                    lane(&mut cols, *pid, "⏲");
+                    format!("t={at:>9} {} timer fires", names(*pid))
+                }
+            };
+            out.push_str(&" ".repeat(14));
+            for c in cols {
+                out.push_str(&c);
+            }
+            out.push_str("  ");
+            out.push_str(&note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace<u32> {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Send {
+            at: 0,
+            id: MsgId(0),
+            from: ProcessId(0),
+            to: ProcessId(1),
+            msg: 9,
+        });
+        t.push(TraceEvent::Deliver {
+            at: 5,
+            id: MsgId(0),
+            from: ProcessId(0),
+            to: ProcessId(1),
+        });
+        t.push(TraceEvent::Step {
+            at: 5,
+            pid: ProcessId(1),
+        });
+        t
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t: Trace<u32> = Trace::new(false);
+        t.push(TraceEvent::Step {
+            at: 1,
+            pid: ProcessId(0),
+        });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn since_returns_suffix() {
+        let t = sample_trace();
+        assert_eq!(t.since(1).len(), 2);
+        assert_eq!(t.since(3).len(), 0);
+    }
+
+    #[test]
+    fn sends_between_filters() {
+        let t = sample_trace();
+        assert_eq!(t.sends_between(ProcessId(0), ProcessId(1), 0).len(), 1);
+        assert_eq!(t.sends_between(ProcessId(1), ProcessId(0), 0).len(), 0);
+    }
+
+    #[test]
+    fn event_times_are_accessible() {
+        let t = sample_trace();
+        let times: Vec<_> = t.events().iter().map(|e| e.at()).collect();
+        assert_eq!(times, vec![0, 5, 5]);
+    }
+
+    #[test]
+    fn render_lanes_draws_one_row_per_event() {
+        let t = sample_trace();
+        let s = t.render_lanes(2, &|p| format!("{p}"));
+        // Header + 3 events.
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("m0→"));
+        assert!(s.contains("▶m0"));
+        assert!(s.contains("●"));
+        assert!(s.contains("P0"));
+        assert!(s.contains("P1"));
+    }
+
+    #[test]
+    fn render_mentions_every_event() {
+        let t = sample_trace();
+        let s = t.render(&|p| format!("{p}"));
+        assert!(s.contains("SEND"));
+        assert!(s.contains("DELIVER"));
+        assert!(s.contains("STEP"));
+        assert_eq!(s.lines().count(), 3);
+    }
+}

@@ -1,0 +1,168 @@
+//! Core identifier and time types shared by the whole simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Virtual time, in nanoseconds since the start of the execution.
+///
+/// The simulator is a discrete-event system: time only advances when an
+/// event is processed, and two events never race. All latency models and
+/// timers are expressed in this unit.
+pub type Time = u64;
+
+/// One virtual microsecond.
+pub const MICROS: Time = 1_000;
+/// One virtual millisecond.
+pub const MILLIS: Time = 1_000_000;
+/// One virtual second.
+pub const SECONDS: Time = 1_000_000_000;
+
+/// Identifies a process (a client or a server) in the system graph.
+///
+/// The paper models the system as an undirected graph whose nodes are
+/// processes; links connect every pair of processes. `ProcessId` is the
+/// node label.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The numeric index of this process.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Globally unique identifier of a message instance.
+///
+/// Assigned in send order; never reused. The adversary uses `MsgId`s to
+/// pick exactly which in-flight message to deliver next.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MsgId(pub u64);
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An undirected-graph link endpoint pair, stored directed (src → dst)
+/// because buffers are per direction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)] // fields are self-describing
+pub struct Link {
+    pub src: ProcessId,
+    pub dst: ProcessId,
+}
+
+impl Link {
+    #[inline]
+    /// The directed link from `src` to `dst`.
+    pub fn new(src: ProcessId, dst: ProcessId) -> Self {
+        Link { src, dst }
+    }
+}
+
+/// Simulator-wide configuration knobs.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Record a full trace of sends/deliveries/steps. Turn off in
+    /// throughput benchmarks; required by the figure renderers and the
+    /// one-value audit.
+    pub record_trace: bool,
+    /// Enforce the paper's step semantics (at most one message per
+    /// neighbour per computation step) with a panic in debug builds.
+    pub strict_steps: bool,
+    /// Deliver messages on each directed link in FIFO order in the
+    /// automatic scheduler. The paper's network is non-FIFO; protocols in
+    /// this workspace carry explicit dependencies and do not need FIFO,
+    /// but deterministic FIFO is convenient for some tests.
+    pub fifo_links: bool,
+    /// Hard cap on events processed by any `run_*` call, as a runaway
+    /// guard. Exceeding it is reported as [`RunOutcome::EventLimit`].
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            record_trace: true,
+            strict_steps: false,
+            fifo_links: false,
+            max_events: 10_000_000,
+        }
+    }
+}
+
+/// Why a `run_*` call returned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// No deliverable message, no pending timer: the system is quiescent
+    /// (up to held links, whose messages stay frozen in transit).
+    Quiescent,
+    /// The supplied predicate became true.
+    Predicate,
+    /// Virtual time reached the requested horizon.
+    Horizon,
+    /// The event cap was hit before anything else; almost always a bug in
+    /// the protocol under test (e.g. a heartbeat storm).
+    EventLimit,
+}
+
+impl RunOutcome {
+    /// True when the run ended for the reason the caller was waiting for.
+    #[inline]
+    pub fn is_settled(self) -> bool {
+        matches!(self, RunOutcome::Quiescent | RunOutcome::Predicate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_formats_compactly() {
+        assert_eq!(format!("{:?}", ProcessId(3)), "P3");
+        assert_eq!(format!("{}", ProcessId(3)), "P3");
+    }
+
+    #[test]
+    fn msg_id_formats_compactly() {
+        assert_eq!(format!("{:?}", MsgId(42)), "m42");
+    }
+
+    #[test]
+    fn default_config_records_traces() {
+        let c = SimConfig::default();
+        assert!(c.record_trace);
+        assert!(!c.strict_steps);
+        assert!(c.max_events > 0);
+    }
+
+    #[test]
+    fn run_outcome_settled() {
+        assert!(RunOutcome::Quiescent.is_settled());
+        assert!(RunOutcome::Predicate.is_settled());
+        assert!(!RunOutcome::Horizon.is_settled());
+        assert!(!RunOutcome::EventLimit.is_settled());
+    }
+
+    #[test]
+    fn time_unit_relationships() {
+        assert_eq!(MILLIS, 1000 * MICROS);
+        assert_eq!(SECONDS, 1000 * MILLIS);
+    }
+}

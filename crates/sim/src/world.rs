@@ -1,0 +1,1106 @@
+//! The simulated distributed system: processes, links, buffers, and the
+//! event loop.
+//!
+//! A [`World`] is a *configuration* in the paper's sense — the full state of
+//! every process plus every message in transit. Worlds are `Clone`, so the
+//! proof's configuration-centric arguments ("consider configuration `C`…",
+//! "value `x` is visible in `C` iff every legal continuation…") become
+//! executable: fork the world and run the continuation.
+//!
+//! Three execution regimes are provided:
+//!
+//! * **automatic** ([`World::run_until_quiescent`] and friends): events are
+//!   processed in virtual-time order, with latencies drawn from the seeded
+//!   [`LatencyModel`] — this is the "friendly" scheduler used for measuring
+//!   protocol latency;
+//! * **restricted** ([`World::run_restricted`]): like automatic, but only a
+//!   chosen set of processes take steps — this implements the paper's
+//!   "*transaction T executes solo*";
+//! * **manual** ([`World::deliver_now`], [`World::step_now`],
+//!   [`World::hold`]): the adversary picks every delivery and step — this
+//!   is what the theorem machinery in `cbf-core` drives.
+
+use crate::actor::{Actor, Ctx, Envelope};
+use crate::latency::LatencyModel;
+use crate::trace::{Trace, TraceEvent};
+use crate::types::{Link, MsgId, ProcessId, RunOutcome, SimConfig, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A message in transit: sent, not yet placed in the destination's income
+/// buffer.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // fields are self-describing
+pub struct Flight<M> {
+    pub from: ProcessId,
+    pub to: ProcessId,
+    pub msg: M,
+    pub sent_at: Time,
+}
+
+#[derive(Clone, Debug)]
+enum EvKind<M> {
+    /// Move a message into the destination's income buffer, then step it.
+    Deliver(MsgId),
+    /// A timer set by `pid` fires, carrying `msg`.
+    Timer(ProcessId, M),
+    /// A step is due (after an injection or an explicit schedule).
+    StepDue(ProcessId),
+}
+
+#[derive(Clone, Debug)]
+struct QueuedEvent<M> {
+    time: Time,
+    seq: u64,
+    kind: EvKind<M>,
+}
+
+// Min-heap ordering on (time, seq): BinaryHeap is a max-heap, so compare
+// reversed. `seq` breaks ties deterministically in schedule order.
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-process counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Messages sent by this process.
+    pub sent: u64,
+    /// Messages delivered to this process.
+    pub delivered: u64,
+    /// Computation steps taken.
+    pub steps: u64,
+}
+
+/// World-level counters.
+#[derive(Clone, Debug, Default)]
+#[allow(missing_docs)] // fields are self-describing
+pub struct WorldStats {
+    pub events: u64,
+    pub per_process: Vec<ProcStats>,
+}
+
+impl WorldStats {
+    /// Total messages sent across all processes.
+    pub fn total_sent(&self) -> u64 {
+        self.per_process.iter().map(|p| p.sent).sum()
+    }
+    /// Total computation steps across all processes.
+    pub fn total_steps(&self) -> u64 {
+        self.per_process.iter().map(|p| p.steps).sum()
+    }
+}
+
+/// A complete configuration of the simulated system. See module docs.
+#[derive(Clone)]
+pub struct World<A: Actor> {
+    actors: Vec<A>,
+    labels: Vec<String>,
+    inboxes: Vec<Vec<Envelope<A::Msg>>>,
+    in_flight: BTreeMap<MsgId, Flight<A::Msg>>,
+    queue: std::collections::BinaryHeap<QueuedEvent<A::Msg>>,
+    /// Messages whose Deliver event fired while their link was held; they
+    /// wait here until the link is released.
+    frozen: HashMap<Link, Vec<MsgId>>,
+    /// With [`SimConfig::fifo_links`]: the latest scheduled arrival per
+    /// directed link, so later sends never overtake earlier ones.
+    last_arrival: HashMap<Link, Time>,
+    held: HashSet<Link>,
+    now: Time,
+    next_msg: u64,
+    next_seq: u64,
+    latency: LatencyModel,
+    /// Full event log (see [`Trace`]); public so harnesses can mark/inspect.
+    pub trace: Trace<A::Msg>,
+    config: SimConfig,
+    stats: WorldStats,
+}
+
+impl<A: Actor> World<A> {
+    /// Build a world from the given actors (process ids are assigned in
+    /// order: actor `i` is `ProcessId(i)`) and run every actor's
+    /// [`Actor::on_start`].
+    pub fn new(actors: Vec<A>, latency: LatencyModel, config: SimConfig) -> Self {
+        let n = actors.len();
+        let mut w = World {
+            actors,
+            labels: (0..n).map(|i| format!("P{i}")).collect(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            in_flight: BTreeMap::new(),
+            queue: std::collections::BinaryHeap::new(),
+            frozen: HashMap::new(),
+            last_arrival: HashMap::new(),
+            held: HashSet::new(),
+            now: 0,
+            next_msg: 0,
+            next_seq: 0,
+            latency,
+            trace: Trace::new(config.record_trace),
+            config,
+            stats: WorldStats {
+                events: 0,
+                per_process: vec![ProcStats::default(); n],
+            },
+        };
+        for i in 0..n {
+            let pid = ProcessId(i as u32);
+            let mut ctx = Ctx::new(pid, 0, Vec::new());
+            w.actors[i].on_start(&mut ctx);
+            w.flush_ctx(pid, ctx);
+        }
+        w
+    }
+
+    /// A convenience constructor with default latency and config.
+    pub fn with_defaults(actors: Vec<A>) -> Self {
+        Self::new(actors, LatencyModel::constant_default(), SimConfig::default())
+    }
+
+    /// Attach a display label to a process (used by trace rendering).
+    pub fn set_label(&mut self, pid: ProcessId, label: impl Into<String>) {
+        self.labels[pid.index()] = label.into();
+    }
+
+    /// The display label of a process.
+    pub fn label(&self, pid: ProcessId) -> &str {
+        &self.labels[pid.index()]
+    }
+
+    /// Render the full trace with process labels.
+    pub fn render_trace(&self) -> String {
+        let labels = self.labels.clone();
+        self.trace.render(&move |p: ProcessId| labels[p.index()].clone())
+    }
+
+    /// Render the full trace as a space-time lane diagram with process
+    /// labels (see [`Trace::render_lanes`]).
+    pub fn render_lanes(&self) -> String {
+        self.render_lanes_range(0, usize::MAX)
+    }
+
+    /// Render a slice of the trace (`[from, from + limit)`) as a lane
+    /// diagram.
+    pub fn render_lanes_range(&self, from: usize, limit: usize) -> String {
+        let labels = self.labels.clone();
+        self.trace
+            .render_lanes_range(from, limit, self.actors.len(), &move |p: ProcessId| {
+                labels[p.index()].clone()
+            })
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// True if the world hosts no processes.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Immutable access to a process's state machine.
+    #[inline]
+    pub fn actor(&self, pid: ProcessId) -> &A {
+        &self.actors[pid.index()]
+    }
+
+    /// Mutable access to a process's state machine. Intended for harness
+    /// facades that poll client actors for transaction responses; mutating
+    /// protocol state directly from a test invalidates the experiment.
+    #[inline]
+    pub fn actor_mut(&mut self, pid: ProcessId) -> &mut A {
+        &mut self.actors[pid.index()]
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &WorldStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Internal mechanics
+    // ------------------------------------------------------------------
+
+    fn fresh_msg_id(&mut self) -> MsgId {
+        let id = MsgId(self.next_msg);
+        self.next_msg += 1;
+        id
+    }
+
+    fn push_event(&mut self, time: Time, kind: EvKind<A::Msg>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(QueuedEvent { time, seq, kind });
+    }
+
+    /// Apply a completed step's outputs: enqueue sends and timers.
+    fn flush_ctx(&mut self, pid: ProcessId, ctx: Ctx<A::Msg>) {
+        if self.config.strict_steps {
+            let mut seen = HashSet::new();
+            for (to, _) in &ctx.outbox {
+                assert!(
+                    seen.insert(*to),
+                    "strict step semantics: {pid:?} sent two messages to {to:?} in one step"
+                );
+            }
+        }
+        let Ctx { outbox, timers, .. } = ctx;
+        for (to, msg) in outbox {
+            self.send_from(pid, to, msg);
+        }
+        for (delay, msg) in timers {
+            let at = self.now + delay;
+            self.push_event(at, EvKind::Timer(pid, msg));
+        }
+    }
+
+    fn send_from(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
+        let id = self.fresh_msg_id();
+        self.trace.push(TraceEvent::Send {
+            at: self.now,
+            id,
+            from,
+            to,
+            msg: msg.clone(),
+        });
+        self.stats.per_process[from.index()].sent += 1;
+        let delay = self.latency.sample(from, to);
+        let mut arrival = self.now + delay;
+        if self.config.fifo_links {
+            // FIFO links: a later send never overtakes an earlier one.
+            let link = Link::new(from, to);
+            let floor = self.last_arrival.get(&link).copied().unwrap_or(0);
+            arrival = arrival.max(floor.saturating_add(1));
+            self.last_arrival.insert(link, arrival);
+        }
+        self.in_flight.insert(
+            id,
+            Flight {
+                from,
+                to,
+                msg,
+                sent_at: self.now,
+            },
+        );
+        self.push_event(arrival, EvKind::Deliver(id));
+    }
+
+    /// Move an in-flight message into its destination's income buffer.
+    /// Returns the destination, or `None` if the message was already
+    /// delivered (stale event).
+    fn do_deliver(&mut self, id: MsgId) -> Option<ProcessId> {
+        let flight = self.in_flight.remove(&id)?;
+        self.trace.push(TraceEvent::Deliver {
+            at: self.now,
+            id,
+            from: flight.from,
+            to: flight.to,
+        });
+        self.stats.per_process[flight.to.index()].delivered += 1;
+        self.inboxes[flight.to.index()].push(Envelope {
+            from: flight.from,
+            id,
+            msg: flight.msg,
+        });
+        Some(flight.to)
+    }
+
+    fn do_step(&mut self, pid: ProcessId) {
+        let inbox = std::mem::take(&mut self.inboxes[pid.index()]);
+        let mut ctx = Ctx::new(pid, self.now, inbox);
+        self.trace.push(TraceEvent::Step { at: self.now, pid });
+        self.stats.per_process[pid.index()].steps += 1;
+        // Split-borrow: take the actor out so `self` stays usable.
+        let mut actor = self.actors[pid.index()].clone();
+        actor.step(&mut ctx);
+        self.actors[pid.index()] = actor;
+        self.flush_ctx(pid, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Manual (adversarial) control
+    // ------------------------------------------------------------------
+
+    /// All messages currently in transit, in send order.
+    pub fn in_flight(&self) -> impl Iterator<Item = (MsgId, &Flight<A::Msg>)> {
+        self.in_flight.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// In-transit messages on the directed link `src → dst`.
+    pub fn in_flight_on(&self, src: ProcessId, dst: ProcessId) -> Vec<MsgId> {
+        self.in_flight
+            .iter()
+            .filter(|(_, f)| f.from == src && f.to == dst)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Inspect one in-flight message.
+    pub fn peek(&self, id: MsgId) -> Option<&Flight<A::Msg>> {
+        self.in_flight.get(&id)
+    }
+
+    /// Adversary: deliver a specific in-flight message *now*, ignoring its
+    /// sampled latency and any link hold. Does **not** step the
+    /// destination — pair with [`World::step_now`]. Returns the
+    /// destination process.
+    pub fn deliver_now(&mut self, id: MsgId) -> Option<ProcessId> {
+        self.do_deliver(id)
+    }
+
+    /// Adversary: make `pid` take one computation step now.
+    pub fn step_now(&mut self, pid: ProcessId) {
+        self.do_step(pid);
+    }
+
+    /// Number of messages sitting in `pid`'s income buffer.
+    pub fn inbox_len(&self, pid: ProcessId) -> usize {
+        self.inboxes[pid.index()].len()
+    }
+
+    /// Freeze the directed link `src → dst`: messages on it stay in
+    /// transit until [`World::release`] (automatic scheduler only; the
+    /// adversary's [`World::deliver_now`] overrides holds).
+    pub fn hold(&mut self, src: ProcessId, dst: ProcessId) {
+        self.held.insert(Link::new(src, dst));
+    }
+
+    /// Freeze both directions between `a` and `b`.
+    pub fn hold_pair(&mut self, a: ProcessId, b: ProcessId) {
+        self.hold(a, b);
+        self.hold(b, a);
+    }
+
+    /// Un-freeze `src → dst` and schedule delivery of everything frozen on
+    /// it.
+    pub fn release(&mut self, src: ProcessId, dst: ProcessId) {
+        let link = Link::new(src, dst);
+        self.held.remove(&link);
+        if let Some(ids) = self.frozen.remove(&link) {
+            for id in ids {
+                let at = self.now;
+                self.push_event(at, EvKind::Deliver(id));
+            }
+        }
+    }
+
+    /// Un-freeze both directions between `a` and `b`.
+    pub fn release_pair(&mut self, a: ProcessId, b: ProcessId) {
+        self.release(a, b);
+        self.release(b, a);
+    }
+
+    /// Whether the directed link is currently held.
+    pub fn is_held(&self, src: ProcessId, dst: ProcessId) -> bool {
+        self.held.contains(&Link::new(src, dst))
+    }
+
+    /// Inject an external request (a transaction invocation from the
+    /// application) into `pid`'s income buffer and schedule a step. The
+    /// paper models invocations as external inputs to the client's state
+    /// machine; this is that input.
+    pub fn inject(&mut self, pid: ProcessId, msg: A::Msg) {
+        self.trace.push(TraceEvent::Inject {
+            at: self.now,
+            pid,
+            msg: msg.clone(),
+        });
+        let id = self.fresh_msg_id();
+        self.inboxes[pid.index()].push(Envelope {
+            from: pid,
+            id,
+            msg,
+        });
+        self.push_event(self.now, EvKind::StepDue(pid));
+    }
+
+    /// Like [`World::inject`] but without scheduling a step — the
+    /// adversary decides when the process runs.
+    pub fn inject_no_step(&mut self, pid: ProcessId, msg: A::Msg) {
+        self.trace.push(TraceEvent::Inject {
+            at: self.now,
+            pid,
+            msg: msg.clone(),
+        });
+        let id = self.fresh_msg_id();
+        self.inboxes[pid.index()].push(Envelope {
+            from: pid,
+            id,
+            msg,
+        });
+    }
+
+    /// Fork this configuration. The fork shares nothing with the
+    /// original; both replay deterministically.
+    pub fn fork(&self) -> Self
+    where
+        A: Clone,
+    {
+        self.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Automatic scheduling
+    // ------------------------------------------------------------------
+
+    fn allowed(set: Option<&HashSet<ProcessId>>, pid: ProcessId) -> bool {
+        set.is_none_or(|s| s.contains(&pid))
+    }
+
+    fn run_core(
+        &mut self,
+        restrict: Option<&HashSet<ProcessId>>,
+        horizon: Option<Time>,
+        mut pred: Option<&mut dyn FnMut(&Self) -> bool>,
+    ) -> RunOutcome {
+        let mut deferred: Vec<QueuedEvent<A::Msg>> = Vec::new();
+        let mut processed: u64 = 0;
+        let outcome = loop {
+            if let Some(p) = pred.as_mut() {
+                if p(self) {
+                    break RunOutcome::Predicate;
+                }
+            }
+            if processed >= self.config.max_events {
+                break RunOutcome::EventLimit;
+            }
+            let ev = match self.queue.pop() {
+                Some(ev) => ev,
+                None => break RunOutcome::Quiescent,
+            };
+            if let Some(h) = horizon {
+                if ev.time > h {
+                    self.queue.push(ev);
+                    self.now = self.now.max(h);
+                    break RunOutcome::Horizon;
+                }
+            }
+            processed += 1;
+            self.stats.events += 1;
+            match ev.kind {
+                EvKind::Deliver(id) => {
+                    let Some(flight) = self.in_flight.get(&id) else {
+                        continue; // stale: adversary already delivered it
+                    };
+                    let link = Link::new(flight.from, flight.to);
+                    if self.held.contains(&link) {
+                        self.frozen.entry(link).or_default().push(id);
+                        continue;
+                    }
+                    if !Self::allowed(restrict, flight.from)
+                        || !Self::allowed(restrict, flight.to)
+                    {
+                        deferred.push(ev);
+                        continue;
+                    }
+                    self.now = self.now.max(ev.time);
+                    if let Some(dst) = self.do_deliver(id) {
+                        self.do_step(dst);
+                    }
+                }
+                EvKind::Timer(pid, msg) => {
+                    if !Self::allowed(restrict, pid) {
+                        deferred.push(QueuedEvent {
+                            time: ev.time,
+                            seq: ev.seq,
+                            kind: EvKind::Timer(pid, msg),
+                        });
+                        continue;
+                    }
+                    self.now = self.now.max(ev.time);
+                    self.trace.push(TraceEvent::TimerFire { at: self.now, pid });
+                    let id = self.fresh_msg_id();
+                    self.inboxes[pid.index()].push(Envelope {
+                        from: pid,
+                        id,
+                        msg,
+                    });
+                    self.do_step(pid);
+                }
+                EvKind::StepDue(pid) => {
+                    if !Self::allowed(restrict, pid) {
+                        deferred.push(ev);
+                        continue;
+                    }
+                    self.now = self.now.max(ev.time);
+                    self.do_step(pid);
+                }
+            }
+        };
+        // Deferred events go back into the queue: a restricted run is an
+        // adversarial *delay* of everyone else, not a drop.
+        for ev in deferred {
+            self.queue.push(ev);
+        }
+        outcome
+    }
+
+    /// Process events in virtual-time order until nothing is pending.
+    /// Protocols with periodic timers never quiesce — use
+    /// [`World::run_for`] or [`World::run_until`] for those.
+    pub fn run_until_quiescent(&mut self) -> RunOutcome {
+        self.run_core(None, None, None)
+    }
+
+    /// Run for `dt` of virtual time.
+    pub fn run_for(&mut self, dt: Time) -> RunOutcome {
+        let h = self.now + dt;
+        self.run_core(None, Some(h), None)
+    }
+
+    /// Run until `pred` holds (checked before every event), the system
+    /// quiesces, or the event cap is hit.
+    pub fn run_until(&mut self, mut pred: impl FnMut(&Self) -> bool) -> RunOutcome {
+        self.run_core(None, None, Some(&mut pred))
+    }
+
+    /// Run until `pred` holds, with a virtual-time horizon.
+    pub fn run_until_within(
+        &mut self,
+        dt: Time,
+        mut pred: impl FnMut(&Self) -> bool,
+    ) -> RunOutcome {
+        let h = self.now + dt;
+        self.run_core(None, Some(h), Some(&mut pred))
+    }
+
+    /// "Solo" execution: only `allowed` processes take steps and exchange
+    /// messages; everything else is adversarially delayed. Runs until
+    /// quiescent-among-allowed or the cap.
+    pub fn run_restricted(&mut self, allowed: &[ProcessId]) -> RunOutcome {
+        let set: HashSet<ProcessId> = allowed.iter().copied().collect();
+        self.run_core(Some(&set), None, None)
+    }
+
+    /// Restricted run with a predicate.
+    pub fn run_restricted_until(
+        &mut self,
+        allowed: &[ProcessId],
+        mut pred: impl FnMut(&Self) -> bool,
+    ) -> RunOutcome {
+        let set: HashSet<ProcessId> = allowed.iter().copied().collect();
+        self.run_core(Some(&set), None, Some(&mut pred))
+    }
+
+    /// Restricted run with a predicate and a virtual-time horizon.
+    pub fn run_restricted_until_within(
+        &mut self,
+        allowed: &[ProcessId],
+        dt: Time,
+        mut pred: impl FnMut(&Self) -> bool,
+    ) -> RunOutcome {
+        let set: HashSet<ProcessId> = allowed.iter().copied().collect();
+        let h = self.now + dt;
+        self.run_core(Some(&set), Some(h), Some(&mut pred))
+    }
+
+    // ------------------------------------------------------------------
+    // Chaotic (schedule-exploring) scheduling
+    // ------------------------------------------------------------------
+
+    /// Run under a random adversary: at each point, uniformly choose among
+    /// every enabled action (deliver any in-flight message, fire any
+    /// pending timer, step any process with mail). Explores schedules the
+    /// latency model would never produce; used by the safety property
+    /// tests. Deterministic in `seed`.
+    pub fn run_chaotic(&mut self, seed: u64, max_actions: u64) -> RunOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Pull timers and due-steps out of the time-ordered queue; the
+        // chaotic adversary dispatches them at will.
+        let mut timers: Vec<(Time, ProcessId, A::Msg)> = Vec::new();
+        let mut due: Vec<(Time, ProcessId)> = Vec::new();
+        let drained: Vec<_> = std::mem::take(&mut self.queue).into_vec();
+        for ev in drained {
+            match ev.kind {
+                EvKind::Deliver(_) => {} // represented by in_flight
+                EvKind::Timer(p, m) => timers.push((ev.time, p, m)),
+                EvKind::StepDue(p) => due.push((ev.time, p)),
+            }
+        }
+        for actions in 0..max_actions {
+            // Enabled actions. 0..d: deliver in-flight message i (held
+            // links excluded); d..d+t: fire timer; d+t..d+t+s: due step;
+            // then: step process with mail.
+            let deliverable: Vec<MsgId> = self
+                .in_flight
+                .iter()
+                .filter(|(_, f)| !self.held.contains(&Link::new(f.from, f.to)))
+                .map(|(id, _)| *id)
+                .collect();
+            let mailful: Vec<ProcessId> = (0..self.actors.len())
+                .map(|i| ProcessId(i as u32))
+                .filter(|p| !self.inboxes[p.index()].is_empty())
+                .collect();
+            let total = deliverable.len() + timers.len() + due.len() + mailful.len();
+            if total == 0 {
+                let _ = actions;
+                // Nothing enabled: quiescent (up to held links).
+                return RunOutcome::Quiescent;
+            }
+            let pick = rng.gen_range(0..total);
+            self.stats.events += 1;
+            if pick < deliverable.len() {
+                let id = deliverable[pick];
+                self.now += 1;
+                if let Some(dst) = self.do_deliver(id) {
+                    self.do_step(dst);
+                }
+            } else if pick < deliverable.len() + timers.len() {
+                let (t, pid, msg) = timers.swap_remove(pick - deliverable.len());
+                self.now = self.now.max(t) + 1;
+                self.trace.push(TraceEvent::TimerFire { at: self.now, pid });
+                let id = self.fresh_msg_id();
+                self.inboxes[pid.index()].push(Envelope {
+                    from: pid,
+                    id,
+                    msg,
+                });
+                self.do_step(pid);
+                // Steps may set new timers; absorb them from the queue.
+                let drained: Vec<_> = std::mem::take(&mut self.queue).into_vec();
+                for ev in drained {
+                    match ev.kind {
+                        EvKind::Deliver(_) => {}
+                        EvKind::Timer(p, m) => timers.push((ev.time, p, m)),
+                        EvKind::StepDue(p) => due.push((ev.time, p)),
+                    }
+                }
+            } else if pick < deliverable.len() + timers.len() + due.len() {
+                let (t, pid) = due.swap_remove(pick - deliverable.len() - timers.len());
+                self.now = self.now.max(t) + 1;
+                self.do_step(pid);
+            } else {
+                let pid = mailful[pick - deliverable.len() - timers.len() - due.len()];
+                self.now += 1;
+                self.do_step(pid);
+            }
+            // Absorb any timers/step-dues generated by this action.
+            let drained: Vec<_> = std::mem::take(&mut self.queue).into_vec();
+            for ev in drained {
+                match ev.kind {
+                    EvKind::Deliver(_) => {}
+                    EvKind::Timer(p, m) => timers.push((ev.time, p, m)),
+                    EvKind::StepDue(p) => due.push((ev.time, p)),
+                }
+            }
+        }
+        // Put leftovers back for any subsequent automatic run.
+        for (t, p, m) in timers {
+            self.push_event(t.max(self.now), EvKind::Timer(p, m));
+        }
+        for (t, p) in due {
+            self.push_event(t.max(self.now), EvKind::StepDue(p));
+        }
+        RunOutcome::EventLimit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{LatencyKind, LatencyModel};
+
+    /// A tiny request/response protocol: clients ping, servers pong.
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    #[derive(Clone)]
+    enum Node {
+        Server { count: u32 },
+        Client { server: ProcessId, got: Vec<u32> },
+    }
+
+    impl Actor for Node {
+        type Msg = Msg;
+        fn step(&mut self, ctx: &mut Ctx<Msg>) {
+            for env in ctx.recv() {
+                match (&mut *self, env.msg) {
+                    (Node::Server { count }, Msg::Ping(x)) => {
+                        *count += 1;
+                        ctx.send(env.from, Msg::Pong(x * 2));
+                    }
+                    (Node::Client { got, .. }, Msg::Pong(x)) => got.push(x),
+                    (Node::Client { server, .. }, Msg::Ping(x)) => {
+                        // Injected request: forward to the server.
+                        let s = *server;
+                        ctx.send(s, Msg::Ping(x));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn two_node_world() -> World<Node> {
+        World::with_defaults(vec![
+            Node::Server { count: 0 },
+            Node::Client {
+                server: ProcessId(0),
+                got: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut w = two_node_world();
+        w.inject(ProcessId(1), Msg::Ping(21));
+        assert_eq!(w.run_until_quiescent(), RunOutcome::Quiescent);
+        match w.actor(ProcessId(1)) {
+            Node::Client { got, .. } => assert_eq!(got, &vec![42]),
+            _ => unreachable!(),
+        }
+        // Two messages crossed the network: ping + pong.
+        assert_eq!(w.stats().total_sent(), 2);
+        // Virtual time advanced by one round trip (2 × 50 µs).
+        assert_eq!(w.now(), 100 * crate::types::MICROS);
+    }
+
+    #[test]
+    fn held_link_freezes_delivery_until_release() {
+        let mut w = two_node_world();
+        w.hold(ProcessId(0), ProcessId(1)); // freeze pongs
+        w.inject(ProcessId(1), Msg::Ping(1));
+        assert_eq!(w.run_until_quiescent(), RunOutcome::Quiescent);
+        match w.actor(ProcessId(1)) {
+            Node::Client { got, .. } => assert!(got.is_empty()),
+            _ => unreachable!(),
+        }
+        // The pong is frozen in transit.
+        assert_eq!(w.in_flight_on(ProcessId(0), ProcessId(1)).len(), 1);
+        w.release(ProcessId(0), ProcessId(1));
+        w.run_until_quiescent();
+        match w.actor(ProcessId(1)) {
+            Node::Client { got, .. } => assert_eq!(got, &vec![2]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn manual_delivery_bypasses_latency_and_holds() {
+        let mut w = two_node_world();
+        w.hold_pair(ProcessId(0), ProcessId(1));
+        w.inject_no_step(ProcessId(1), Msg::Ping(3));
+        w.step_now(ProcessId(1)); // client sends ping (held link)
+        let ids = w.in_flight_on(ProcessId(1), ProcessId(0));
+        assert_eq!(ids.len(), 1);
+        let dst = w.deliver_now(ids[0]).unwrap();
+        assert_eq!(dst, ProcessId(0));
+        w.step_now(ProcessId(0)); // server processes ping, sends pong
+        let pongs = w.in_flight_on(ProcessId(0), ProcessId(1));
+        assert_eq!(pongs.len(), 1);
+        w.deliver_now(pongs[0]);
+        w.step_now(ProcessId(1));
+        match w.actor(ProcessId(1)) {
+            Node::Client { got, .. } => assert_eq!(got, &vec![6]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn stale_deliver_events_are_skipped() {
+        let mut w = two_node_world();
+        w.inject_no_step(ProcessId(1), Msg::Ping(3));
+        w.step_now(ProcessId(1));
+        let ids = w.in_flight_on(ProcessId(1), ProcessId(0));
+        // Adversary delivers manually; the queued Deliver event is stale.
+        w.deliver_now(ids[0]);
+        w.step_now(ProcessId(0));
+        // Auto-run must not double-deliver.
+        w.run_until_quiescent();
+        match w.actor(ProcessId(0)) {
+            Node::Server { count } => assert_eq!(*count, 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut w = two_node_world();
+        w.inject(ProcessId(1), Msg::Ping(1));
+        let mut f = w.fork();
+        w.run_until_quiescent();
+        // The fork still has everything pending.
+        match f.actor(ProcessId(1)) {
+            Node::Client { got, .. } => assert!(got.is_empty()),
+            _ => unreachable!(),
+        }
+        f.run_until_quiescent();
+        match f.actor(ProcessId(1)) {
+            Node::Client { got, .. } => assert_eq!(got, &vec![2]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn restricted_run_defers_other_processes() {
+        let mut w = World::with_defaults(vec![
+            Node::Server { count: 0 },
+            Node::Client {
+                server: ProcessId(0),
+                got: vec![],
+            },
+            Node::Client {
+                server: ProcessId(0),
+                got: vec![],
+            },
+        ]);
+        w.inject(ProcessId(1), Msg::Ping(1));
+        w.inject(ProcessId(2), Msg::Ping(2));
+        // Only client 1 and the server run.
+        w.run_restricted(&[ProcessId(0), ProcessId(1)]);
+        match w.actor(ProcessId(1)) {
+            Node::Client { got, .. } => assert_eq!(got, &vec![2]),
+            _ => unreachable!(),
+        }
+        match w.actor(ProcessId(2)) {
+            Node::Client { got, .. } => assert!(got.is_empty()),
+            _ => unreachable!(),
+        }
+        // Releasing the restriction completes client 2.
+        w.run_until_quiescent();
+        match w.actor(ProcessId(2)) {
+            Node::Client { got, .. } => assert_eq!(got, &vec![4]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn run_for_respects_horizon() {
+        let mut w = World::new(
+            vec![
+                Node::Server { count: 0 },
+                Node::Client {
+                    server: ProcessId(0),
+                    got: vec![],
+                },
+            ],
+            LatencyModel::new(LatencyKind::Constant(1000), 0),
+            SimConfig::default(),
+        );
+        w.inject(ProcessId(1), Msg::Ping(1));
+        // Horizon before the ping arrives.
+        assert_eq!(w.run_for(500), RunOutcome::Horizon);
+        match w.actor(ProcessId(0)) {
+            Node::Server { count } => assert_eq!(*count, 0),
+            _ => unreachable!(),
+        }
+        assert_eq!(w.now(), 500);
+        // Continue past it.
+        assert_eq!(w.run_for(5000), RunOutcome::Quiescent);
+        match w.actor(ProcessId(0)) {
+            Node::Server { count } => assert_eq!(*count, 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn run_until_predicate_stops_early() {
+        let mut w = two_node_world();
+        w.inject(ProcessId(1), Msg::Ping(1));
+        let out = w.run_until(|w| match w.actor(ProcessId(0)) {
+            Node::Server { count } => *count >= 1,
+            _ => false,
+        });
+        assert_eq!(out, RunOutcome::Predicate);
+        // The pong may still be in flight.
+        match w.actor(ProcessId(1)) {
+            Node::Client { got, .. } => assert!(got.is_empty()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let build = || {
+            let mut w = World::new(
+                vec![
+                    Node::Server { count: 0 },
+                    Node::Client {
+                        server: ProcessId(0),
+                        got: vec![],
+                    },
+                    Node::Client {
+                        server: ProcessId(0),
+                        got: vec![],
+                    },
+                ],
+                LatencyModel::new(LatencyKind::Uniform { lo: 10, hi: 500 }, 77),
+                SimConfig::default(),
+            );
+            for i in 0..20 {
+                w.inject(ProcessId(1 + (i % 2)), Msg::Ping(i));
+            }
+            w.run_until_quiescent();
+            w.trace.len()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn chaotic_run_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut w = two_node_world();
+            for i in 0..10 {
+                w.inject_no_step(ProcessId(1), Msg::Ping(i));
+            }
+            w.run_chaotic(seed, 10_000);
+            format!("{:?}", w.trace.events().len())
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn chaotic_run_completes_all_work() {
+        let mut w = two_node_world();
+        for i in 0..10 {
+            w.inject_no_step(ProcessId(1), Msg::Ping(i));
+        }
+        assert_eq!(w.run_chaotic(123, 100_000), RunOutcome::Quiescent);
+        match w.actor(ProcessId(1)) {
+            Node::Client { got, .. } => assert_eq!(got.len(), 10),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn labels_render() {
+        let mut w = two_node_world();
+        w.set_label(ProcessId(0), "server-0");
+        w.inject(ProcessId(1), Msg::Ping(1));
+        w.run_until_quiescent();
+        let trace = w.render_trace();
+        assert!(trace.contains("server-0"));
+    }
+
+    #[test]
+    fn event_limit_guards_runaway() {
+        /// A pair of actors that bounce a message forever.
+        #[derive(Clone)]
+        struct Bouncer(ProcessId);
+        impl Actor for Bouncer {
+            type Msg = ();
+            fn step(&mut self, ctx: &mut Ctx<()>) {
+                for _ in ctx.recv() {
+                    ctx.send(self.0, ());
+                }
+            }
+        }
+        let mut w = World::new(
+            vec![Bouncer(ProcessId(1)), Bouncer(ProcessId(0))],
+            LatencyModel::constant_default(),
+            SimConfig {
+                max_events: 1000,
+                ..SimConfig::default()
+            },
+        );
+        w.inject(ProcessId(0), ());
+        assert_eq!(w.run_until_quiescent(), RunOutcome::EventLimit);
+    }
+
+    #[test]
+    fn fifo_links_prevent_overtaking() {
+        /// P0 forwards injected payloads to P1; P1 just swallows them.
+        #[derive(Clone)]
+        struct Fwd {
+            sink: bool,
+        }
+        impl Actor for Fwd {
+            type Msg = u32;
+            fn step(&mut self, ctx: &mut Ctx<u32>) {
+                for env in ctx.recv() {
+                    if !self.sink {
+                        ctx.send(ProcessId(1), env.msg);
+                    }
+                }
+            }
+        }
+        let delivery_order = |fifo: bool| {
+            let mut w = World::new(
+                vec![Fwd { sink: false }, Fwd { sink: true }],
+                // Wildly variable latency: reordering is the norm.
+                LatencyModel::new(LatencyKind::Uniform { lo: 1, hi: 100_000 }, 3),
+                SimConfig {
+                    fifo_links: fifo,
+                    ..SimConfig::default()
+                },
+            );
+            for i in 0..20u32 {
+                w.inject_no_step(ProcessId(0), i);
+                w.step_now(ProcessId(0));
+            }
+            w.run_until_quiescent();
+            // Recover P1's delivery order from the trace.
+            w.trace
+                .events()
+                .iter()
+                .filter_map(|ev| match ev {
+                    TraceEvent::Deliver { id, to, .. } if *to == ProcessId(1) => Some(id.0),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let fifo_order = delivery_order(true);
+        let mut sorted = fifo_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(fifo_order, sorted, "FIFO must deliver in send order");
+        // And the unconstrained network genuinely reorders (sanity).
+        let wild = delivery_order(false);
+        let mut wild_sorted = wild.clone();
+        wild_sorted.sort_unstable();
+        assert_ne!(wild, wild_sorted, "this seed should reorder without FIFO");
+    }
+
+    #[test]
+    #[should_panic(expected = "strict step semantics")]
+    fn strict_steps_catches_double_send() {
+        #[derive(Clone)]
+        struct Chatty;
+        impl Actor for Chatty {
+            type Msg = ();
+            fn step(&mut self, ctx: &mut Ctx<()>) {
+                for _ in ctx.recv() {
+                    ctx.send(ProcessId(1), ());
+                    ctx.send(ProcessId(1), ());
+                }
+            }
+        }
+        let mut w = World::new(
+            vec![Chatty, Chatty],
+            LatencyModel::constant_default(),
+            SimConfig {
+                strict_steps: true,
+                ..SimConfig::default()
+            },
+        );
+        w.inject(ProcessId(0), ());
+        w.run_until_quiescent();
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the simulator core: determinism, message
+//! conservation, and schedule-independence of delivery guarantees.
+
+use cbf_sim::{Actor, Ctx, LatencyKind, LatencyModel, ProcessId, RunOutcome, SimConfig, World};
+use proptest::prelude::*;
+
+/// An accumulator node: counts everything it receives; forwards each
+/// message to a fixed neighbour while a hop budget remains.
+#[derive(Clone)]
+struct Node {
+    next: ProcessId,
+    received: u64,
+    forwarded: u64,
+}
+
+impl Actor for Node {
+    type Msg = u32; // remaining hops
+    fn step(&mut self, ctx: &mut Ctx<u32>) {
+        for env in ctx.recv() {
+            self.received += 1;
+            if env.msg > 0 {
+                self.forwarded += 1;
+                ctx.send(self.next, env.msg - 1);
+            }
+        }
+    }
+}
+
+fn ring(n: usize, seed: u64) -> World<Node> {
+    let actors: Vec<Node> = (0..n)
+        .map(|i| Node {
+            next: ProcessId(((i + 1) % n) as u32),
+            received: 0,
+            forwarded: 0,
+        })
+        .collect();
+    World::new(
+        actors,
+        LatencyModel::new(LatencyKind::Uniform { lo: 1, hi: 1000 }, seed),
+        SimConfig::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identical seeds and injections produce identical executions.
+    #[test]
+    fn determinism(
+        n in 2usize..6,
+        seed in any::<u64>(),
+        injections in prop::collection::vec((0u32..6, 0u32..20), 1..12)
+    ) {
+        let run = || {
+            let mut w = ring(n, seed);
+            for &(p, hops) in &injections {
+                w.inject(ProcessId(p % n as u32), hops);
+            }
+            w.run_until_quiescent();
+            let states: Vec<(u64, u64)> = (0..n)
+                .map(|i| {
+                    let a = w.actor(ProcessId(i as u32));
+                    (a.received, a.forwarded)
+                })
+                .collect();
+            (w.trace.len(), w.now(), states)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// No message is lost or duplicated: after quiescence, total
+    /// deliveries equal total sends plus injections, and hop budgets are
+    /// fully consumed.
+    #[test]
+    fn message_conservation(
+        n in 2usize..6,
+        seed in any::<u64>(),
+        injections in prop::collection::vec((0u32..6, 0u32..20), 1..12)
+    ) {
+        let mut w = ring(n, seed);
+        let mut expected_hops: u64 = 0;
+        for &(p, hops) in &injections {
+            w.inject(ProcessId(p % n as u32), hops);
+            expected_hops += hops as u64;
+        }
+        prop_assert_eq!(w.run_until_quiescent(), RunOutcome::Quiescent);
+        let received: u64 = (0..n).map(|i| w.actor(ProcessId(i as u32)).received).collect::<Vec<_>>().iter().sum();
+        let forwarded: u64 = (0..n).map(|i| w.actor(ProcessId(i as u32)).forwarded).collect::<Vec<_>>().iter().sum();
+        // Every forwarded hop is received exactly once; injections are
+        // received too (they enter the inbox directly).
+        prop_assert_eq!(forwarded, expected_hops);
+        prop_assert_eq!(received, expected_hops + injections.len() as u64);
+        prop_assert_eq!(w.stats().total_sent(), forwarded);
+    }
+
+    /// Held links delay but never drop: after release and drain, the
+    /// totals match an unheld run.
+    #[test]
+    fn hold_release_preserves_messages(
+        seed in any::<u64>(),
+        hops in 1u32..20,
+        hold_src in 0u32..3,
+        hold_dst in 0u32..3,
+    ) {
+        let run_with_hold = |hold: bool| {
+            let mut w = ring(3, seed);
+            if hold {
+                w.hold(ProcessId(hold_src), ProcessId(hold_dst));
+            }
+            w.inject(ProcessId(0), hops);
+            w.run_until_quiescent();
+            if hold {
+                w.release(ProcessId(hold_src), ProcessId(hold_dst));
+                w.run_until_quiescent();
+            }
+            (0..3).map(|i| w.actor(ProcessId(i)).received).sum::<u64>()
+        };
+        prop_assert_eq!(run_with_hold(true), run_with_hold(false));
+    }
+
+    /// The chaotic scheduler completes all work, for any seed.
+    #[test]
+    fn chaotic_completes(seed in any::<u64>(), hops in 1u32..30) {
+        let mut w = ring(4, 1);
+        w.inject_no_step(ProcessId(0), hops);
+        prop_assert_eq!(w.run_chaotic(seed, 1_000_000), RunOutcome::Quiescent);
+        let received: u64 = (0..4).map(|i| w.actor(ProcessId(i)).received).sum();
+        prop_assert_eq!(received, hops as u64 + 1);
+    }
+
+    /// Restricted runs never touch excluded processes.
+    #[test]
+    fn restriction_is_respected(seed in any::<u64>(), hops in 2u32..20) {
+        let mut w = ring(4, seed);
+        w.inject(ProcessId(0), hops);
+        // Exclude process 2: the token cannot pass it.
+        w.run_restricted(&[ProcessId(0), ProcessId(1), ProcessId(3)]);
+        prop_assert_eq!(w.actor(ProcessId(2)).received, 0);
+        // The token is stuck in flight toward P2, not lost.
+        w.run_until_quiescent();
+        let received: u64 = (0..4).map(|i| w.actor(ProcessId(i)).received).sum();
+        prop_assert_eq!(received, hops as u64 + 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! Seeded operation-stream generators: mixes, presets, and the stream
+//! itself.
+
+use crate::zipf::Zipfian;
+use cbf_model::{ClientId, Key};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated operation, to be issued by `client`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // fields are self-describing
+pub enum Op {
+    /// A read-only transaction over these keys.
+    Rot { client: ClientId, keys: Vec<Key> },
+    /// A single-object write.
+    Write { client: ClientId, key: Key },
+    /// A multi-object write-only transaction.
+    MultiWrite { client: ClientId, keys: Vec<Key> },
+}
+
+impl Op {
+    /// The issuing client.
+    pub fn client(&self) -> ClientId {
+        match *self {
+            Op::Rot { client, .. } | Op::Write { client, .. } | Op::MultiWrite { client, .. } => {
+                client
+            }
+        }
+    }
+
+    /// Is this a read-only transaction?
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Rot { .. })
+    }
+}
+
+/// An operation mix: fractions must sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    /// Fraction of read-only transactions.
+    pub read: f64,
+    /// Fraction of single-object writes.
+    pub write: f64,
+    /// Fraction of multi-object write transactions.
+    pub multi_write: f64,
+}
+
+impl Mix {
+    /// YCSB-A-like: 50% reads, 50% writes.
+    pub fn ycsb_a() -> Mix {
+        Mix { read: 0.50, write: 0.45, multi_write: 0.05 }
+    }
+
+    /// YCSB-B-like: 95% reads.
+    pub fn ycsb_b() -> Mix {
+        Mix { read: 0.95, write: 0.04, multi_write: 0.01 }
+    }
+
+    /// YCSB-C: read-only.
+    pub fn ycsb_c() -> Mix {
+        Mix { read: 1.0, write: 0.0, multi_write: 0.0 }
+    }
+
+    /// The read-dominated mix the paper motivates with production
+    /// measurements (Facebook-style: ~99.8% reads).
+    pub fn read_dominated() -> Mix {
+        Mix { read: 0.998, write: 0.0015, multi_write: 0.0005 }
+    }
+
+    fn validate(&self) {
+        let sum = self.read + self.write + self.multi_write;
+        assert!((sum - 1.0).abs() < 1e-9, "mix fractions sum to {sum}, not 1");
+        assert!(self.read >= 0.0 && self.write >= 0.0 && self.multi_write >= 0.0);
+    }
+}
+
+/// Workload shape knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Number of objects.
+    pub num_keys: u32,
+    /// Number of issuing clients (round-robin with jitter).
+    pub num_clients: u32,
+    /// Keys per read-only transaction.
+    pub rot_size: usize,
+    /// Keys per multi-object write transaction.
+    pub wtx_size: usize,
+    /// Zipf skew (0 = uniform, 0.99 = YCSB default).
+    pub theta: f64,
+    /// The operation mix.
+    pub mix: Mix,
+}
+
+impl WorkloadSpec {
+    /// A small default suitable for the minimal two-object deployments.
+    pub fn minimal(mix: Mix) -> WorkloadSpec {
+        WorkloadSpec {
+            num_keys: 2,
+            num_clients: 4,
+            rot_size: 2,
+            wtx_size: 2,
+            theta: 0.0,
+            mix,
+        }
+    }
+}
+
+/// A deterministic, seeded stream of [`Op`]s.
+///
+/// ```
+/// use cbf_workloads::{Mix, Workload, WorkloadSpec};
+///
+/// let mut wl = Workload::new(WorkloadSpec::minimal(Mix::ycsb_b()), 42);
+/// let ops = wl.take_ops(100);
+/// assert_eq!(ops.len(), 100);
+/// assert!(ops.iter().filter(|o| o.is_read()).count() > 80);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Workload {
+    spec: WorkloadSpec,
+    zipf: Zipfian,
+    rng: StdRng,
+    issued: u64,
+}
+
+impl Workload {
+    /// Build a stream from a spec and a seed.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Workload {
+        spec.mix.validate();
+        assert!(spec.num_clients > 0);
+        assert!(spec.rot_size >= 1 && spec.wtx_size >= 1);
+        Workload {
+            spec,
+            zipf: Zipfian::new(spec.num_keys as usize, spec.theta, seed ^ 0x5eed),
+            rng: StdRng::seed_from_u64(seed),
+            issued: 0,
+        }
+    }
+
+    /// The spec this stream was built from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// How many operations have been generated.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    fn pick_keys(&mut self, k: usize) -> Vec<Key> {
+        self.zipf
+            .sample_distinct(k)
+            .into_iter()
+            .map(|i| Key(i as u32))
+            .collect()
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let client = ClientId(self.rng.gen_range(0..self.spec.num_clients));
+        let roll: f64 = self.rng.gen();
+        self.issued += 1;
+        let m = self.spec.mix;
+        if roll < m.read {
+            Op::Rot {
+                client,
+                keys: self.pick_keys(self.spec.rot_size),
+            }
+        } else if roll < m.read + m.write {
+            Op::Write {
+                client,
+                key: self.pick_keys(1)[0],
+            }
+        } else {
+            Op::MultiWrite {
+                client,
+                keys: self.pick_keys(self.spec.wtx_size.max(2)),
+            }
+        }
+    }
+
+    /// Generate a batch of `n` operations.
+    pub fn take_ops(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_valid() {
+        for m in [Mix::ycsb_a(), Mix::ycsb_b(), Mix::ycsb_c(), Mix::read_dominated()] {
+            m.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn invalid_mix_rejected() {
+        Workload::new(
+            WorkloadSpec::minimal(Mix { read: 0.5, write: 0.1, multi_write: 0.1 }),
+            0,
+        );
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let mut w = Workload::new(
+            WorkloadSpec {
+                num_keys: 100,
+                num_clients: 8,
+                rot_size: 3,
+                wtx_size: 2,
+                theta: 0.99,
+                mix: Mix::ycsb_b(),
+            },
+            7,
+        );
+        let ops = w.take_ops(20_000);
+        let reads = ops.iter().filter(|o| o.is_read()).count();
+        let frac = reads as f64 / ops.len() as f64;
+        assert!((0.94..0.96).contains(&frac), "read fraction {frac}");
+        assert_eq!(w.issued(), 20_000);
+    }
+
+    #[test]
+    fn ycsb_c_is_all_reads() {
+        let mut w = Workload::new(WorkloadSpec::minimal(Mix::ycsb_c()), 3);
+        assert!(w.take_ops(500).iter().all(|o| o.is_read()));
+    }
+
+    #[test]
+    fn transactions_have_requested_sizes() {
+        let mut w = Workload::new(
+            WorkloadSpec {
+                num_keys: 50,
+                num_clients: 4,
+                rot_size: 4,
+                wtx_size: 3,
+                theta: 0.5,
+                mix: Mix { read: 0.5, write: 0.0, multi_write: 0.5 },
+            },
+            11,
+        );
+        for op in w.take_ops(200) {
+            match op {
+                Op::Rot { keys, .. } => assert_eq!(keys.len(), 4),
+                Op::MultiWrite { keys, .. } => assert_eq!(keys.len(), 3),
+                Op::Write { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn clients_stay_in_range() {
+        let mut w = Workload::new(WorkloadSpec::minimal(Mix::ycsb_a()), 5);
+        for op in w.take_ops(300) {
+            assert!(op.client().0 < 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = || {
+            let mut w = Workload::new(WorkloadSpec::minimal(Mix::ycsb_a()), 99);
+            w.take_ops(100)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

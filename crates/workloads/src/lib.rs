@@ -1,0 +1,16 @@
+//! # cbf-workloads — seeded workload generators
+//!
+//! Deterministic operation streams for the benchmarks and examples:
+//! Zipfian key popularity ([`Zipfian`]), the standard YCSB-style mixes
+//! plus the read-dominated mix the paper motivates ([`Mix`]), and a
+//! generator ([`Workload`]) that turns a [`WorkloadSpec`] and a seed into
+//! a reproducible stream of transactions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gen;
+pub mod zipf;
+
+pub use gen::{Mix, Op, Workload, WorkloadSpec};
+pub use zipf::Zipfian;

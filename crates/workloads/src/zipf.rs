@@ -1,0 +1,155 @@
+//! A seeded Zipfian key sampler.
+//!
+//! Key popularity in production KV workloads is heavily skewed (the
+//! paper cites the Facebook and YCSB measurement studies); benchmarks
+//! here use the standard Zipf(θ) distribution over `n` keys. Sampling is
+//! by binary search over the precomputed CDF — exact, O(log n) per
+//! sample, and allocation-free after construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipf(θ) sampler over keys `0..n`. θ = 0 is uniform; YCSB's default
+/// skew is θ = 0.99.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipfian {
+    /// Build a sampler for `n` keys with exponent `theta`, seeded.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one key");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipfian {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of keys.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample one key index (0 is the most popular).
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Sample `k` *distinct* keys (for a multi-key transaction).
+    /// Falls back to sequential fill if `k` approaches `n`.
+    pub fn sample_distinct(&mut self, k: usize) -> Vec<usize> {
+        let k = k.min(self.n());
+        let mut out = Vec::with_capacity(k);
+        // Rejection with a bounded number of tries, then fill.
+        let mut tries = 0;
+        while out.len() < k && tries < 16 * k {
+            let s = self.sample();
+            if !out.contains(&s) {
+                out.push(s);
+            }
+            tries += 1;
+        }
+        let mut next = 0;
+        while out.len() < k {
+            if !out.contains(&next) {
+                out.push(next);
+            }
+            next += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let mut z = Zipfian::new(10, 0.0, 42);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample()] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 20_000.0;
+            assert!((0.07..0.13).contains(&frac), "uniform fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn skewed_head_dominates() {
+        let mut z = Zipfian::new(1000, 0.99, 7);
+        let mut head = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample() < 10 {
+                head += 1;
+            }
+        }
+        // With θ=0.99, the top-10 of 1000 keys draw a large share.
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.3, "head fraction {frac}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut z = Zipfian::new(3, 1.2, 1);
+        for _ in 0..1000 {
+            assert!(z.sample() < 3);
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_is_distinct() {
+        let mut z = Zipfian::new(50, 0.99, 3);
+        for _ in 0..100 {
+            let s = z.sample_distinct(5);
+            assert_eq!(s.len(), 5);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 5);
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_clamps_to_n() {
+        let mut z = Zipfian::new(3, 0.5, 3);
+        let s = z.sample_distinct(10);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<usize> = {
+            let mut z = Zipfian::new(100, 0.8, 9);
+            (0..50).map(|_| z.sample()).collect()
+        };
+        let b: Vec<usize> = {
+            let mut z = Zipfian::new(100, 0.8, 9);
+            (0..50).map(|_| z.sample()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_keys_rejected() {
+        Zipfian::new(0, 0.5, 0);
+    }
+}

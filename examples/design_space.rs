@@ -1,0 +1,73 @@
+//! Regenerate Table 1 for the implemented systems: measured (R, V, N, W)
+//! properties, the causal-consistency verdict, and the theorem's take on
+//! each design — side by side with the paper's reference rows.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use snowbound::prelude::*;
+use snowbound::theorem::{paper_table1, SystemRow};
+
+fn print_row(r: &SystemRow) {
+    println!(
+        "| {:<14} | {:>2} | {:>2} | {:^3} | {:^3} | {:<22} | {:^6} | {}",
+        r.name,
+        r.rounds,
+        r.values,
+        if r.nonblocking { "yes" } else { "no" },
+        if r.write_tx { "yes" } else { "no" },
+        r.consistency,
+        if r.causal_ok { "OK" } else { "FAIL" },
+        r.theorem
+    );
+}
+
+fn main() {
+    println!("Measured Table 1 — two servers, two objects, six clients;");
+    println!("R/V/N audited from message traces, consistency checked over the");
+    println!("full history, theorem verdict from the Lemma 3 machinery.\n");
+    println!(
+        "| {:<14} | {:>2} | {:>2} | {:^3} | {:^3} | {:<22} | {:^6} | theorem",
+        "system", "R", "V", "N", "W", "consistency", "causal"
+    );
+    println!("|{}|", "-".repeat(100));
+
+    print_row(&audit_protocol::<RampNode>(8));
+    print_row(&audit_protocol::<CopsNode>(8));
+    print_row(&audit_protocol::<GentleRainNode>(8));
+    print_row(&audit_protocol::<ContrarianNode>(8));
+    print_row(&audit_protocol::<CopsSnowNode>(8));
+    print_row(&audit_protocol::<EigerNode>(8));
+    print_row(&audit_protocol::<WrenNode>(8));
+    print_row(&audit_protocol::<CureNode>(8));
+    print_row(&audit_protocol::<CopsRwNode>(8));
+    print_row(&audit_protocol::<SpannerNode>(8));
+    print_row(&snowbound::theorem::audit_protocol_on::<OccultNode>(
+        Topology::partially_replicated(3, 5, 2, 2),
+        8,
+    ));
+    print_row(&audit_protocol::<CalvinNode>(8));
+    print_row(&audit_protocol::<NaiveFast>(8));
+    print_row(&audit_protocol::<NaiveTwoPhase>(8));
+
+    println!("\nPaper reference (Table 1, the systems modelled here):");
+    for want in ["RAMP", "COPS", "GentleRain", "Contrarian", "COPS-SNOW", "Eiger", "Wren", "Calvin", "Spanner"] {
+        if let Some(r) = paper_table1().iter().find(|r| r.system == want) {
+            println!(
+                "| {:<14} | {:>2} | {:>2} | {:^3} | {:^3} | {}{}",
+                r.system,
+                r.r,
+                r.v,
+                if r.n { "yes" } else { "no" },
+                if r.w { "yes" } else { "no" },
+                r.consistency,
+                if r.dagger { " †(different system model)" } else { "" }
+            );
+        }
+    }
+
+    println!("\nReading the table: every causally consistent row either lacks W");
+    println!("or fails one of R=1 / V=1 / N — and the two rows that claim all");
+    println!("four are flagged by the theorem machinery with a concrete witness.");
+}

@@ -1,0 +1,76 @@
+//! The impossibility theorem, live: run Lemma 3's induction against a
+//! family of protocols that claim fast read-only transactions *and*
+//! multi-object write transactions, and watch each claimant get caught
+//! with the forbidden mixed snapshot.
+//!
+//! ```sh
+//! cargo run --example impossibility_demo
+//! ```
+
+use snowbound::prelude::*;
+
+fn show(report: &snowbound::theorem::TheoremReport) {
+    println!("{}", report.render());
+    if let Conclusion::Caught { witness, .. } = &report.conclusion {
+        println!(
+            "  snapshot shape: {:?} — Lemma 1 permits only AllOld or AllNew\n",
+            witness.snapshot_kind()
+        );
+    }
+}
+
+fn main() {
+    println!("Theorem 1: no causally consistent system supports multi-object");
+    println!("write transactions AND one-round, non-blocking, one-value reads.\n");
+    println!("The adversary below constructs the paper's execution prefixes α_k;");
+    println!("each prefix ends at a *forced* inter-server message ms_k, with the");
+    println!("written values still invisible (claim 2). When a claimant runs out");
+    println!("of coordination, the spliced execution γ extracts a mixed snapshot.\n");
+
+    // The claimant family: P write-coordination phases. P=1 applies
+    // writes on arrival; P=2 is atomic commitment; more phases keep
+    // shrinking the inconsistency window — never to zero.
+    show(&run_theorem::<NaiveNode<1>>(12));
+    show(&run_theorem::<NaiveNode<2>>(12));
+    show(&run_theorem::<NaiveNode<3>>(12));
+    show(&run_theorem::<NaiveNode<4>>(12));
+
+    println!("---");
+    println!("Pattern: P coordination phases ⇒ caught at induction step 2P−2");
+    println!("(P=1 dies immediately). Extra coordination only postpones the");
+    println!("inevitable — exactly the paper's infinite execution, truncated at");
+    println!("the point where a real protocol stops sending messages.\n");
+
+    // The legal corners survive the same attack. Show one of each.
+    println!("The same γ schedule against the legal corners of the design space:\n");
+    for (name, outcome) in [
+        ("Wren (gives up one-round reads)", {
+            let s = setup_c0::<WrenNode>(snowbound::theorem::minimal_topology()).unwrap();
+            attack_all_servers(&s).unwrap()
+        }),
+        ("Eiger (gives up one-round reads when pressed)", {
+            let s = setup_c0::<EigerNode>(snowbound::theorem::minimal_topology()).unwrap();
+            attack_all_servers(&s).unwrap()
+        }),
+        ("Spanner-like (gives up non-blocking reads)", {
+            let s = setup_c0::<SpannerNode>(snowbound::theorem::minimal_topology()).unwrap();
+            attack_all_servers(&s).unwrap()
+        }),
+        ("COPS-RW (gives up one-value messages)", {
+            let s = setup_c0::<CopsRwNode>(snowbound::theorem::minimal_topology()).unwrap();
+            attack_all_servers(&s).unwrap()
+        }),
+    ] {
+        println!(
+            "  {name}: snapshot {:?}, rounds {}, values/msg {}, blocked {} → {}",
+            outcome.snapshot_kind(),
+            outcome.audit.rounds,
+            outcome.audit.max_values_per_msg,
+            outcome.audit.blocked,
+            if outcome.caught() { "CAUGHT" } else { "causal" }
+        );
+        assert!(!outcome.caught());
+    }
+
+    println!("\nEvery system pays somewhere. That is the theorem.");
+}

@@ -1,0 +1,36 @@
+//! Theorem 2 (Appendix A): the impossibility survives generalization to
+//! any number of servers and partial replication.
+//!
+//! ```sh
+//! cargo run --example partial_replication
+//! ```
+
+use snowbound::prelude::*;
+use snowbound::theorem::general_topologies;
+
+fn main() {
+    println!("Theorem 2: the impossibility on partially replicated deployments");
+    println!("(every key on several servers, no server holding everything).\n");
+
+    for topo in general_topologies() {
+        let shape = (topo.num_servers, topo.num_keys, topo.replication);
+        println!(
+            "--- deployment: {} servers, {} objects, replication factor {}",
+            shape.0, shape.1, shape.2
+        );
+        // Shard map, for orientation.
+        for s in topo.servers() {
+            let keys: Vec<String> = topo.keys_of(s).iter().map(|k| format!("{k}")).collect();
+            println!("    {s} stores {{{}}}", keys.join(", "));
+        }
+
+        let report = run_general::<NaiveFast>(topo).expect("general run");
+        print!("{}", report.render());
+        assert!(report.caught(), "the claimant must be caught");
+        println!();
+    }
+
+    println!("A genuinely fast+W system cannot hide behind replication: some");
+    println!("replica answers first with the old world, and the adversary");
+    println!("delays exactly that response past the write's visibility.");
+}

@@ -1,0 +1,155 @@
+//! Drive a generated workload against any protocol deployment and
+//! collect cross-cutting statistics. Shared by the examples, the
+//! integration tests and the benchmark harness.
+
+use cbf_model::checker::Verdict;
+use cbf_model::{PropertyProfile, Value};
+use cbf_protocols::{Cluster, ProtocolNode, TxError};
+use cbf_workloads::{Op, Workload};
+
+/// Summary of one driven workload.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Operations successfully completed.
+    pub completed: u64,
+    /// Multi-writes rejected by single-object protocols (down-converted
+    /// to single writes when `downgrade_writes` is set).
+    pub rejected_multi_writes: u64,
+    /// Aggregated fast-ROT measurements.
+    pub profile: PropertyProfile,
+    /// Causal-consistency verdict over the full history.
+    pub verdict: Verdict,
+    /// ROT latencies in virtual nanoseconds, in completion order.
+    pub rot_latencies: Vec<u64>,
+    /// Virtual time elapsed across the run.
+    pub virtual_elapsed: u64,
+}
+
+impl RunSummary {
+    /// The p-th latency percentile (0–100) of read-only transactions.
+    pub fn rot_latency_percentile(&self, p: f64) -> u64 {
+        if self.rot_latencies.is_empty() {
+            return 0;
+        }
+        let mut v = self.rot_latencies.clone();
+        v.sort_unstable();
+        let idx = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+}
+
+/// Options for [`drive`].
+#[derive(Clone, Copy, Debug)]
+pub struct DriveOptions {
+    /// Convert multi-object writes into single-object writes for
+    /// protocols without W (so the same stream runs everywhere).
+    pub downgrade_writes: bool,
+    /// Let background machinery (stabilization timers) run this much
+    /// virtual time every `settle_every` operations.
+    pub settle_every: u64,
+    /// Virtual settle duration (ns).
+    pub settle_for: u64,
+}
+
+impl Default for DriveOptions {
+    fn default() -> Self {
+        DriveOptions {
+            downgrade_writes: true,
+            settle_every: 16,
+            settle_for: cbf_sim::MILLIS,
+        }
+    }
+}
+
+/// Run `n_ops` operations from `workload` against `cluster`.
+pub fn drive<N: ProtocolNode>(
+    cluster: &mut Cluster<N>,
+    workload: &mut Workload,
+    n_ops: usize,
+    opts: DriveOptions,
+) -> Result<RunSummary, TxError> {
+    let start = cluster.world.now();
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    let mut rot_latencies = Vec::new();
+    for i in 0..n_ops {
+        match workload.next_op() {
+            Op::Rot { client, keys } => {
+                let r = cluster.read_tx(client, &keys)?;
+                rot_latencies.push(r.audit.latency);
+                completed += 1;
+            }
+            Op::Write { client, key } => {
+                let v: Value = cluster.alloc_value();
+                cluster.write(client, key, v)?;
+                completed += 1;
+            }
+            Op::MultiWrite { client, keys } => {
+                match cluster.write_tx_auto(client, &keys) {
+                    Ok(_) => completed += 1,
+                    Err(TxError::MultiWriteUnsupported) if opts.downgrade_writes => {
+                        rejected += 1;
+                        cluster.write_tx_auto(client, &keys[..1])?;
+                        completed += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if opts.settle_every > 0 && (i as u64 + 1).is_multiple_of(opts.settle_every) {
+            cluster.world.run_for(opts.settle_for);
+        }
+    }
+    Ok(RunSummary {
+        completed,
+        rejected_multi_writes: rejected,
+        profile: cluster.profile().clone(),
+        verdict: cluster.check(),
+        rot_latencies,
+        virtual_elapsed: cluster.world.now() - start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbf_protocols::cops_snow::CopsSnowNode;
+    use cbf_protocols::wren::WrenNode;
+    use cbf_protocols::Topology;
+    use cbf_workloads::{Mix, WorkloadSpec};
+
+    #[test]
+    fn drives_a_mixed_workload_and_stays_causal() {
+        let mut cluster: Cluster<WrenNode> = Cluster::new(Topology::minimal(4));
+        let mut wl = Workload::new(WorkloadSpec::minimal(Mix::ycsb_a()), 42);
+        let s = drive(&mut cluster, &mut wl, 60, DriveOptions::default()).unwrap();
+        assert_eq!(s.completed, 60);
+        assert!(s.verdict.is_ok(), "{:?}", s.verdict.violations);
+        assert!(s.profile.multi_write_supported);
+        assert!(!s.rot_latencies.is_empty());
+        assert!(s.virtual_elapsed > 0);
+    }
+
+    #[test]
+    fn downgrades_multi_writes_for_single_object_protocols() {
+        let mut cluster: Cluster<CopsSnowNode> = Cluster::new(Topology::minimal(4));
+        let mut wl = Workload::new(WorkloadSpec::minimal(Mix::ycsb_a()), 42);
+        let s = drive(&mut cluster, &mut wl, 60, DriveOptions::default()).unwrap();
+        assert_eq!(s.completed, 60);
+        assert!(s.rejected_multi_writes > 0);
+        assert!(!s.profile.multi_write_supported);
+        assert!(s.profile.fast_rots());
+        assert!(s.verdict.is_ok());
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut cluster: Cluster<WrenNode> = Cluster::new(Topology::minimal(4));
+        let mut wl = Workload::new(WorkloadSpec::minimal(Mix::ycsb_b()), 1);
+        let s = drive(&mut cluster, &mut wl, 40, DriveOptions::default()).unwrap();
+        let p50 = s.rot_latency_percentile(50.0);
+        let p99 = s.rot_latency_percentile(99.0);
+        assert!(p50 <= p99);
+        assert!(p50 > 0);
+    }
+}

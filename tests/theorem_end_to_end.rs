@@ -1,0 +1,100 @@
+//! End-to-end theorem runs: the full pipeline (simulator → protocol →
+//! trace audit → checker → Lemma 3 machinery) against every protocol.
+
+use snowbound::prelude::*;
+use snowbound::theorem::{general_topologies, minimal_topology, TheoremReport};
+
+fn caught_at(report: &TheoremReport) -> Option<u32> {
+    match report.conclusion {
+        Conclusion::Caught { at_k, .. } => Some(at_k),
+        _ => None,
+    }
+}
+
+#[test]
+fn theorem_catches_every_claimant_in_the_phase_family() {
+    // P coordination phases ⇒ caught at k = 2P − 2 (P ≥ 2); P = 1 at k = 1.
+    assert_eq!(caught_at(&run_theorem::<NaiveNode<1>>(12)), Some(1));
+    assert_eq!(caught_at(&run_theorem::<NaiveNode<2>>(12)), Some(2));
+    assert_eq!(caught_at(&run_theorem::<NaiveNode<3>>(12)), Some(4));
+    assert_eq!(caught_at(&run_theorem::<NaiveNode<4>>(12)), Some(6));
+}
+
+#[test]
+fn every_witness_is_a_checker_verified_mixed_snapshot() {
+    for report in [
+        run_theorem::<NaiveNode<1>>(12),
+        run_theorem::<NaiveNode<2>>(12),
+        run_theorem::<NaiveNode<3>>(12),
+    ] {
+        let Conclusion::Caught { witness, .. } = &report.conclusion else {
+            panic!("expected caught: {}", report.render());
+        };
+        assert_eq!(witness.snapshot_kind(), SnapshotKind::Mixed);
+        assert!(!witness.violations.is_empty());
+        // The ROT that was caught satisfied Definition 4: the protocol
+        // really delivered a *fast* read — that is why it is broken.
+        assert!(witness.audit.is_fast(), "audit: {:?}", witness.audit);
+    }
+}
+
+#[test]
+fn claim_2_holds_at_every_prefix() {
+    // At every constructed C_k the written values are not visible.
+    for report in [run_theorem::<NaiveNode<3>>(12), run_theorem::<NaiveNode<4>>(12)] {
+        assert!(!report.steps.is_empty());
+        for step in &report.steps {
+            assert!(
+                step.visible.iter().all(|&v| !v),
+                "claim 2 failed at k={}: {:?}",
+                step.k,
+                step.visible
+            );
+        }
+    }
+}
+
+#[test]
+fn forced_messages_alternate_servers() {
+    // Lemma 3's claim 1 names p_{k%2} as the sender at step k.
+    let report = run_theorem::<NaiveNode<4>>(12);
+    for step in &report.steps {
+        assert_eq!(
+            step.forced.from,
+            snowbound::sim::ProcessId(step.k % 2),
+            "step {} came from the wrong server",
+            step.k
+        );
+    }
+}
+
+#[test]
+fn the_design_space_corners_survive_the_gamma_schedule() {
+    // N+V+W (Wren), N+R+W (COPS-RW), R+V+W (Spanner-like), Eiger.
+    let s = setup_c0::<WrenNode>(minimal_topology()).unwrap();
+    assert!(!attack_all_servers(&s).unwrap().caught());
+    let s = setup_c0::<CopsRwNode>(minimal_topology()).unwrap();
+    assert!(!attack_all_servers(&s).unwrap().caught());
+    let s = setup_c0::<SpannerNode>(minimal_topology()).unwrap();
+    assert!(!attack_all_servers(&s).unwrap().caught());
+    let s = setup_c0::<EigerNode>(minimal_topology()).unwrap();
+    assert!(!attack_all_servers(&s).unwrap().caught());
+}
+
+#[test]
+fn theorem_2_catches_claimants_on_every_general_topology() {
+    for topo in general_topologies() {
+        let r = run_general::<NaiveFast>(topo).unwrap();
+        assert!(r.caught(), "{}", r.render());
+        // The witness violates Lemma 1's generalization (Observation 3).
+        let w = r.witness.unwrap();
+        assert_eq!(w.snapshot_kind(), SnapshotKind::Mixed);
+    }
+}
+
+#[test]
+fn theorem_2_lets_eiger_survive_on_many_servers() {
+    let topo = Topology::sharded(4, 8, 4);
+    let r = run_general::<EigerNode>(topo).unwrap();
+    assert!(!r.caught(), "{}", r.render());
+}
