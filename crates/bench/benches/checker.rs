@@ -3,7 +3,9 @@
 //! the exhaustive Definition 1 search on small histories.
 
 use cbf_model::history::TxRecord;
-use cbf_model::{check_causal, check_causal_exhaustive, ClientId, History, Key, TxId, Value};
+use cbf_model::{
+    check_causal, check_causal_exhaustive, ClientId, History, Key, Relation, TxId, Value,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +67,44 @@ fn checker(c: &mut Criterion) {
             b.iter(|| check_causal_exhaustive(h, 5_000_000))
         });
     }
+    g.finish();
+
+    // The bitset Floyd–Warshall closure on its own, at sizes past what
+    // random histories reach — n=512 is 8 words/row, the regime the
+    // `trailing_zeros` bit-walk in `pairs`/`topo_order` targets.
+    let mut g = c.benchmark_group("transitive_close");
+    for n in [128usize, 512] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut r = Relation::new(n);
+        // A sparse DAG: ~4 forward edges per node keeps it acyclic.
+        for _ in 0..4 * n {
+            let i = rng.gen_range(0..n - 1);
+            let j = rng.gen_range(i + 1..n);
+            r.set(i, j);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &r, |b, r| {
+            b.iter(|| {
+                let mut x = r.clone();
+                x.transitive_close();
+                x.topo_order().is_some()
+            })
+        });
+    }
+    g.finish();
+
+    // Serial vs parallel per-client fan-out of the Definition 1 search:
+    // same history, thread budget toggled via the env escape hatch.
+    let mut g = c.benchmark_group("exhaustive_speedup");
+    let h = consistent_history(9, 2, 7);
+    g.bench_with_input(BenchmarkId::new("serial", 9), &h, |b, h| {
+        std::env::set_var(cbf_par::THREADS_ENV, "1");
+        b.iter(|| check_causal_exhaustive(h, 50_000_000));
+        std::env::remove_var(cbf_par::THREADS_ENV);
+    });
+    g.bench_with_input(BenchmarkId::new("parallel", 9), &h, |b, h| {
+        std::env::remove_var(cbf_par::THREADS_ENV);
+        b.iter(|| check_causal_exhaustive(h, 50_000_000));
+    });
     g.finish();
 }
 

@@ -29,7 +29,9 @@ fn bench_rot<N: ProtocolNode>(c: &mut Criterion, group: &str) {
         let mut cluster = base.clone();
         b.iter(|| {
             if N::SUPPORTS_MULTI_WRITE {
-                cluster.write_tx_auto(ClientId(2), &[Key(0), Key(1)]).expect("wtx")
+                cluster
+                    .write_tx_auto(ClientId(2), &[Key(0), Key(1)])
+                    .expect("wtx")
             } else {
                 cluster.write_tx_auto(ClientId(2), &[Key(0)]).expect("w")
             }

@@ -63,8 +63,11 @@ fn simulator(c: &mut Criterion) {
     g.finish();
 
     let mut g = c.benchmark_group("fork");
-    for &hops in &[1_000u32, 10_000] {
-        // Fork cost grows with accumulated state (trace + queues).
+    for &hops in &[1_000u32, 10_000, 100_000] {
+        // With the segmented CoW trace, fork cost stays bounded by the
+        // unsealed tail (≤ SEAL_CAP events) plus per-process state, no
+        // matter how long the recorded history is — the 10×-deeper
+        // histories here should fork in near-constant time.
         let mut w = ring_world(8, hops, true);
         w.inject(ProcessId(0), 0);
         w.run_until_quiescent();
@@ -72,6 +75,22 @@ fn simulator(c: &mut Criterion) {
             b.iter(|| w.fork().stats().events)
         });
     }
+    g.finish();
+
+    // A fork that then diverges: exercises the copy-on-write tail (the
+    // fork appends its own events without disturbing the parent).
+    let mut g = c.benchmark_group("fork_diverge");
+    let mut parent = ring_world(8, 10_000, true);
+    parent.inject(ProcessId(0), 0);
+    parent.run_until_quiescent();
+    g.bench_function("fork_then_1000_hops", |b| {
+        b.iter(|| {
+            let mut f = parent.fork();
+            f.inject(ProcessId(0), 9_000);
+            f.run_until_quiescent();
+            f.stats().events
+        })
+    });
     g.finish();
 
     let mut g = c.benchmark_group("chaotic");

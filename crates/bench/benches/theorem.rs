@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use snowbound::prelude::*;
-use snowbound::theorem::{minimal_topology, probe_reads, ProbeSchedule};
+use snowbound::theorem::{is_visible, minimal_topology, probe_reads, ProbeSchedule};
 
 fn theorem(c: &mut Criterion) {
     let mut g = c.benchmark_group("theorem");
@@ -25,10 +25,22 @@ fn theorem(c: &mut Criterion) {
         })
     });
 
+    // The full visibility family (Definition 2: fast + one delayed
+    // schedule per server) serial vs fanned out — the tightest loop the
+    // theorem harness parallelizes.
+    g.bench_function("visibility_family_serial", |b| {
+        std::env::set_var(cbf_par::THREADS_ENV, "1");
+        b.iter(|| is_visible(&setup, Key(0), setup.x_in[0]));
+        std::env::remove_var(cbf_par::THREADS_ENV);
+    });
+    g.bench_function("visibility_family_parallel", |b| {
+        std::env::remove_var(cbf_par::THREADS_ENV);
+        b.iter(|| is_visible(&setup, Key(0), setup.x_in[0]));
+    });
+
     g.bench_function("gamma_attack", |b| {
         b.iter(|| {
-            let out =
-                mixed_snapshot_attack(&setup, snowbound::sim::ProcessId(0), None).unwrap();
+            let out = mixed_snapshot_attack(&setup, snowbound::sim::ProcessId(0), None).unwrap();
             assert!(out.caught());
             out.reads
         })

@@ -10,11 +10,13 @@
 //! `theorem2`, `limits`, `latency`, `all`. Results are printed and, for
 //! the tabular exhibits, also written as JSON under `results/`.
 
-use cbf_bench::{latency_table, LatencyRow};
+use cbf_bench::json::ToJson;
+use cbf_bench::{
+    latency_table, perfbench, render_latency_table, render_table1, table1_rows, LatencyRow,
+};
 use snowbound::prelude::*;
 use snowbound::theorem::{
-    audit_protocol_on, general_topologies, minimal_topology, paper_table1, probe_reads,
-    ProbeSchedule, SystemRow,
+    general_topologies, minimal_topology, paper_table1, probe_reads, ProbeSchedule, SystemRow,
 };
 
 fn main() {
@@ -34,6 +36,7 @@ fn main() {
         "ablations" => ablations(),
         "daggers" => daggers(),
         "freshness" => freshness(),
+        "perfbench" => run_perfbench(),
         "all" => {
             for f in [
                 table1 as fn(),
@@ -55,21 +58,16 @@ fn main() {
         }
         other => {
             eprintln!("unknown exhibit: {other}");
-            eprintln!("known: table1 table2 fig1 fig2 fig3 theorem1 theorem2 limits latency ablations daggers freshness all");
+            eprintln!("known: table1 table2 fig1 fig2 fig3 theorem1 theorem2 limits latency ablations daggers freshness perfbench all");
             std::process::exit(2);
         }
     }
 }
 
-fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+fn save_json(name: &str, value: &impl ToJson) {
     let path = format!("results/{name}.json");
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if std::fs::write(&path, s).is_ok() {
-                println!("  [written {path}]");
-            }
-        }
-        Err(e) => eprintln!("  [failed to serialize {name}: {e}]"),
+    if std::fs::write(&path, value.to_json(0)).is_ok() {
+        println!("  [written {path}]");
     }
 }
 
@@ -81,40 +79,8 @@ fn table1() {
     println!("TABLE 1 — measured rows (this artifact) vs the paper's characterization");
     println!("Deployment: 2 servers, 2 objects, 6 clients; R/V/N audited from traces.\n");
 
-    let rows: Vec<SystemRow> = vec![
-        audit_protocol::<RampNode>(8),
-        audit_protocol::<CopsNode>(8),
-        audit_protocol::<GentleRainNode>(8),
-        audit_protocol::<ContrarianNode>(8),
-        audit_protocol::<CopsSnowNode>(8),
-        audit_protocol::<EigerNode>(8),
-        audit_protocol::<WrenNode>(8),
-        audit_protocol::<CureNode>(8),
-        audit_protocol::<CopsRwNode>(8),
-        audit_protocol::<SpannerNode>(8),
-        audit_protocol_on::<OccultNode>(Topology::partially_replicated(3, 5, 2, 2), 8),
-        audit_protocol::<CalvinNode>(8),
-        audit_protocol::<NaiveFast>(8),
-        audit_protocol::<NaiveTwoPhase>(8),
-    ];
-    println!(
-        "| {:<14} | {:>2} | {:>2} | {:^3} | {:^3} | {:<22} | {:^6} | theorem",
-        "system", "R", "V", "N", "W", "consistency", "causal"
-    );
-    println!("|{}", "-".repeat(100));
-    for r in &rows {
-        println!(
-            "| {:<14} | {:>2} | {:>2} | {:^3} | {:^3} | {:<22} | {:^6} | {}",
-            r.name,
-            r.rounds,
-            r.values,
-            if r.nonblocking { "yes" } else { "no" },
-            if r.write_tx { "yes" } else { "no" },
-            r.consistency,
-            if r.causal_ok { "OK" } else { "FAIL" },
-            r.theorem
-        );
-    }
+    let rows: Vec<SystemRow> = table1_rows();
+    print!("{}", render_table1(&rows));
     save_json("table1_measured", &rows);
 
     println!("\nPaper's Table 1 (all 22 systems, reference):");
@@ -148,20 +114,60 @@ fn table2() {
         ("X_i", "object i", "cbf_model::Key"),
         ("x_in_i", "initial value of X_i", "TheoremSetup::x_in"),
         ("p_i", "server storing X_i", "cbf_sim::ProcessId(i)"),
-        ("T_in_i", "initializing write transaction", "setup_c0 (Figure 1)"),
+        (
+            "T_in_i",
+            "initializing write transaction",
+            "setup_c0 (Figure 1)",
+        ),
         ("c_in_i", "client issuing T_in_i", "TheoremSetup::c_in"),
-        ("cw", "writer client (reads x_in, then writes Tw)", "TheoremSetup::cw"),
-        ("Tw", "troublesome write-only transaction", "induction::run_theorem"),
+        (
+            "cw",
+            "writer client (reads x_in, then writes Tw)",
+            "TheoremSetup::cw",
+        ),
+        (
+            "Tw",
+            "troublesome write-only transaction",
+            "induction::run_theorem",
+        ),
         ("x_i", "new value written by Tw", "AttackOutcome::new"),
-        ("c_r / c_r^k", "reader client of the constructions", "TheoremSetup::reader"),
-        ("T_r", "fast read-only transaction", "Cluster::read_tx + RotAudit"),
+        (
+            "c_r / c_r^k",
+            "reader client of the constructions",
+            "TheoremSetup::reader",
+        ),
+        (
+            "T_r",
+            "fast read-only transaction",
+            "Cluster::read_tx + RotAudit",
+        ),
         ("Qin, Q0, C0", "initial configurations", "setup::setup_c0"),
-        ("γ_old/σ_old", "Construction 1", "attack (phase σ_old) + ProbeSchedule::Delay"),
+        (
+            "γ_old/σ_old",
+            "Construction 1",
+            "attack (phase σ_old) + ProbeSchedule::Delay",
+        ),
         ("γ_new/σ_new", "Construction 2", "attack (phase σ_new)"),
-        ("β, β_new", "solo run making Tw visible", "attack (phase β_new)"),
-        ("γ, δ", "contradictory executions", "attack::mixed_snapshot_attack"),
-        ("ms_k", "forced message of prefix α_k", "induction::ForcedMsg"),
-        ("α_k, C_k", "prefixes of the infinite execution", "induction::InductionStep"),
+        (
+            "β, β_new",
+            "solo run making Tw visible",
+            "attack (phase β_new)",
+        ),
+        (
+            "γ, δ",
+            "contradictory executions",
+            "attack::mixed_snapshot_attack",
+        ),
+        (
+            "ms_k",
+            "forced message of prefix α_k",
+            "induction::ForcedMsg",
+        ),
+        (
+            "α_k, C_k",
+            "prefixes of the infinite execution",
+            "induction::InductionStep",
+        ),
     ];
     println!("| {:<12} | {:<42} | here", "symbol", "meaning");
     println!("|{}", "-".repeat(96));
@@ -211,7 +217,10 @@ fn fig2() {
         cw_pid,
         <NaiveFast as ProtocolNode>::wtx_invoke(id, vec![(Key(0), v0), (Key(1), v1)]),
     );
-    println!("Tw = (w(X0){v0:?}, w(X1){v1:?}) injected at cw; x_in = {:?}\n", s.x_in);
+    println!(
+        "Tw = (w(X0){v0:?}, w(X1){v1:?}) injected at cw; x_in = {:?}\n",
+        s.x_in
+    );
 
     // Construction 1: C = a configuration where the new values are not
     // visible (here: Tw has taken no steps). T_r returns the old world,
@@ -221,7 +230,9 @@ fn fig2() {
         ProbeSchedule::Delay(snowbound::sim::ProcessId(0)), // p1 answers first
     ] {
         let reads = probe_reads(&s.cluster, s.probe, &s.keys, sched).expect("probe");
-        println!("Construction 1 ({sched:?}): T_r returned {reads:?}  (x_in — as Observation 1 claims)");
+        println!(
+            "Construction 1 ({sched:?}): T_r returned {reads:?}  (x_in — as Observation 1 claims)"
+        );
     }
 
     // Construction 2: C = a configuration where the new values are
@@ -238,7 +249,9 @@ fn fig2() {
         ProbeSchedule::Delay(snowbound::sim::ProcessId(0)),
     ] {
         let reads = probe_reads(&s.cluster, s.probe, &s.keys, sched).expect("probe");
-        println!("Construction 2 ({sched:?}): T_r returned {reads:?}  (x_new — as Observation 2 claims)");
+        println!(
+            "Construction 2 ({sched:?}): T_r returned {reads:?}  (x_new — as Observation 2 claims)"
+        );
     }
     println!("\nThe proof splices a σ_old prefix of Construction 1 with a σ_new");
     println!("suffix of Construction 2 — fig3 shows the splice.");
@@ -285,7 +298,10 @@ fn theorem1() {
     // Claim 2's other shoe: a claimant whose servers do communicate
     // (decoy gossip) but whose values become visible mid-induction is
     // caught by the δ execution instead of γ.
-    println!("{}", run_theorem::<snowbound::protocols::naive::NaiveChatty>(12).render());
+    println!(
+        "{}",
+        run_theorem::<snowbound::protocols::naive::NaiveChatty>(12).render()
+    );
     println!("naive-chatty's forced messages are real but useless: the values turn");
     println!("visible at C_1, claim 2 fails, and the δ execution extracts the same");
     println!("forbidden snapshot — the induction covers both of Lemma 3's claims.");
@@ -355,25 +371,8 @@ fn latency() {
         (Mix::ycsb_b(), "YCSB-B (95% read)"),
         (Mix::ycsb_a(), "YCSB-A (50% read)"),
     ] {
-        println!("-- {name}");
-        println!(
-            "   {:<16} {:>6} {:>10} {:>9} {:>9} {:>9} {:>5}  causal",
-            "protocol", "ROTs", "mean µs", "p50 µs", "p99 µs", "msgs/op", "V"
-        );
         let rows = latency_table(mix, name, 120, 42);
-        for r in &rows {
-            println!(
-                "   {:<16} {:>6} {:>10.1} {:>9} {:>9} {:>9.2} {:>5}  {}",
-                r.protocol,
-                r.rots,
-                r.rot_mean_us,
-                r.rot_p50_us,
-                r.rot_p99_us,
-                r.msgs_per_op,
-                r.max_values,
-                if r.causal_ok { "OK" } else { "FAIL" }
-            );
-        }
+        print!("{}", render_latency_table(name, &rows));
         all.extend(rows);
         println!();
     }
@@ -395,7 +394,10 @@ fn ablations() {
     // A1: Spanner-like, TrueTime ε sweep. Commit-wait and read parking
     // scale with ε: the protocol converts clock quality into latency.
     println!("A1. Spanner-like: TrueTime ε vs latency (YCSB-A, 80 ops, seed 11)");
-    println!("    {:>8} {:>12} {:>12} {:>12}", "ε µs", "ROT p50 µs", "ROT p99 µs", "ROT mean µs");
+    println!(
+        "    {:>8} {:>12} {:>12} {:>12}",
+        "ε µs", "ROT p50 µs", "ROT p99 µs", "ROT mean µs"
+    );
     let mut last_mean = 0.0;
     for eps in [50 * MICROS, 250 * MICROS, 1000 * MICROS] {
         let topo = Topology::minimal(4).with_tuning(eps);
@@ -427,11 +429,15 @@ fn ablations() {
         // Warm the stabilization machinery.
         cluster.world.run_for(5 * period);
         let t0 = cluster.world.now();
-        let w = cluster.write_tx_auto(ClientId(0), &[Key(0), Key(1)]).expect("write");
+        let w = cluster
+            .write_tx_auto(ClientId(0), &[Key(0), Key(1)])
+            .expect("write");
         let want = w.writes[0].1;
         let mut visible_at = None;
         for _ in 0..200 {
-            let r = cluster.read_tx(ClientId(1), &[Key(0), Key(1)]).expect("read");
+            let r = cluster
+                .read_tx(ClientId(1), &[Key(0), Key(1)])
+                .expect("read");
             if r.reads[0].1 == want {
                 visible_at = Some(cluster.world.now());
                 break;
@@ -440,7 +446,10 @@ fn ablations() {
         }
         let vis = (visible_at.expect("must become visible") - t0) / 1_000;
         println!("    {:>10} {:>18}", period / 1_000, vis);
-        assert!(vis >= last_vis, "visibility latency must grow with the period");
+        assert!(
+            vis >= last_vis,
+            "visibility latency must grow with the period"
+        );
         last_vis = vis;
     }
 
@@ -448,7 +457,10 @@ fn ablations() {
     // query the servers of its dependencies for old readers before
     // becoming visible: more dependency servers, more messages.
     println!("\nA3. COPS-SNOW: dependency fan-out vs write messages / latency");
-    println!("    {:>10} {:>12} {:>14}", "dep srvs", "msgs/write", "write µs");
+    println!(
+        "    {:>10} {:>12} {:>14}",
+        "dep srvs", "msgs/write", "write µs"
+    );
     let mut last_msgs = 0;
     for fanout in [0u32, 1, 2, 3] {
         let mut cluster: Cluster<CopsSnowNode> = Cluster::new(Topology::sharded(4, 6, 8));
@@ -460,7 +472,9 @@ fn ablations() {
             cluster.read_tx(ClientId(0), &[k]).expect("observe");
         }
         let before = cluster.world.stats().total_sent();
-        let w = cluster.write_tx_auto(ClientId(0), &[Key(0)]).expect("write");
+        let w = cluster
+            .write_tx_auto(ClientId(0), &[Key(0)])
+            .expect("write");
         let msgs = cluster.world.stats().total_sent() - before;
         println!(
             "    {:>10} {:>12} {:>14}",
@@ -481,7 +495,9 @@ fn ablations() {
     for checkpoint in [4usize, 16, 48] {
         let mut max_vals = 0;
         while cluster.history().len() < checkpoint {
-            cluster.write_tx_auto(ClientId(0), &[Key(0), Key(1)]).expect("w");
+            cluster
+                .write_tx_auto(ClientId(0), &[Key(0), Key(1)])
+                .expect("w");
             let r = cluster.read_tx(ClientId(0), &[Key(0), Key(1)]).expect("r");
             max_vals = max_vals.max(r.audit.max_values_per_msg);
         }
@@ -511,6 +527,78 @@ fn ablations() {
 }
 
 // ---------------------------------------------------------------------
+// Perfbench — the harness measuring itself
+// ---------------------------------------------------------------------
+
+/// A perfbench exhibit: name + the renderer measured serial vs parallel.
+type Exhibit = (&'static str, fn() -> String);
+
+fn run_perfbench() {
+    println!("PERFBENCH — harness self-measurement: serial vs parallel exhibits");
+    println!(
+        "thread budget: {} (override with {}=N)\n",
+        cbf_par::thread_budget(),
+        cbf_par::THREADS_ENV
+    );
+
+    let mut exhibits = Vec::new();
+    let spec: &[Exhibit] = &[
+        ("table1", || render_table1(&table1_rows())),
+        ("latency", || {
+            let mut out = String::new();
+            for (mix, name) in [
+                (Mix::ycsb_c(), "YCSB-C (100% read)"),
+                (Mix::ycsb_b(), "YCSB-B (95% read)"),
+                (Mix::ycsb_a(), "YCSB-A (50% read)"),
+            ] {
+                out.push_str(&render_latency_table(
+                    name,
+                    &latency_table(mix, name, 120, 42),
+                ));
+            }
+            out
+        }),
+        // The induction itself: fork-heavy (every visibility probe runs
+        // on a fresh fork) and exercises the parallel probe family.
+        ("theorem", || {
+            format!(
+                "{}\n{}",
+                run_theorem::<NaiveFast>(8).render(),
+                run_theorem::<NaiveTwoPhase>(8).render()
+            )
+        }),
+    ];
+    for (name, f) in spec {
+        let perf = perfbench::measure_exhibit(name, f);
+        println!(
+            "  {:<10} serial {:>9.1} ms  parallel {:>9.1} ms  speedup {:>5.2}x  forks {}→{}  identical: {}",
+            perf.exhibit,
+            perf.serial_ms,
+            perf.parallel_ms,
+            perf.speedup,
+            perf.forks_serial,
+            perf.forks_parallel,
+            perf.outputs_identical
+        );
+        assert!(
+            perf.outputs_identical,
+            "{name}: parallel output diverged from serial — determinism bug"
+        );
+        exhibits.push(perf);
+    }
+
+    let report = perfbench::PerfReport {
+        threads: cbf_par::thread_budget(),
+        peak_rss_kb: perfbench::peak_rss_kb(),
+        exhibits,
+    };
+    let path = "results/BENCH_harness.json";
+    if std::fs::write(path, report.to_json(0)).is_ok() {
+        println!("\n  [written {path}]");
+    }
+}
+
+// ---------------------------------------------------------------------
 // The † rows — fast + W + causal, without minimal progress
 // ---------------------------------------------------------------------
 
@@ -522,8 +610,12 @@ fn daggers() {
 
     // A hands-on run: fast reads, write transactions, causal histories…
     let mut db: Cluster<PinnedNode> = Cluster::new(Topology::minimal(4));
-    let w = db.write_tx_auto(ClientId(0), &[Key(0), Key(1)]).expect("wtx");
-    let own = db.read_tx(ClientId(0), &[Key(0), Key(1)]).expect("own read");
+    let w = db
+        .write_tx_auto(ClientId(0), &[Key(0), Key(1)])
+        .expect("wtx");
+    let own = db
+        .read_tx(ClientId(0), &[Key(0), Key(1)])
+        .expect("own read");
     println!(
         "writer's read:   {:?}  (fast: {}, own write visible)",
         own.reads,
@@ -532,7 +624,10 @@ fn daggers() {
     let mut stale = None;
     for _ in 0..5 {
         db.world.run_for(10 * snowbound::sim::MILLIS);
-        stale = Some(db.read_tx(ClientId(1), &[Key(0), Key(1)]).expect("other read"));
+        stale = Some(
+            db.read_tx(ClientId(1), &[Key(0), Key(1)])
+                .expect("other read"),
+        );
     }
     let stale = stale.unwrap();
     println!(
@@ -550,7 +645,10 @@ fn daggers() {
         p.multi_write_supported,
         p.claims_the_impossible()
     );
-    println!("history causal:  {}  (reading the frozen past is consistent)\n", db.check().is_ok());
+    println!(
+        "history causal:  {}  (reading the frozen past is consistent)\n",
+        db.check().is_ok()
+    );
 
     // And the theorem machinery pinpoints the escape hatch: Definition 3.
     // Even Figure 1's Q0 — a configuration where the *initial* values are
@@ -580,8 +678,7 @@ fn freshness() {
     );
 
     fn row<N: ProtocolNode>(tuning: u64) -> (String, snowbound::model::FreshnessReport) {
-        let mut cluster: Cluster<N> =
-            Cluster::new(Topology::minimal(4).with_tuning(tuning));
+        let mut cluster: Cluster<N> = Cluster::new(Topology::minimal(4).with_tuning(tuning));
         let mut wl = Workload::new(WorkloadSpec::minimal(Mix::ycsb_a()), 33);
         drive(&mut cluster, &mut wl, 150, DriveOptions::default()).expect("drive");
         (N::NAME.to_string(), measure_freshness(cluster.history()))

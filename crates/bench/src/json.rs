@@ -1,0 +1,205 @@
+//! Minimal JSON emission for the `results/` artifacts.
+//!
+//! The repro pipeline writes small, flat, machine-readable files (rows
+//! of numbers and strings); a hand-rolled emitter covers that without an
+//! external serializer. Output is deterministic: fields appear in the
+//! order they are pushed, floats print via Rust's shortest round-trip
+//! `Display`, and non-finite floats degrade to `null`.
+
+/// Escape a string for a JSON string literal (without the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An object under construction: ordered `key: value` pairs with
+/// pre-rendered values.
+#[derive(Clone, Debug, Default)]
+pub struct Obj {
+    fields: Vec<(String, String)>,
+}
+
+impl Obj {
+    /// Empty object.
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Add a float field (`null` when non-finite).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            // Keep an explicit decimal point so the field parses as a
+            // float everywhere.
+            if value.fract() == 0.0 && value.abs() < 1e15 {
+                format!("{value:.1}")
+            } else {
+                format!("{value}")
+            }
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Add an already-rendered JSON value.
+    pub fn raw(mut self, key: &str, rendered: String) -> Self {
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Render with two-space indentation at `indent` levels deep.
+    pub fn render(&self, indent: usize) -> String {
+        if self.fields.is_empty() {
+            return "{}".to_string();
+        }
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{pad}\"{}\": {v}", escape(k)))
+            .collect();
+        format!("{{\n{}\n{close}}}", body.join(",\n"))
+    }
+}
+
+/// Types that render themselves as one JSON value.
+pub trait ToJson {
+    /// Render at the given indent depth.
+    fn to_json(&self, indent: usize) -> String;
+}
+
+impl ToJson for Obj {
+    fn to_json(&self, indent: usize) -> String {
+        self.render(indent)
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self, indent: usize) -> String {
+        if self.is_empty() {
+            return "[]".to_string();
+        }
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        let body: Vec<String> = self
+            .iter()
+            .map(|v| format!("{pad}{}", v.to_json(indent + 1)))
+            .collect();
+        format!("[\n{}\n{close}]", body.join(",\n"))
+    }
+}
+
+impl ToJson for crate::LatencyRow {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .str("protocol", &self.protocol)
+            .str("mix", &self.mix)
+            .u64("rots", self.rots)
+            .f64("rot_mean_us", self.rot_mean_us)
+            .u64("rot_p50_us", self.rot_p50_us)
+            .u64("rot_p99_us", self.rot_p99_us)
+            .f64("msgs_per_op", self.msgs_per_op)
+            .u64("max_values", self.max_values as u64)
+            .bool("causal_ok", self.causal_ok)
+            .render(indent)
+    }
+}
+
+impl ToJson for snowbound::theorem::SystemRow {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .str("name", &self.name)
+            .u64("rounds", self.rounds as u64)
+            .u64("values", self.values as u64)
+            .bool("nonblocking", self.nonblocking)
+            .bool("write_tx", self.write_tx)
+            .str("consistency", &self.consistency)
+            .bool("causal_ok", self.causal_ok)
+            .f64("mean_rot_latency", self.mean_rot_latency)
+            .str("theorem", &self.theorem)
+            .render(indent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn renders_flat_object() {
+        let o = Obj::new()
+            .str("name", "wren")
+            .u64("rounds", 2)
+            .bool("ok", true);
+        let s = o.render(0);
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"wren\",\n  \"rounds\": 2,\n  \"ok\": true\n}"
+        );
+    }
+
+    #[test]
+    fn renders_float_variants() {
+        let s = Obj::new()
+            .f64("a", 1.0)
+            .f64("b", 2.5)
+            .f64("c", f64::NAN)
+            .render(0);
+        assert!(s.contains("\"a\": 1.0"));
+        assert!(s.contains("\"b\": 2.5"));
+        assert!(s.contains("\"c\": null"));
+    }
+
+    #[test]
+    fn renders_nested_array() {
+        let rows = vec![Obj::new().u64("i", 0), Obj::new().u64("i", 1)];
+        let s = rows.to_json(0);
+        assert!(s.starts_with("[\n  {"));
+        assert!(s.ends_with("\n]"));
+        assert!(s.contains("\"i\": 1"));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Obj::new().render(0), "{}");
+        assert_eq!(Vec::<Obj>::new().to_json(0), "[]");
+    }
+}

@@ -14,11 +14,15 @@
 #![warn(rust_2018_idioms)]
 
 use snowbound::prelude::*;
+use snowbound::theorem;
+
+pub mod json;
+pub mod perfbench;
 
 /// Latency landmark of one protocol under one mix: mean / p50 / p99 of
 /// ROT latency in virtual microseconds, plus write latency and message
 /// counts.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct LatencyRow {
     /// Protocol name.
     pub protocol: String,
@@ -64,19 +68,99 @@ pub fn latency_row<N: ProtocolNode>(mix: Mix, mix_name: &str, ops: usize, seed: 
 
 /// The latency table across the whole implemented design space, for one
 /// mix. Order: fast-read corner first.
+///
+/// Each protocol's deployment is an independent simulation, so the rows
+/// are produced with [`cbf_par::parallel_map`]; results come back in
+/// this fixed order regardless of the thread budget, and each row is a
+/// pure function of `(mix, ops, seed)`, so the table is bit-identical
+/// to the serial loop (`SNOWBOUND_THREADS=1` *is* the serial loop).
 pub fn latency_table(mix: Mix, mix_name: &str, ops: usize, seed: u64) -> Vec<LatencyRow> {
-    vec![
-        latency_row::<CopsSnowNode>(mix, mix_name, ops, seed),
-        latency_row::<CopsNode>(mix, mix_name, ops, seed),
-        latency_row::<RampNode>(mix, mix_name, ops, seed),
-        latency_row::<EigerNode>(mix, mix_name, ops, seed),
-        latency_row::<ContrarianNode>(mix, mix_name, ops, seed),
-        latency_row::<WrenNode>(mix, mix_name, ops, seed),
-        latency_row::<GentleRainNode>(mix, mix_name, ops, seed),
-        latency_row::<CopsRwNode>(mix, mix_name, ops, seed),
-        latency_row::<CalvinNode>(mix, mix_name, ops, seed),
-        latency_row::<SpannerNode>(mix, mix_name, ops, seed),
-    ]
+    let jobs: Vec<Box<dyn Fn() -> LatencyRow + Send + '_>> = vec![
+        Box::new(move || latency_row::<CopsSnowNode>(mix, mix_name, ops, seed)),
+        Box::new(move || latency_row::<CopsNode>(mix, mix_name, ops, seed)),
+        Box::new(move || latency_row::<RampNode>(mix, mix_name, ops, seed)),
+        Box::new(move || latency_row::<EigerNode>(mix, mix_name, ops, seed)),
+        Box::new(move || latency_row::<ContrarianNode>(mix, mix_name, ops, seed)),
+        Box::new(move || latency_row::<WrenNode>(mix, mix_name, ops, seed)),
+        Box::new(move || latency_row::<GentleRainNode>(mix, mix_name, ops, seed)),
+        Box::new(move || latency_row::<CopsRwNode>(mix, mix_name, ops, seed)),
+        Box::new(move || latency_row::<CalvinNode>(mix, mix_name, ops, seed)),
+        Box::new(move || latency_row::<SpannerNode>(mix, mix_name, ops, seed)),
+    ];
+    cbf_par::parallel_map(jobs, |job| job())
+}
+
+/// Render one mix's latency table as the `repro latency` text block.
+pub fn render_latency_table(mix_name: &str, rows: &[LatencyRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("-- {mix_name}\n"));
+    out.push_str(&format!(
+        "   {:<16} {:>6} {:>10} {:>9} {:>9} {:>9} {:>5}  causal\n",
+        "protocol", "ROTs", "mean µs", "p50 µs", "p99 µs", "msgs/op", "V"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "   {:<16} {:>6} {:>10.1} {:>9} {:>9} {:>9.2} {:>5}  {}\n",
+            r.protocol,
+            r.rots,
+            r.rot_mean_us,
+            r.rot_p50_us,
+            r.rot_p99_us,
+            r.msgs_per_op,
+            r.max_values,
+            if r.causal_ok { "OK" } else { "FAIL" }
+        ));
+    }
+    out
+}
+
+/// The measured Table 1 rows — one theorem audit per implemented
+/// protocol. The audits share nothing (each deploys its own cluster),
+/// so they fan out through [`cbf_par::parallel_map`]; the returned
+/// order is fixed and the rows are bit-identical to a serial run.
+pub fn table1_rows() -> Vec<theorem::SystemRow> {
+    use snowbound::theorem::{audit_protocol, audit_protocol_on};
+    let jobs: Vec<Box<dyn Fn() -> theorem::SystemRow + Send>> = vec![
+        Box::new(|| audit_protocol::<RampNode>(8)),
+        Box::new(|| audit_protocol::<CopsNode>(8)),
+        Box::new(|| audit_protocol::<GentleRainNode>(8)),
+        Box::new(|| audit_protocol::<ContrarianNode>(8)),
+        Box::new(|| audit_protocol::<CopsSnowNode>(8)),
+        Box::new(|| audit_protocol::<EigerNode>(8)),
+        Box::new(|| audit_protocol::<WrenNode>(8)),
+        Box::new(|| audit_protocol::<CureNode>(8)),
+        Box::new(|| audit_protocol::<CopsRwNode>(8)),
+        Box::new(|| audit_protocol::<SpannerNode>(8)),
+        Box::new(|| audit_protocol_on::<OccultNode>(Topology::partially_replicated(3, 5, 2, 2), 8)),
+        Box::new(|| audit_protocol::<CalvinNode>(8)),
+        Box::new(|| audit_protocol::<NaiveFast>(8)),
+        Box::new(|| audit_protocol::<NaiveTwoPhase>(8)),
+    ];
+    cbf_par::parallel_map(jobs, |job| job())
+}
+
+/// Render the measured Table 1 rows as the `repro table1` text block.
+pub fn render_table1(rows: &[theorem::SystemRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "| {:<14} | {:>2} | {:>2} | {:^3} | {:^3} | {:<22} | {:^6} | theorem\n",
+        "system", "R", "V", "N", "W", "consistency", "causal"
+    ));
+    out.push_str(&format!("|{}\n", "-".repeat(100)));
+    for r in rows {
+        out.push_str(&format!(
+            "| {:<14} | {:>2} | {:>2} | {:^3} | {:^3} | {:<22} | {:^6} | {}\n",
+            r.name,
+            r.rounds,
+            r.values,
+            if r.nonblocking { "yes" } else { "no" },
+            if r.write_tx { "yes" } else { "no" },
+            r.consistency,
+            if r.causal_ok { "OK" } else { "FAIL" },
+            r.theorem
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

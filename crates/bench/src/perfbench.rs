@@ -1,0 +1,185 @@
+//! Harness self-measurement: the `repro perfbench` exhibit.
+//!
+//! Times each heavy exhibit twice — serial (`SNOWBOUND_THREADS=1`) and
+//! parallel (current thread budget) — and emits the machine-readable
+//! `results/BENCH_harness.json` so future changes have a performance
+//! trajectory to defend. Alongside wall-clock it records the number of
+//! [`World::fork`]s each run took (the theorem machinery's inner-loop
+//! currency) and a peak-RSS proxy from `/proc/self/status`.
+//!
+//! [`World::fork`]: ../cbf_sim/struct.World.html#method.fork
+
+use crate::json::{Obj, ToJson};
+use std::time::Instant;
+
+/// One exhibit, measured serial vs parallel.
+#[derive(Clone, Debug)]
+pub struct ExhibitPerf {
+    /// Exhibit name (`table1`, `latency`, …).
+    pub exhibit: String,
+    /// Serial wall-clock, milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall-clock, milliseconds.
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+    /// `World::fork` calls during the serial run.
+    pub forks_serial: u64,
+    /// `World::fork` calls during the parallel run.
+    pub forks_parallel: u64,
+    /// The two runs produced identical output (the determinism
+    /// guarantee, checked on every perfbench run).
+    pub outputs_identical: bool,
+}
+
+impl ToJson for ExhibitPerf {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .str("exhibit", &self.exhibit)
+            .f64("serial_ms", self.serial_ms)
+            .f64("parallel_ms", self.parallel_ms)
+            .f64("speedup", self.speedup)
+            .u64("forks_serial", self.forks_serial)
+            .u64("forks_parallel", self.forks_parallel)
+            .bool("outputs_identical", self.outputs_identical)
+            .render(indent)
+    }
+}
+
+/// The whole perfbench report.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Thread budget the parallel runs used.
+    pub threads: usize,
+    /// Peak resident set size (kB) after all runs — a proxy, since it is
+    /// a high-water mark over the process lifetime.
+    pub peak_rss_kb: u64,
+    /// Per-exhibit measurements.
+    pub exhibits: Vec<ExhibitPerf>,
+}
+
+impl ToJson for PerfReport {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .str("schema", "snowbound-perfbench-v1")
+            .u64("threads", self.threads as u64)
+            .u64("peak_rss_kb", self.peak_rss_kb)
+            .raw("exhibits", self.exhibits.to_json(indent + 1))
+            .render(indent)
+    }
+}
+
+/// Peak resident set size in kB, read from `/proc/self/status` (`VmHWM`).
+/// Returns 0 where procfs is unavailable (non-Linux).
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Time one run of `f`, returning its output, elapsed milliseconds, and
+/// the `World::fork` calls it performed.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64, u64) {
+    let forks_before = cbf_sim::forks_taken();
+    let start = Instant::now();
+    let out = f();
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (out, ms, cbf_sim::forks_taken() - forks_before)
+}
+
+/// Measure one exhibit serial-then-parallel. `f` must be a pure function
+/// of the thread budget: it returns the exhibit's rendered output, which
+/// the two runs must reproduce byte-for-byte.
+pub fn measure_exhibit(name: &str, f: impl Fn() -> String) -> ExhibitPerf {
+    let saved = std::env::var(cbf_par::THREADS_ENV).ok();
+
+    std::env::set_var(cbf_par::THREADS_ENV, "1");
+    let (serial_out, serial_ms, forks_serial) = timed(&f);
+
+    match &saved {
+        Some(v) => std::env::set_var(cbf_par::THREADS_ENV, v),
+        None => std::env::remove_var(cbf_par::THREADS_ENV),
+    }
+    let (parallel_out, parallel_ms, forks_parallel) = timed(&f);
+
+    ExhibitPerf {
+        exhibit: name.to_string(),
+        serial_ms,
+        parallel_ms,
+        speedup: if parallel_ms > 0.0 {
+            serial_ms / parallel_ms
+        } else {
+            f64::INFINITY
+        },
+        forks_serial,
+        forks_parallel,
+        outputs_identical: serial_out == parallel_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_proxy_reads_something_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+
+    #[derive(Clone)]
+    struct Idle;
+    impl cbf_sim::Actor for Idle {
+        type Msg = ();
+        fn step(&mut self, _ctx: &mut cbf_sim::Ctx<()>) {}
+    }
+
+    #[test]
+    fn timed_reports_forks() {
+        let (out, ms, forks) = timed(|| {
+            let w = cbf_sim::World::new(
+                vec![Idle, Idle],
+                cbf_sim::LatencyModel::constant_default(),
+                cbf_sim::SimConfig::default(),
+            );
+            let _f = w.fork();
+            7u32
+        });
+        assert_eq!(out, 7);
+        assert!(ms >= 0.0);
+        assert!(forks >= 1);
+    }
+
+    #[test]
+    fn report_renders_schema() {
+        let report = PerfReport {
+            threads: 4,
+            peak_rss_kb: 1234,
+            exhibits: vec![ExhibitPerf {
+                exhibit: "table1".into(),
+                serial_ms: 10.0,
+                parallel_ms: 5.0,
+                speedup: 2.0,
+                forks_serial: 3,
+                forks_parallel: 3,
+                outputs_identical: true,
+            }],
+        };
+        let s = report.to_json(0);
+        assert!(s.contains("snowbound-perfbench-v1"));
+        assert!(s.contains("\"speedup\": 2.0"));
+        assert!(s.contains("outputs_identical"));
+    }
+}

@@ -61,16 +61,8 @@ impl AttackOutcome {
     /// Classify the reader's snapshot: all-old, all-new, or mixed
     /// (Lemma 1 allows only the first two).
     pub fn snapshot_kind(&self) -> SnapshotKind {
-        let is_old = self
-            .reads
-            .iter()
-            .zip(&self.old)
-            .all(|(&(_, v), &o)| v == o);
-        let is_new = self
-            .reads
-            .iter()
-            .zip(&self.new)
-            .all(|(&(_, v), &n)| v == n);
+        let is_old = self.reads.iter().zip(&self.old).all(|(&(_, v), &o)| v == o);
+        let is_new = self.reads.iter().zip(&self.new).all(|(&(_, v), &n)| v == n);
         match (is_old, is_new) {
             (true, _) => SnapshotKind::AllOld,
             (_, true) => SnapshotKind::AllNew,
@@ -155,10 +147,7 @@ pub fn mixed_snapshot_attack<N: ProtocolNode>(
     // β_new: Tw executes solo (cw + all servers; the reader frozen, its
     // in-flight messages suspended by asynchrony) until the written
     // values are visible. Minimal progress says this must happen.
-    let solo: Vec<ProcessId> = topo
-        .servers()
-        .chain(std::iter::once(cw_pid))
-        .collect();
+    let solo: Vec<ProcessId> = topo.servers().chain(std::iter::once(cw_pid)).collect();
     let expectations: Vec<(Key, Value)> = s
         .keys
         .iter()
@@ -183,9 +172,9 @@ pub fn mixed_snapshot_attack<N: ProtocolNode>(
 
     // σ_new + completion: release everything; the remaining servers
     // answer the reader from the new world.
-    s.cluster.world.run_until_within(PHASE_C, |w| {
-        w.actor(reader_pid).completed(rot_id).is_some()
-    });
+    s.cluster
+        .world
+        .run_until_within(PHASE_C, |w| w.actor(reader_pid).completed(rot_id).is_some());
     let done: Completed = s
         .cluster
         .world
@@ -341,11 +330,7 @@ mod tests {
         let out = attack_all_servers(&s).unwrap();
         assert!(!out.caught(), "violations: {:?}", out.violations);
         // Its escape hatch: more than one value per message.
-        assert!(
-            out.audit.max_values_per_msg > 1,
-            "audit: {:?}",
-            out.audit
-        );
+        assert!(out.audit.max_values_per_msg > 1, "audit: {:?}", out.audit);
     }
 
     #[test]

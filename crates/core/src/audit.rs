@@ -5,10 +5,9 @@ use crate::induction::{run_theorem, Conclusion};
 use crate::setup::{setup_c0, TheoremSetup};
 use cbf_model::{check_causal, ClientId, ConsistencyLevel, Key};
 use cbf_protocols::{ProtocolNode, Topology, TxError};
-use serde::Serialize;
 
 /// A measured Table 1 row for one implemented protocol.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SystemRow {
     /// Protocol name.
     pub name: String,
@@ -52,28 +51,204 @@ pub struct PaperRow {
 /// The paper's Table 1, verbatim.
 pub fn paper_table1() -> &'static [PaperRow] {
     const T: &[PaperRow] = &[
-        PaperRow { system: "RAMP", r: "≤2", v: "≤2", n: true, w: true, consistency: "Read Atomicity", dagger: false },
-        PaperRow { system: "COPS", r: "≤2", v: "≤2", n: true, w: false, consistency: "Causal Consistency", dagger: false },
-        PaperRow { system: "Orbe", r: "2", v: "1", n: false, w: false, consistency: "Causal Consistency", dagger: false },
-        PaperRow { system: "GentleRain", r: "2", v: "1", n: false, w: false, consistency: "Causal Consistency", dagger: false },
-        PaperRow { system: "ChainReaction", r: "≥1", v: "≥1", n: false, w: false, consistency: "Causal Consistency", dagger: false },
-        PaperRow { system: "POCC", r: "2", v: "1", n: false, w: false, consistency: "Causal Consistency", dagger: false },
-        PaperRow { system: "Contrarian", r: "2", v: "1", n: true, w: false, consistency: "Causal Consistency", dagger: false },
-        PaperRow { system: "COPS-SNOW", r: "1", v: "1", n: true, w: false, consistency: "Causal Consistency", dagger: false },
-        PaperRow { system: "Eiger", r: "≤3", v: "≤2", n: true, w: true, consistency: "Causal Consistency", dagger: false },
-        PaperRow { system: "Wren", r: "2", v: "1", n: true, w: true, consistency: "Causal Consistency", dagger: false },
-        PaperRow { system: "SwiftCloud", r: "1", v: "1", n: true, w: true, consistency: "Causal Consistency", dagger: true },
-        PaperRow { system: "Cure", r: "2", v: "1", n: false, w: true, consistency: "Causal Consistency", dagger: false },
-        PaperRow { system: "Yesquel", r: "1", v: "1", n: false, w: true, consistency: "Snapshot Isolation", dagger: false },
-        PaperRow { system: "Occult", r: "≥1", v: "≥1", n: true, w: true, consistency: "Per Client Parallel SI", dagger: false },
-        PaperRow { system: "Granola", r: "2", v: "1", n: true, w: true, consistency: "Serializability", dagger: false },
-        PaperRow { system: "TAPIR", r: "≤2", v: "1", n: true, w: true, consistency: "Serializability", dagger: false },
-        PaperRow { system: "Eiger-PS", r: "1", v: "1", n: true, w: true, consistency: "PO-Serializability", dagger: true },
-        PaperRow { system: "Spanner", r: "1", v: "1", n: false, w: true, consistency: "Strict Serializability", dagger: true },
-        PaperRow { system: "DrTM", r: "≥1", v: "≥1", n: false, w: true, consistency: "Strict Serializability", dagger: false },
-        PaperRow { system: "RoCoCo", r: "≥1", v: "≥1", n: false, w: true, consistency: "Strict Serializability", dagger: false },
-        PaperRow { system: "RoCoCo-SNOW", r: "1", v: "1", n: false, w: true, consistency: "Strict Serializability", dagger: false },
-        PaperRow { system: "Calvin", r: "2", v: "1", n: false, w: true, consistency: "Strict Serializability", dagger: false },
+        PaperRow {
+            system: "RAMP",
+            r: "≤2",
+            v: "≤2",
+            n: true,
+            w: true,
+            consistency: "Read Atomicity",
+            dagger: false,
+        },
+        PaperRow {
+            system: "COPS",
+            r: "≤2",
+            v: "≤2",
+            n: true,
+            w: false,
+            consistency: "Causal Consistency",
+            dagger: false,
+        },
+        PaperRow {
+            system: "Orbe",
+            r: "2",
+            v: "1",
+            n: false,
+            w: false,
+            consistency: "Causal Consistency",
+            dagger: false,
+        },
+        PaperRow {
+            system: "GentleRain",
+            r: "2",
+            v: "1",
+            n: false,
+            w: false,
+            consistency: "Causal Consistency",
+            dagger: false,
+        },
+        PaperRow {
+            system: "ChainReaction",
+            r: "≥1",
+            v: "≥1",
+            n: false,
+            w: false,
+            consistency: "Causal Consistency",
+            dagger: false,
+        },
+        PaperRow {
+            system: "POCC",
+            r: "2",
+            v: "1",
+            n: false,
+            w: false,
+            consistency: "Causal Consistency",
+            dagger: false,
+        },
+        PaperRow {
+            system: "Contrarian",
+            r: "2",
+            v: "1",
+            n: true,
+            w: false,
+            consistency: "Causal Consistency",
+            dagger: false,
+        },
+        PaperRow {
+            system: "COPS-SNOW",
+            r: "1",
+            v: "1",
+            n: true,
+            w: false,
+            consistency: "Causal Consistency",
+            dagger: false,
+        },
+        PaperRow {
+            system: "Eiger",
+            r: "≤3",
+            v: "≤2",
+            n: true,
+            w: true,
+            consistency: "Causal Consistency",
+            dagger: false,
+        },
+        PaperRow {
+            system: "Wren",
+            r: "2",
+            v: "1",
+            n: true,
+            w: true,
+            consistency: "Causal Consistency",
+            dagger: false,
+        },
+        PaperRow {
+            system: "SwiftCloud",
+            r: "1",
+            v: "1",
+            n: true,
+            w: true,
+            consistency: "Causal Consistency",
+            dagger: true,
+        },
+        PaperRow {
+            system: "Cure",
+            r: "2",
+            v: "1",
+            n: false,
+            w: true,
+            consistency: "Causal Consistency",
+            dagger: false,
+        },
+        PaperRow {
+            system: "Yesquel",
+            r: "1",
+            v: "1",
+            n: false,
+            w: true,
+            consistency: "Snapshot Isolation",
+            dagger: false,
+        },
+        PaperRow {
+            system: "Occult",
+            r: "≥1",
+            v: "≥1",
+            n: true,
+            w: true,
+            consistency: "Per Client Parallel SI",
+            dagger: false,
+        },
+        PaperRow {
+            system: "Granola",
+            r: "2",
+            v: "1",
+            n: true,
+            w: true,
+            consistency: "Serializability",
+            dagger: false,
+        },
+        PaperRow {
+            system: "TAPIR",
+            r: "≤2",
+            v: "1",
+            n: true,
+            w: true,
+            consistency: "Serializability",
+            dagger: false,
+        },
+        PaperRow {
+            system: "Eiger-PS",
+            r: "1",
+            v: "1",
+            n: true,
+            w: true,
+            consistency: "PO-Serializability",
+            dagger: true,
+        },
+        PaperRow {
+            system: "Spanner",
+            r: "1",
+            v: "1",
+            n: false,
+            w: true,
+            consistency: "Strict Serializability",
+            dagger: true,
+        },
+        PaperRow {
+            system: "DrTM",
+            r: "≥1",
+            v: "≥1",
+            n: false,
+            w: true,
+            consistency: "Strict Serializability",
+            dagger: false,
+        },
+        PaperRow {
+            system: "RoCoCo",
+            r: "≥1",
+            v: "≥1",
+            n: false,
+            w: true,
+            consistency: "Strict Serializability",
+            dagger: false,
+        },
+        PaperRow {
+            system: "RoCoCo-SNOW",
+            r: "1",
+            v: "1",
+            n: false,
+            w: true,
+            consistency: "Strict Serializability",
+            dagger: false,
+        },
+        PaperRow {
+            system: "Calvin",
+            r: "2",
+            v: "1",
+            n: false,
+            w: true,
+            consistency: "Strict Serializability",
+            dagger: false,
+        },
     ];
     T
 }
@@ -128,9 +303,7 @@ fn measurement_workload<N: ProtocolNode>(
             setup
                 .cluster
                 .world
-                .run_until_within(cbf_sim::SECONDS, |w| {
-                    w.actor(rpid).completed(rot).is_some()
-                });
+                .run_until_within(cbf_sim::SECONDS, |w| w.actor(rpid).completed(rot).is_some());
             // Audit the episode ROT so it counts toward the profile.
             if let Some(done) = setup.cluster.world.actor_mut(rpid).take_completed(rot) {
                 let audit = cbf_protocols::common::cluster::audit_rot::<N>(

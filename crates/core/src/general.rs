@@ -46,7 +46,11 @@ impl GeneralReport {
         for (srv, caught) in &self.per_server {
             out.push_str(&format!(
                 "  early responder {srv}: {}\n",
-                if *caught { "MIXED SNAPSHOT (Lemma 1 violated)" } else { "consistent" }
+                if *caught {
+                    "MIXED SNAPSHOT (Lemma 1 violated)"
+                } else {
+                    "consistent"
+                }
             ));
         }
         if let Some(w) = &self.witness {
@@ -74,8 +78,7 @@ pub enum GeneralError {
 pub fn run_general<N: ProtocolNode>(topo: Topology) -> Result<GeneralReport, GeneralError> {
     assert!(N::SUPPORTS_MULTI_WRITE, "theorem 2 targets W-claimants");
     let shape = (topo.num_servers, topo.num_keys, topo.replication);
-    let setup: TheoremSetup<N> =
-        setup_c0(topo).map_err(|e| GeneralError::Setup(e.to_string()))?;
+    let setup: TheoremSetup<N> = setup_c0(topo).map_err(|e| GeneralError::Setup(e.to_string()))?;
     let servers: Vec<ProcessId> = setup.cluster.topo.servers().collect();
     let mut per_server = Vec::new();
     let mut witness = None;

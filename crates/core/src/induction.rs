@@ -110,7 +110,11 @@ impl TheoremReport {
         let mut out = String::new();
         out.push_str(&format!("Theorem 1 vs {}\n", self.protocol));
         for s in &self.steps {
-            let kind = if s.forced.indirect { "indirect (via cw)" } else { "direct" };
+            let kind = if s.forced.indirect {
+                "indirect (via cw)"
+            } else {
+                "direct"
+            };
             out.push_str(&format!(
                 "  α_{}: forced message {} → {} [{}] {}; x0 visible: {}, x1 visible: {}\n",
                 s.k,
@@ -132,7 +136,11 @@ impl TheoremReport {
                     at_k, witness.reads, witness.old, witness.new, witness.violations
                 ));
             }
-            Conclusion::Survived { at_k, gave_up, outcome } => {
+            Conclusion::Survived {
+                at_k,
+                gave_up,
+                outcome,
+            } => {
                 out.push_str(&format!(
                     "  survived at k={at_k} by giving up {gave_up}; reader returned {:?}\n",
                     outcome.reads
@@ -174,9 +182,9 @@ fn indirect_in_continuation<N: ProtocolNode>(
     ) else {
         return false;
     };
-    evs[d..].iter().any(
-        |e| matches!(e, TraceEvent::Send { from, to, .. } if *from == cw && *to == p_other),
-    )
+    evs[d..]
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Send { from, to, .. } if *from == cw && *to == p_other))
 }
 
 /// Run Theorem 1 against protocol `N` on the paper's minimal deployment
@@ -231,14 +239,21 @@ pub(crate) fn run_theorem_on<N: ProtocolNode>(
 
     // Inject Tw; its step stays deferred until a solo run allows cw.
     let tw_id = setup.cluster.alloc_tx();
-    let new_vals: Vec<Value> = setup.keys.iter().map(|_| setup.cluster.alloc_value()).collect();
+    let new_vals: Vec<Value> = setup
+        .keys
+        .iter()
+        .map(|_| setup.cluster.alloc_value())
+        .collect();
     let writes: Vec<(Key, Value)> = setup
         .keys
         .iter()
         .copied()
         .zip(new_vals.iter().copied())
         .collect();
-    setup.cluster.world.inject(cw_pid, N::wtx_invoke(tw_id, writes));
+    setup
+        .cluster
+        .world
+        .inject(cw_pid, N::wtx_invoke(tw_id, writes));
 
     let servers: Vec<ProcessId> = setup.cluster.topo.servers().collect();
     let mut steps = Vec::new();
@@ -257,9 +272,14 @@ pub(crate) fn run_theorem_on<N: ProtocolNode>(
             .cluster
             .world
             .run_restricted_until_within(&solo, SOLO_BUDGET, |w| {
-                let evs = w.trace.events();
-                while scan < evs.len() {
-                    if let TraceEvent::Send { id, from, to, msg, .. } = &evs[scan] {
+                // O(1) indexed access: this predicate runs before every
+                // event, so materializing the whole trace here would be
+                // quadratic in trace length.
+                while scan < w.trace.len() {
+                    if let TraceEvent::Send {
+                        id, from, to, msg, ..
+                    } = w.trace.event_at(scan)
+                    {
                         let sender_ok = if general {
                             servers.contains(from)
                         } else {
@@ -324,22 +344,24 @@ pub(crate) fn run_theorem_on<N: ProtocolNode>(
                     // paper's proof then builds the execution δ — a γ
                     // splice from C_{k-1} whose σ_new leg reads the now
                     // visible world — and derives the contradiction.
-                    let conclusion =
-                        match mixed_snapshot_attack(&checkpoint, p_k, Some((tw_id, new_vals.clone())))
-                        {
-                            Ok(out) if out.caught() => Conclusion::Caught {
-                                at_k: k,
-                                witness: Box::new(out),
-                            },
-                            Ok(out) => Conclusion::Survived {
-                                at_k: k,
-                                gave_up: classify_escape(&out),
-                                outcome: Box::new(out),
-                            },
-                            Err(e) => Conclusion::Aborted {
-                                reason: format!("δ construction failed: {e:?}"),
-                            },
-                        };
+                    let conclusion = match mixed_snapshot_attack(
+                        &checkpoint,
+                        p_k,
+                        Some((tw_id, new_vals.clone())),
+                    ) {
+                        Ok(out) if out.caught() => Conclusion::Caught {
+                            at_k: k,
+                            witness: Box::new(out),
+                        },
+                        Ok(out) => Conclusion::Survived {
+                            at_k: k,
+                            gave_up: classify_escape(&out),
+                            outcome: Box::new(out),
+                        },
+                        Err(e) => Conclusion::Aborted {
+                            reason: format!("δ construction failed: {e:?}"),
+                        },
+                    };
                     return TheoremReport {
                         protocol: N::NAME,
                         steps,
@@ -372,8 +394,7 @@ pub(crate) fn run_theorem_on<N: ProtocolNode>(
                         }
                         Err(AttackError::NoProgress) => {
                             conclusion = Some(Conclusion::Aborted {
-                                reason: "minimal progress violated: Tw never became visible"
-                                    .into(),
+                                reason: "minimal progress violated: Tw never became visible".into(),
                             });
                             break;
                         }
@@ -560,7 +581,10 @@ mod tests {
         let r = run_theorem::<cbf_protocols::pinned::PinnedNode>(4);
         match &r.conclusion {
             Conclusion::Aborted { reason } => {
-                assert!(reason.contains("setup") || reason.contains("progress"), "{reason}");
+                assert!(
+                    reason.contains("setup") || reason.contains("progress"),
+                    "{reason}"
+                );
             }
             other => panic!("expected Aborted, got {other:?}"),
         }

@@ -66,14 +66,24 @@ pub fn schedule_family(topo: &cbf_protocols::Topology) -> Vec<ProbeSchedule> {
 /// Is `expect` visible for `key` (Definition 2) at the current
 /// configuration of `setup.cluster`? All probes in the family must
 /// return `expect`.
+///
+/// The probes are independent runs on independent forks, so the family
+/// fans out across threads ([`cbf_par::parallel_map`]). Every schedule
+/// is evaluated (no short-circuit) and the results are and-reduced in
+/// family order, so the verdict is identical to the serial loop — the
+/// quantifier "every continuation" is order-insensitive, and each probe
+/// is a pure function of the (immutable) configuration and its schedule.
 pub fn is_visible<N: ProtocolNode>(setup: &TheoremSetup<N>, key: Key, expect: Value) -> bool {
-    schedule_family(&setup.cluster.topo).into_iter().all(|s| {
+    let family = schedule_family(&setup.cluster.topo);
+    cbf_par::parallel_map(family, |s| {
         match probe_reads(&setup.cluster, setup.probe, &setup.keys, s) {
             Some(reads) => reads.iter().any(|&(k, v)| k == key && v == expect),
             // An incomplete probe cannot have returned `expect`.
             None => false,
         }
     })
+    .into_iter()
+    .all(|visible| visible)
 }
 
 /// Fast-schedule-only visibility: used inside tight loops where the
@@ -82,7 +92,12 @@ pub fn fast_visible<N: ProtocolNode>(
     setup: &TheoremSetup<N>,
     expectations: &[(Key, Value)],
 ) -> bool {
-    match probe_reads(&setup.cluster, setup.probe, &setup.keys, ProbeSchedule::Fast) {
+    match probe_reads(
+        &setup.cluster,
+        setup.probe,
+        &setup.keys,
+        ProbeSchedule::Fast,
+    ) {
         Some(reads) => expectations
             .iter()
             .all(|&(k, want)| reads.iter().any(|&(kk, v)| kk == k && v == want)),
@@ -133,9 +148,13 @@ mod tests {
         assert!(!is_visible(&s, Key(1), v1));
         // And per Lemma 2, some probe schedule returns ALL-initial
         // values: the probe delayed at p0 sees (x_in0, x_in1).
-        let reads =
-            probe_reads(&s.cluster, s.probe, &s.keys, ProbeSchedule::Delay(ProcessId(0)))
-                .unwrap();
+        let reads = probe_reads(
+            &s.cluster,
+            s.probe,
+            &s.keys,
+            ProbeSchedule::Delay(ProcessId(0)),
+        )
+        .unwrap();
         // The delayed schedule still returns x0 from p0 after the grace
         // period (the value is applied there); what matters for the
         // lemma is the checker's verdict on mixes, exercised in attack.rs.

@@ -6,12 +6,11 @@
 //! transaction; [`PropertyProfile`] aggregates them into the measured row
 //! of Table 1 for that protocol.
 
-use serde::Serialize;
 use std::fmt;
 
 /// Consistency levels appearing in Table 1, ordered weakest → strongest
 /// where comparable.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConsistencyLevel {
     /// RAMP's read atomicity.
     ReadAtomicity,
@@ -64,7 +63,7 @@ impl fmt::Display for ConsistencyLevel {
 }
 
 /// Measured behaviour of one read-only transaction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RotAudit {
     /// Client→servers communication rounds used (R). A fast ROT uses 1.
     pub rounds: u32,
@@ -89,7 +88,7 @@ impl RotAudit {
 }
 
 /// Measured behaviour of one write transaction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WtxAudit {
     /// Number of distinct objects written.
     pub objects: u32,
@@ -103,7 +102,7 @@ pub struct WtxAudit {
 }
 
 /// Aggregated measured properties of a protocol — one Table 1 row.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct PropertyProfile {
     /// Worst-case observed ROT rounds.
     pub max_rounds: u32,
@@ -192,16 +191,32 @@ mod tests {
     #[test]
     fn definition_4_predicate() {
         assert!(fast_audit().is_fast());
-        assert!(!RotAudit { rounds: 2, ..fast_audit() }.is_fast());
-        assert!(!RotAudit { max_values_per_msg: 2, ..fast_audit() }.is_fast());
-        assert!(!RotAudit { blocked: true, ..fast_audit() }.is_fast());
+        assert!(!RotAudit {
+            rounds: 2,
+            ..fast_audit()
+        }
+        .is_fast());
+        assert!(!RotAudit {
+            max_values_per_msg: 2,
+            ..fast_audit()
+        }
+        .is_fast());
+        assert!(!RotAudit {
+            blocked: true,
+            ..fast_audit()
+        }
+        .is_fast());
     }
 
     #[test]
     fn profile_aggregates_worst_case() {
         let mut p = PropertyProfile::default();
         p.record_rot(&fast_audit());
-        p.record_rot(&RotAudit { rounds: 2, latency: 300, ..fast_audit() });
+        p.record_rot(&RotAudit {
+            rounds: 2,
+            latency: 300,
+            ..fast_audit()
+        });
         assert_eq!(p.max_rounds, 2);
         assert!(!p.one_round());
         assert!(p.one_value());

@@ -25,10 +25,9 @@
 use crate::history::History;
 use crate::relations::{CausalOrder, Relation};
 use crate::types::{ClientId, Key, TxId, Value};
-use serde::Serialize;
 
 /// A specific way a history fails causal consistency.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 #[allow(missing_docs)] // fields are self-describing
 pub enum Violation {
     /// Two transactions wrote the same value; the graph checker requires
@@ -146,10 +145,7 @@ pub fn check_causal(h: &History) -> Verdict {
             if j == rf.writer || j == rf.reader {
                 continue;
             }
-            if t.wrote(rf.key).is_some()
-                && co.before(rf.writer, j)
-                && co.before(j, rf.reader)
-            {
+            if t.wrote(rf.key).is_some() && co.before(rf.writer, j) && co.before(j, rf.reader) {
                 v.violations.push(Violation::StaleRead {
                     reader: co.tx_ids[rf.reader],
                     key: rf.key,
@@ -179,9 +175,16 @@ pub fn check_causal(h: &History) -> Verdict {
         }
     }
 
-    // Rule 4: per-client constraint saturation.
-    for client in h.clients() {
-        if !client_serializable(h, &co, client) {
+    // Rule 4: per-client constraint saturation. Each client's fixpoint
+    // is independent (it saturates its own copy of the causal relation),
+    // so the clients fan out across threads; every client is evaluated
+    // and the verdicts are folded back in client order, reproducing the
+    // serial loop's violation order exactly.
+    let clients = h.clients();
+    for (client, ok) in cbf_par::parallel_map(clients, |client| {
+        (client, client_serializable(h, &co, client))
+    }) {
+        if !ok {
             v.violations.push(Violation::Unserializable { client });
         }
     }
@@ -330,7 +333,12 @@ mod tests {
         assert!(
             vs.iter().any(|v| matches!(
                 v,
-                Violation::StaleRead { reader: TxId(4), key: Key(0), read_from: TxId(0), overwritten_by: TxId(3) }
+                Violation::StaleRead {
+                    reader: TxId(4),
+                    key: Key(0),
+                    read_from: TxId(0),
+                    overwritten_by: TxId(3)
+                }
             )),
             "got {vs:?}"
         );
@@ -422,7 +430,9 @@ mod tests {
         assert!(
             vs.iter().any(|v| matches!(
                 v,
-                Violation::Unserializable { client: ClientId(2) } | Violation::StaleRead { .. }
+                Violation::Unserializable {
+                    client: ClientId(2)
+                } | Violation::StaleRead { .. }
             )),
             "got {vs:?}"
         );
@@ -443,8 +453,12 @@ mod tests {
         .collect();
         let vs = bad(&h);
         assert!(
-            vs.iter()
-                .any(|v| matches!(v, Violation::Unserializable { client: ClientId(2) })),
+            vs.iter().any(|v| matches!(
+                v,
+                Violation::Unserializable {
+                    client: ClientId(2)
+                }
+            )),
             "got {vs:?}"
         );
     }
@@ -466,9 +480,12 @@ mod tests {
     fn causality_cycle_is_flagged() {
         // T0 (c0) reads c1's value and writes its own; T1 (c1) reads T0's
         // value and wrote the value T0 read: rf cycle.
-        let h: History = vec![tx(0, 0, &[(0, 2)], &[(1, 1)]), tx(1, 1, &[(1, 1)], &[(0, 2)])]
-            .into_iter()
-            .collect();
+        let h: History = vec![
+            tx(0, 0, &[(0, 2)], &[(1, 1)]),
+            tx(1, 1, &[(1, 1)], &[(0, 2)]),
+        ]
+        .into_iter()
+        .collect();
         let vs = bad(&h);
         assert!(vs.contains(&Violation::CausalityCycle));
     }
@@ -479,12 +496,7 @@ mod tests {
         // next; a final reader sees the latest.
         let mut txs = vec![tx(0, 0, &[], &[(0, 100)])];
         for i in 1..20u64 {
-            txs.push(tx(
-                i,
-                i as u32,
-                &[(0, 99 + i)],
-                &[(0, 100 + i)],
-            ));
+            txs.push(tx(i, i as u32, &[(0, 99 + i)], &[(0, 100 + i)]));
         }
         txs.push(tx(20, 20, &[(0, 119)], &[]));
         ok(&txs.into_iter().collect());
@@ -518,7 +530,10 @@ mod tests {
         assert!(report.contains("violation"));
         assert!(report.contains("overwrote it causally"), "{report}");
         // And the happy path.
-        assert_eq!(check_causal(&History::new()).render(), "causally consistent");
+        assert_eq!(
+            check_causal(&History::new()).render(),
+            "causally consistent"
+        );
     }
 
     #[test]

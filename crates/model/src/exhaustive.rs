@@ -51,9 +51,21 @@ pub fn check_causal_exhaustive(h: &History, budget: u64) -> Exhaustive {
     if !co.causal.is_irreflexive() {
         return Exhaustive::Inconsistent(h.transactions()[0].client);
     }
-    for client in h.clients() {
+    // Definition 1 quantifies per client, and the searches share nothing
+    // (each explores its own serializations of the same immutable
+    // history), so they fan out across threads. Every client is
+    // evaluated and the verdicts are reduced in client order, which
+    // reproduces the serial loop's first-failing-client answer exactly.
+    let clients = h.clients();
+    let results = cbf_par::parallel_map(clients, |client| {
         let mut nodes = 0u64;
-        match search_for_client(h, &co, client, budget, &mut nodes) {
+        (
+            client,
+            search_for_client(h, &co, client, budget, &mut nodes),
+        )
+    });
+    for (client, r) in results {
+        match r {
             Some(true) => {}
             Some(false) => return Exhaustive::Inconsistent(client),
             None => return Exhaustive::Unknown,
@@ -139,7 +151,15 @@ fn search_for_client(
                 }
             }
             let r = rec(
-                txs, co, client, pred_count, placed, state, remaining - 1, budget, nodes,
+                txs,
+                co,
+                client,
+                pred_count,
+                placed,
+                state,
+                remaining - 1,
+                budget,
+                nodes,
             );
             // Undo.
             for j in 0..n {

@@ -16,11 +16,10 @@
 
 use crate::history::History;
 use crate::types::{Key, Value};
-use serde::Serialize;
 use std::collections::HashMap;
 
 /// Staleness statistics over every read in a history.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FreshnessReport {
     /// Reads analyzed (reads of `⊥` before any write are skipped).
     pub reads: u64,
@@ -104,7 +103,13 @@ mod tests {
     use crate::history::TxRecord;
     use crate::types::{ClientId, TxId};
 
-    fn tx_at(id: u64, reads: &[(u32, u64)], writes: &[(u32, u64)], inv: u64, done: u64) -> TxRecord {
+    fn tx_at(
+        id: u64,
+        reads: &[(u32, u64)],
+        writes: &[(u32, u64)],
+        inv: u64,
+        done: u64,
+    ) -> TxRecord {
         TxRecord {
             id: TxId(id),
             client: ClientId(id as u32),

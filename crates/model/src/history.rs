@@ -9,12 +9,11 @@
 //! order recoverable from the per-client subsequence.
 
 use crate::types::{ClientId, Key, TxId, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// What a transaction declared it would do: its read-set and write-set
 /// (the paper's `T = (R_T, W_T)`).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TxSpec {
     /// Objects to read.
     pub read_set: Vec<Key>,
@@ -59,7 +58,7 @@ impl TxSpec {
 
 /// A completed transaction as observed at its client: the spec plus the
 /// values its reads returned.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TxRecord {
     /// Unique id of this transaction instance.
     pub id: TxId,
@@ -107,7 +106,7 @@ impl TxRecord {
 ///
 /// Program order `<_{H|c}` is the per-client subsequence. The checkers in
 /// [`crate::checker`] and [`crate::exhaustive`] consume this type.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct History {
     transactions: Vec<TxRecord>,
 }
@@ -197,12 +196,7 @@ impl FromIterator<TxRecord> for History {
 }
 
 /// Shorthand for building test/example transactions.
-pub fn tx(
-    id: u64,
-    client: u32,
-    reads: &[(u32, u64)],
-    writes: &[(u32, u64)],
-) -> TxRecord {
+pub fn tx(id: u64, client: u32, reads: &[(u32, u64)], writes: &[(u32, u64)]) -> TxRecord {
     TxRecord {
         id: TxId(id),
         client: ClientId(client),

@@ -97,39 +97,49 @@ impl Relation {
         (0..self.n).all(|i| !self.get(i, i))
     }
 
+    /// Call `f(j)` for every successor `j` of `i`, in ascending order.
+    /// Walks the set bits of row `i` word-by-word with `trailing_zeros`,
+    /// so sparse rows cost O(words + set bits) rather than `n` probes.
+    #[inline]
+    fn for_each_successor(&self, i: usize, mut f: impl FnMut(usize)) {
+        let row = &self.bits[i * self.words..(i + 1) * self.words];
+        for (wi, &word) in row.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                f(wi * 64 + w.trailing_zeros() as usize);
+                w &= w - 1; // clear lowest set bit
+            }
+        }
+    }
+
     /// All pairs in the relation, for debugging and tests.
     pub fn pairs(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         for i in 0..self.n {
-            for j in 0..self.n {
-                if self.get(i, j) {
-                    out.push((i, j));
-                }
-            }
+            self.for_each_successor(i, |j| out.push((i, j)));
         }
         out
     }
 
-    #[allow(clippy::needless_range_loop)] // index-driven over a bit-matrix
     /// One topological order of the elements consistent with the relation
     /// (which must be acyclic when closed). Kahn's algorithm with
     /// smallest-index tie-breaking, so the result is deterministic.
     pub fn topo_order(&self) -> Option<Vec<usize>> {
         let mut indeg = vec![0usize; self.n];
         for i in 0..self.n {
-            for j in 0..self.n {
-                if i != j && self.get(i, j) {
+            self.for_each_successor(i, |j| {
+                if j != i {
                     indeg[j] += 1;
                 }
-            }
+            });
         }
         let mut ready: Vec<usize> = (0..self.n).filter(|&i| indeg[i] == 0).collect();
         ready.sort_unstable_by(|a, b| b.cmp(a)); // pop smallest from the back
         let mut out = Vec::with_capacity(self.n);
         while let Some(i) = ready.pop() {
             out.push(i);
-            for j in 0..self.n {
-                if i != j && self.get(i, j) {
+            self.for_each_successor(i, |j| {
+                if j != i {
                     indeg[j] -= 1;
                     if indeg[j] == 0 {
                         // Keep `ready` sorted descending.
@@ -137,7 +147,7 @@ impl Relation {
                         ready.insert(pos, j);
                     }
                 }
-            }
+            });
         }
         (out.len() == self.n).then_some(out)
     }
@@ -295,6 +305,31 @@ mod tests {
         assert!(r.get(0, 99));
         assert!(r.get(63, 64));
         assert!(!r.get(99, 0));
+    }
+
+    #[test]
+    fn pairs_walk_set_bits_across_word_boundaries() {
+        let mut r = Relation::new(130);
+        r.set(0, 0);
+        r.set(0, 63);
+        r.set(0, 64);
+        r.set(1, 129);
+        r.set(129, 1);
+        assert_eq!(
+            r.pairs(),
+            vec![(0, 0), (0, 63), (0, 64), (1, 129), (129, 1)]
+        );
+    }
+
+    #[test]
+    fn topo_order_matches_across_word_boundaries() {
+        // A 70-element chain exercises successors in the second word.
+        let n = 70;
+        let mut r = Relation::new(n);
+        for i in 0..n - 1 {
+            r.set(i, i + 1);
+        }
+        assert_eq!(r.topo_order().unwrap(), (0..n).collect::<Vec<_>>());
     }
 
     #[test]

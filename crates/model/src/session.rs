@@ -8,10 +8,9 @@
 use crate::history::History;
 use crate::relations::CausalOrder;
 use crate::types::{ClientId, Key, TxId};
-use serde::Serialize;
 
 /// A session-level anomaly.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 #[allow(missing_docs)] // fields are self-describing
 pub enum SessionViolation {
     /// A client failed to observe its own earlier write: it read an older
@@ -41,7 +40,9 @@ pub fn check_read_your_writes(h: &History) -> Vec<SessionViolation> {
     let txs = h.transactions();
     let mut out = Vec::new();
     for client in h.clients() {
-        let mine: Vec<usize> = (0..txs.len()).filter(|&i| txs[i].client == client).collect();
+        let mine: Vec<usize> = (0..txs.len())
+            .filter(|&i| txs[i].client == client)
+            .collect();
         for (pos, &i) in mine.iter().enumerate() {
             for &(k, v) in &txs[i].reads {
                 // Last own write of k before this transaction.
@@ -50,7 +51,9 @@ pub fn check_read_your_writes(h: &History) -> Vec<SessionViolation> {
                     .rev()
                     .find(|&&j| txs[j].wrote(k).is_some())
                     .copied();
-                let Some(w_own) = last_own_write else { continue };
+                let Some(w_own) = last_own_write else {
+                    continue;
+                };
                 if txs[w_own].wrote(k) == Some(v) {
                     continue; // read its own write: fine
                 }
@@ -90,7 +93,9 @@ pub fn check_monotonic_reads(h: &History) -> Vec<SessionViolation> {
     let txs = h.transactions();
     let mut out = Vec::new();
     for client in h.clients() {
-        let mine: Vec<usize> = (0..txs.len()).filter(|&i| txs[i].client == client).collect();
+        let mine: Vec<usize> = (0..txs.len())
+            .filter(|&i| txs[i].client == client)
+            .collect();
         // For each key, the sequence of observed writers.
         let mut last_writer: std::collections::HashMap<Key, usize> = Default::default();
         for &i in &mine {
@@ -139,7 +144,10 @@ pub fn check_read_atomicity(h: &History) -> Vec<SessionViolation> {
                 }
                 // If w also wrote k2 but T observed an older writer: fractured.
                 if txs[w].wrote(k2).is_some() && co.before(w2, w) {
-                    out.push(SessionViolation::FracturedRead { reader: t.id, key: k2 });
+                    out.push(SessionViolation::FracturedRead {
+                        reader: t.id,
+                        key: k2,
+                    });
                 }
             }
         }
@@ -241,7 +249,10 @@ mod tests {
         .collect();
         let v = check_read_atomicity(&h);
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], SessionViolation::FracturedRead { key: Key(1), .. }));
+        assert!(matches!(
+            v[0],
+            SessionViolation::FracturedRead { key: Key(1), .. }
+        ));
     }
 
     #[test]

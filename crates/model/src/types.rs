@@ -1,11 +1,10 @@
 //! Object, value, transaction and client identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An object (a key) of the storage system. The paper calls these
 /// "objects" `X0, X1, …`; key-value stores call them keys.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Key(pub u32);
 
 impl fmt::Debug for Key {
@@ -26,7 +25,7 @@ impl fmt::Display for Key {
 /// distinct; the harnesses allocate values from a per-run counter, so the
 /// assumption holds by construction. `Value::BOTTOM` is the "never
 /// written" marker `⊥`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Value(pub u64);
 
 impl Value {
@@ -52,7 +51,7 @@ impl fmt::Debug for Value {
 }
 
 /// A transaction instance identifier, unique within a run.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxId(pub u64);
 
 impl fmt::Debug for TxId {
@@ -64,7 +63,7 @@ impl fmt::Debug for TxId {
 /// A client identifier. Clients issue transactions sequentially (one
 /// outstanding transaction at a time), which yields the paper's
 /// program order `<_{H|c}`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClientId(pub u32);
 
 impl fmt::Debug for ClientId {

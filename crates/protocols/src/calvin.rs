@@ -50,10 +50,7 @@ pub enum Msg {
     },
     /// Server → client: this shard's read results for the slot (round 2's
     /// response; empty `reads` for pure writes doubles as the ack).
-    ShardResp {
-        id: TxId,
-        reads: Vec<(Key, Value)>,
-    },
+    ShardResp { id: TxId, reads: Vec<(Key, Value)> },
 }
 
 /// In-flight transaction at the client.
@@ -233,7 +230,13 @@ impl CalvinNode {
                         );
                     }
                 }
-                Msg::Dispatch { id, slot, reads, writes, client } => {
+                Msg::Dispatch {
+                    id,
+                    slot,
+                    reads,
+                    writes,
+                    client,
+                } => {
                     s.queue.insert(
                         slot,
                         QueuedTx {
@@ -331,7 +334,10 @@ impl ProtocolNode for CalvinNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::ShardResp { reads, .. } => crate::common::max_values_per_object(
-                reads.iter().filter(|(_, v)| !v.is_bottom()).map(|&(k, _)| k),
+                reads
+                    .iter()
+                    .filter(|(_, v)| !v.is_bottom())
+                    .map(|&(k, _)| k),
             ),
             _ => 0,
         }
@@ -403,8 +409,13 @@ mod tests {
         // link heals.
         let rpid = c.topo.client_pid(ClientId(1));
         let rot = c.alloc_tx();
-        c.world
-            .inject(rpid, Msg::InvokeRot { id: rot, keys: vec![Key(0), Key(1)] });
+        c.world.inject(
+            rpid,
+            Msg::InvokeRot {
+                id: rot,
+                keys: vec![Key(0), Key(1)],
+            },
+        );
         c.world.run_for(5 * cbf_sim::MILLIS);
         assert!(
             c.world.actor(rpid).completed(rot).is_none(),

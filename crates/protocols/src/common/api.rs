@@ -100,7 +100,9 @@ mod tests {
 
     #[test]
     fn tx_error_displays() {
-        assert!(TxError::MultiWriteUnsupported.to_string().contains("single-object"));
+        assert!(TxError::MultiWriteUnsupported
+            .to_string()
+            .contains("single-object"));
         assert!(TxError::Incomplete.to_string().contains("complete"));
     }
 

@@ -99,7 +99,11 @@ impl TrueTime {
             .wrapping_add(seed)
             .rotate_left(17);
         let half = (epsilon / 2) as i64;
-        let skew = if half == 0 { 0 } else { (h % (2 * half as u64 + 1)) as i64 - half };
+        let skew = if half == 0 {
+            0
+        } else {
+            (h % (2 * half as u64 + 1)) as i64 - half
+        };
         TrueTime::new(skew, epsilon)
     }
 
@@ -191,8 +195,9 @@ mod tests {
             assert!(a.skew.unsigned_abs() <= 800);
         }
         // Different nodes get different skews at least sometimes.
-        let skews: std::collections::HashSet<i64> =
-            (0..20).map(|n| TrueTime::for_node(n, 800, 42).skew).collect();
+        let skews: std::collections::HashSet<i64> = (0..20)
+            .map(|n| TrueTime::for_node(n, 800, 42).skew)
+            .collect();
         assert!(skews.len() > 1);
     }
 

@@ -6,7 +6,9 @@ use crate::common::api::{Completed, ProtocolNode, TxError};
 use crate::common::topology::Topology;
 use cbf_model::checker::Verdict;
 use cbf_model::history::TxRecord;
-use cbf_model::{check_causal, ClientId, History, Key, PropertyProfile, RotAudit, TxId, Value, WtxAudit};
+use cbf_model::{
+    check_causal, ClientId, History, Key, PropertyProfile, RotAudit, TxId, Value, WtxAudit,
+};
 use cbf_sim::{LatencyModel, ProcessId, SimConfig, Time, Trace, TraceEvent, World, SECONDS};
 
 /// Outcome of one read-only transaction.
@@ -133,7 +135,15 @@ impl<N: ProtocolNode> Cluster<N> {
     /// Fork the entire deployment — configuration, history, audits. The
     /// visibility probes of the theorem machinery run on forks.
     pub fn fork(&self) -> Self {
-        self.clone()
+        Cluster {
+            world: self.world.fork(),
+            topo: self.topo.clone(),
+            history: self.history.clone(),
+            profile: self.profile.clone(),
+            next_tx: self.next_tx,
+            next_val: self.next_val,
+            horizon: self.horizon,
+        }
     }
 
     /// Execute a read-only transaction from `client` and wait for it.
@@ -213,17 +223,18 @@ impl<N: ProtocolNode> Cluster<N> {
     }
 
     /// Write-only transaction with freshly allocated distinct values.
-    pub fn write_tx_auto(
-        &mut self,
-        client: ClientId,
-        keys: &[Key],
-    ) -> Result<WtxResult, TxError> {
+    pub fn write_tx_auto(&mut self, client: ClientId, keys: &[Key]) -> Result<WtxResult, TxError> {
         let writes: Vec<(Key, Value)> = keys.iter().map(|&k| (k, self.alloc_value())).collect();
         self.write_tx(client, &writes)
     }
 
     /// Single-object write (supported by every protocol).
-    pub fn write(&mut self, client: ClientId, key: Key, value: Value) -> Result<WtxResult, TxError> {
+    pub fn write(
+        &mut self,
+        client: ClientId,
+        key: Key,
+        value: Value,
+    ) -> Result<WtxResult, TxError> {
         self.write_tx(client, &[(key, value)])
     }
 }
@@ -244,11 +255,15 @@ pub fn count_rounds<N: ProtocolNode>(
         match ev {
             TraceEvent::Step { pid, .. } if *pid == client => last_client_step = Some(i),
             TraceEvent::Send { from, to, msg, .. }
-                if *from == client && topo.is_server(*to) && N::msg_is_request(msg)
-                && last_client_step.is_some() && counted_step != last_client_step => {
-                    rounds += 1;
-                    counted_step = last_client_step;
-                }
+                if *from == client
+                    && topo.is_server(*to)
+                    && N::msg_is_request(msg)
+                    && last_client_step.is_some()
+                    && counted_step != last_client_step =>
+            {
+                rounds += 1;
+                counted_step = last_client_step;
+            }
             _ => {}
         }
     }
@@ -269,7 +284,7 @@ pub fn audit_rot<N: ProtocolNode>(
 
     let mut server_msgs = 0u32;
     let mut max_values = 0u32;
-    for ev in events {
+    for ev in &events {
         if let TraceEvent::Send { from, to, msg, .. } = ev {
             if topo.is_server(*from) && *to == client {
                 server_msgs += 1;
@@ -282,7 +297,7 @@ pub fn audit_rot<N: ProtocolNode>(
         rounds,
         server_msgs,
         max_values_per_msg: max_values,
-        blocked: detect_blocking::<N>(events, client, topo),
+        blocked: detect_blocking::<N>(&events, client, topo),
         latency: done.completed_at.saturating_sub(done.invoked_at),
     }
 }
@@ -301,11 +316,9 @@ fn detect_blocking<N: ProtocolNode>(
     let request_ids: std::collections::HashSet<cbf_sim::MsgId> = events
         .iter()
         .filter_map(|ev| match ev {
-            TraceEvent::Send { id, from, to, msg, .. }
-                if *from == client && topo.is_server(*to) && N::msg_is_request(msg) =>
-            {
-                Some(*id)
-            }
+            TraceEvent::Send {
+                id, from, to, msg, ..
+            } if *from == client && topo.is_server(*to) && N::msg_is_request(msg) => Some(*id),
             _ => None,
         })
         .collect();
@@ -387,7 +400,15 @@ mod tests {
         fn step(&mut self, ctx: &mut Ctx<SMsg>) {
             for env in ctx.recv() {
                 match (&mut *self, env.msg) {
-                    (Scripted::Client { topo, round, pending, .. }, SMsg::Invoke { id, keys }) => {
+                    (
+                        Scripted::Client {
+                            topo,
+                            round,
+                            pending,
+                            ..
+                        },
+                        SMsg::Invoke { id, keys },
+                    ) => {
                         *round = 1;
                         *pending = Some((id, keys));
                         for s in topo.servers() {
@@ -395,26 +416,29 @@ mod tests {
                         }
                     }
                     (
-                        Scripted::Client { topo, round, pending, completed },
+                        Scripted::Client {
+                            topo,
+                            round,
+                            pending,
+                            completed,
+                        },
                         SMsg::Resp { id, round: r },
-                    // One response per round suffices (single-server
-                    // bookkeeping kept trivial on purpose).
+                        // One response per round suffices (single-server
+                        // bookkeeping kept trivial on purpose).
                     ) if r == *round && topo.num_servers == 1 => {
-                        {
-                            if *round < ROUNDS {
-                                *round += 1;
-                                let rr = *round;
-                                for s in topo.servers() {
-                                    ctx.send(s, SMsg::Req { id, round: rr });
-                                }
-                            } else if let Some((pid, keys)) = pending.take() {
-                                completed.push(Completed {
-                                    id: pid,
-                                    reads: keys.iter().map(|&k| (k, Value(1))).collect(),
-                                    invoked_at: 0,
-                                    completed_at: ctx.now(),
-                                });
+                        if *round < ROUNDS {
+                            *round += 1;
+                            let rr = *round;
+                            for s in topo.servers() {
+                                ctx.send(s, SMsg::Req { id, round: rr });
                             }
+                        } else if let Some((pid, keys)) = pending.take() {
+                            completed.push(Completed {
+                                id: pid,
+                                reads: keys.iter().map(|&k| (k, Value(1))).collect(),
+                                invoked_at: 0,
+                                completed_at: ctx.now(),
+                            });
                         }
                     }
                     (Scripted::Server { parked }, SMsg::Req { id, round }) => {
@@ -500,7 +524,10 @@ mod tests {
         fn rounds_of<const R: u8>() -> u32 {
             let mut c: Cluster<Scripted<R, false>> = Cluster::new(one_server_topo());
             let r = c.read_tx(cbf_model::ClientId(0), &[Key(0)]).unwrap();
-            assert!(!r.audit.blocked, "non-deferring script must audit nonblocking");
+            assert!(
+                !r.audit.blocked,
+                "non-deferring script must audit nonblocking"
+            );
             r.audit.rounds
         }
         assert_eq!(rounds_of::<1>(), 1);
@@ -512,7 +539,11 @@ mod tests {
     fn auditor_detects_deferred_responses() {
         let mut c: Cluster<Scripted<1, true>> = Cluster::new(one_server_topo());
         let r = c.read_tx(cbf_model::ClientId(0), &[Key(0)]).unwrap();
-        assert!(r.audit.blocked, "deferring script must audit as blocking: {:?}", r.audit);
+        assert!(
+            r.audit.blocked,
+            "deferring script must audit as blocking: {:?}",
+            r.audit
+        );
         assert_eq!(r.audit.rounds, 1);
     }
 

@@ -138,7 +138,9 @@ impl ContrarianNode {
                     );
                 }
                 Msg::GssResp { id, gss } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     let at = gss.max(c.last_snapshot);
                     c.last_snapshot = at;
                     p.snapshot = at;
@@ -149,7 +151,9 @@ impl ContrarianNode {
                     }
                 }
                 Msg::ReadAtResp { id, reads } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for (k, v, ts) in reads {
                         p.got.insert(k, (v, ts));
                     }
@@ -158,8 +162,7 @@ impl ContrarianNode {
                         let p = c.rots.remove(&id).unwrap();
                         let mut out = Vec::with_capacity(p.keys.len());
                         for &k in &p.keys {
-                            let (mut v, ts) =
-                                p.got.get(&k).copied().unwrap_or((Value::BOTTOM, 0));
+                            let (mut v, ts) = p.got.get(&k).copied().unwrap_or((Value::BOTTOM, 0));
                             if let Some(&(cv, cts)) = c.cache.get(&k) {
                                 if cts > ts {
                                     v = cv;
@@ -245,7 +248,12 @@ impl ContrarianNode {
                         .collect();
                     ctx.send(env.from, Msg::ReadAtResp { id, reads });
                 }
-                Msg::PutReq { id, key, value, dep_ts } => {
+                Msg::PutReq {
+                    id,
+                    key,
+                    value,
+                    dep_ts,
+                } => {
                     s.clock.witness(dep_ts);
                     let ts = s.clock.tick(ctx.now());
                     s.store.insert(key, Version { value, ts, tx: id });
@@ -286,7 +294,11 @@ impl ProtocolNode for ContrarianNode {
             clock: HybridClock::new(id.0 as u8),
             known_lst: vec![0; topo.num_servers as usize],
             me: id,
-            period: if topo.tuning > 0 { topo.tuning } else { STABLE_PERIOD },
+            period: if topo.tuning > 0 {
+                topo.tuning
+            } else {
+                STABLE_PERIOD
+            },
         })
     }
 
@@ -327,7 +339,10 @@ impl ProtocolNode for ContrarianNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::ReadAtResp { reads, .. } => crate::common::max_values_per_object(
-                reads.iter().filter(|(_, v, _)| !v.is_bottom()).map(|&(k, _, _)| k),
+                reads
+                    .iter()
+                    .filter(|(_, v, _)| !v.is_bottom())
+                    .map(|&(k, _, _)| k),
             ),
             _ => 0,
         }
@@ -390,8 +405,13 @@ mod tests {
         let rpid = c.topo.client_pid(ClientId(1));
         c.world.hold_pair(rpid, ProcessId(1));
         let rot = c.alloc_tx();
-        c.world
-            .inject(rpid, Msg::InvokeRot { id: rot, keys: vec![Key(0), Key(1)] });
+        c.world.inject(
+            rpid,
+            Msg::InvokeRot {
+                id: rot,
+                keys: vec![Key(0), Key(1)],
+            },
+        );
         c.world.run_for(cbf_sim::MILLIS);
 
         let v0_new = c.alloc_value();

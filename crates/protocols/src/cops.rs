@@ -67,7 +67,12 @@ pub enum Msg {
     /// Client → server: fetch the exact version `ts` of `key` (round 2).
     GetExactReq { id: TxId, key: Key, ts: u64 },
     /// Server → client: the exact version.
-    GetExactResp { id: TxId, key: Key, value: Value, ts: u64 },
+    GetExactResp {
+        id: TxId,
+        key: Key,
+        value: Value,
+        ts: u64,
+    },
 }
 
 /// In-flight ROT state at the client.
@@ -137,7 +142,15 @@ impl CopsNode {
                     let (key, value) = writes[0];
                     let mut deps: Vec<Dep> = c.context.iter().map(|(&k, &t)| (k, t)).collect();
                     deps.sort_unstable();
-                    ctx.send(c.topo.primary(key), Msg::PutReq { id, key, value, deps });
+                    ctx.send(
+                        c.topo.primary(key),
+                        Msg::PutReq {
+                            id,
+                            key,
+                            value,
+                            deps,
+                        },
+                    );
                     c.puts.insert(id, ctx.now());
                 }
                 Msg::PutAck { id, key, ts } => {
@@ -156,7 +169,9 @@ impl CopsNode {
                     }
                 }
                 Msg::GetResp { id, items } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for it in items {
                         p.got.insert(it.key, (it.value, it.ts));
                         p.deps_seen.push((it.key, it.ts, it.deps));
@@ -167,7 +182,9 @@ impl CopsNode {
                     }
                 }
                 Msg::GetExactResp { id, key, value, ts } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     p.got.insert(key, (value, ts));
                     p.awaiting -= 1;
                     if p.awaiting == 0 {
@@ -240,7 +257,12 @@ impl CopsNode {
     fn server_step(s: &mut ServerState, ctx: &mut Ctx<Msg>) {
         for env in ctx.recv() {
             match env.msg {
-                Msg::PutReq { id, key, value, deps } => {
+                Msg::PutReq {
+                    id,
+                    key,
+                    value,
+                    deps,
+                } => {
                     for &(_, t) in &deps {
                         s.clock.witness(t);
                     }
@@ -350,7 +372,10 @@ impl ProtocolNode for CopsNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::GetResp { items, .. } => crate::common::max_values_per_object(
-                items.iter().filter(|it| !it.value.is_bottom()).map(|it| it.key),
+                items
+                    .iter()
+                    .filter(|it| !it.value.is_bottom())
+                    .map(|it| it.key),
             ),
             Msg::GetExactResp { .. } => 1,
             _ => 0,
@@ -408,8 +433,13 @@ mod tests {
         let rpid = c.topo.client_pid(reader);
         c.world.hold(rpid, ProcessId(1));
         let id = c.alloc_tx();
-        c.world
-            .inject(rpid, Msg::InvokeRot { id, keys: vec![Key(0), Key(1)] });
+        c.world.inject(
+            rpid,
+            Msg::InvokeRot {
+                id,
+                keys: vec![Key(0), Key(1)],
+            },
+        );
         c.world.run_for(cbf_sim::MILLIS); // p0 answers; p1 request frozen
 
         // Writer: new X0, then X1 depending on it.

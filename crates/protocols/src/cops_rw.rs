@@ -168,7 +168,9 @@ impl CopsRwNode {
                     );
                 }
                 Msg::FatReadResp { id, items } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     p.items.extend(items);
                     p.awaiting -= 1;
                     if p.awaiting == 0 {
@@ -201,7 +203,9 @@ impl CopsRwNode {
                 }
                 Msg::FatWriteAck { id } => {
                     let finished = {
-                        let Some(w) = c.wtxs.get_mut(&id) else { continue };
+                        let Some(w) = c.wtxs.get_mut(&id) else {
+                            continue;
+                        };
                         w.1 -= 1;
                         w.1 == 0
                     };
@@ -275,10 +279,7 @@ impl CopsRwNode {
                 }
                 Msg::FatWrite { record, deps } => {
                     for &(k, _) in &record.writes {
-                        let newer = s
-                            .latest
-                            .get(&k)
-                            .is_none_or(|(cur, _)| record.ts > cur.ts);
+                        let newer = s.latest.get(&k).is_none_or(|(cur, _)| record.ts > cur.ts);
                         if newer {
                             s.latest.insert(k, (record.clone(), deps.clone()));
                         }
@@ -349,14 +350,18 @@ impl ProtocolNode for CopsRwNode {
 
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
-            Msg::FatReadResp { items, .. } => crate::common::max_values_per_object(
-                items.iter().flat_map(|it| {
+            Msg::FatReadResp { items, .. } => {
+                crate::common::max_values_per_object(items.iter().flat_map(|it| {
                     it.record
                         .iter()
                         .flat_map(|r| r.writes.iter().map(|&(k, _)| k))
-                        .chain(it.deps.iter().flat_map(|d| d.writes.iter().map(|&(k, _)| k)))
-                }),
-            ),
+                        .chain(
+                            it.deps
+                                .iter()
+                                .flat_map(|d| d.writes.iter().map(|&(k, _)| k)),
+                        )
+                }))
+            }
             _ => 0,
         }
     }

@@ -195,11 +195,21 @@ impl CopsSnowNode {
                     let (key, value) = writes[0];
                     let mut deps: Vec<Dep> = c.context.iter().map(|(&k, &t)| (k, t)).collect();
                     deps.sort_unstable();
-                    ctx.send(c.topo.primary(key), Msg::PutReq { id, key, value, deps });
+                    ctx.send(
+                        c.topo.primary(key),
+                        Msg::PutReq {
+                            id,
+                            key,
+                            value,
+                            deps,
+                        },
+                    );
                     c.puts.insert(id, ctx.now());
                 }
                 Msg::RotResp { id, reads } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for (k, v, ts) in reads {
                         p.got.insert(k, (v, ts));
                     }
@@ -259,7 +269,12 @@ impl CopsSnowNode {
                         .collect();
                     ctx.send(env.from, Msg::RotResp { id, reads });
                 }
-                Msg::PutReq { id, key, value, deps } => {
+                Msg::PutReq {
+                    id,
+                    key,
+                    value,
+                    deps,
+                } => {
                     for &(_, t) in &deps {
                         s.clock.witness(t);
                     }
@@ -271,7 +286,8 @@ impl CopsSnowNode {
                     // query round. (One message per dep server, as the
                     // paper's step semantics require.)
                     let mut invisible_to = HashSet::new();
-                    let mut remote: std::collections::BTreeMap<ProcessId, Vec<Dep>> = Default::default();
+                    let mut remote: std::collections::BTreeMap<ProcessId, Vec<Dep>> =
+                        Default::default();
                     for &(dk, dts) in &deps {
                         let home = s.topo.primary(dk);
                         if home == ctx.me() {
@@ -389,7 +405,10 @@ impl ProtocolNode for CopsSnowNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::RotResp { reads, .. } => crate::common::max_values_per_object(
-                reads.iter().filter(|(_, v, _)| !v.is_bottom()).map(|&(k, _, _)| k),
+                reads
+                    .iter()
+                    .filter(|(_, v, _)| !v.is_bottom())
+                    .map(|&(k, _, _)| k),
             ),
             _ => 0,
         }
@@ -449,8 +468,13 @@ mod tests {
         let rpid = c.topo.client_pid(reader);
         c.world.hold(rpid, ProcessId(1));
         let rot = c.alloc_tx();
-        c.world
-            .inject(rpid, Msg::InvokeRot { id: rot, keys: vec![Key(0), Key(1)] });
+        c.world.inject(
+            rpid,
+            Msg::InvokeRot {
+                id: rot,
+                keys: vec![Key(0), Key(1)],
+            },
+        );
         c.world.run_for(MILLIS); // p0 serves (v0_old); records the read
 
         // Writer (who knows the old X0): new X0, then X1 dep new-X0.
@@ -491,8 +515,13 @@ mod tests {
         // Freeze BOTH of the reader's request links; deliver to p0 only.
         c.world.hold(rpid, ProcessId(1));
         let rot = c.alloc_tx();
-        c.world
-            .inject(rpid, Msg::InvokeRot { id: rot, keys: vec![Key(0), Key(1)] });
+        c.world.inject(
+            rpid,
+            Msg::InvokeRot {
+                id: rot,
+                keys: vec![Key(0), Key(1)],
+            },
+        );
         c.world.run_for(MILLIS); // p0 served old X0
 
         // Chain: c0 writes X0'; c2 reads (X0', X1) and writes X1' dep X0';

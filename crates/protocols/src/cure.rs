@@ -190,7 +190,9 @@ impl CureNode {
                     );
                 }
                 Msg::GstResp { id, gst } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     // RYW + monotonic reads without a cache: the floor
                     // includes the client's own commits — the server
                     // parks until that is stable (the blocking).
@@ -203,7 +205,9 @@ impl CureNode {
                     }
                 }
                 Msg::ReadAtResp { id, reads } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for (k, v, ts) in reads {
                         c.dep_ts = c.dep_ts.max(ts);
                         p.got.insert(k, (v, ts));
@@ -299,7 +303,10 @@ impl CureNode {
                     let mut per_server: std::collections::BTreeMap<ProcessId, Vec<(Key, Value)>> =
                         Default::default();
                     for &(k, v) in &writes {
-                        per_server.entry(s.topo.primary(k)).or_default().push((k, v));
+                        per_server
+                            .entry(s.topo.primary(k))
+                            .or_default()
+                            .push((k, v));
                     }
                     let participants: Vec<ProcessId> = per_server.keys().copied().collect();
                     s.coordinating.insert(
@@ -324,7 +331,12 @@ impl CureNode {
                         );
                     }
                 }
-                Msg::Prepare { id, writes, dep_ts, coordinator } => {
+                Msg::Prepare {
+                    id,
+                    writes,
+                    dep_ts,
+                    coordinator,
+                } => {
                     s.clock.witness(dep_ts);
                     let proposed = s.clock.tick(ctx.now());
                     s.pending.insert(id, (proposed, writes));
@@ -332,7 +344,9 @@ impl CureNode {
                 }
                 Msg::PrepareResp { id, proposed } => {
                     let finished = {
-                        let Some(co) = s.coordinating.get_mut(&id) else { continue };
+                        let Some(co) = s.coordinating.get_mut(&id) else {
+                            continue;
+                        };
                         co.proposals.push(proposed);
                         co.awaiting -= 1;
                         co.awaiting == 0
@@ -351,7 +365,14 @@ impl CureNode {
                     if let Some((_, writes)) = s.pending.remove(&id) {
                         s.clock.witness(ts);
                         for (k, v) in writes {
-                            s.store.insert(k, Version { value: v, ts, tx: id });
+                            s.store.insert(
+                                k,
+                                Version {
+                                    value: v,
+                                    ts,
+                                    tx: id,
+                                },
+                            );
                         }
                         s.drain_parked(ctx);
                     }
@@ -393,7 +414,11 @@ impl ProtocolNode for CureNode {
             coordinating: HashMap::new(),
             known_lst: vec![0; topo.num_servers as usize],
             me: id,
-            period: if topo.tuning > 0 { topo.tuning } else { STABLE_PERIOD },
+            period: if topo.tuning > 0 {
+                topo.tuning
+            } else {
+                STABLE_PERIOD
+            },
             parked: Vec::new(),
         })
     }
@@ -434,7 +459,10 @@ impl ProtocolNode for CureNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::ReadAtResp { reads, .. } => crate::common::max_values_per_object(
-                reads.iter().filter(|(_, v, _)| !v.is_bottom()).map(|&(k, _, _)| k),
+                reads
+                    .iter()
+                    .filter(|(_, v, _)| !v.is_bottom())
+                    .map(|&(k, _, _)| k),
             ),
             _ => 0,
         }

@@ -205,7 +205,12 @@ impl EigerNode {
                             dep_ts: c.dep_ts,
                         },
                     );
-                    c.wtxs.insert(id, PendingWtx { invoked_at: ctx.now() });
+                    c.wtxs.insert(
+                        id,
+                        PendingWtx {
+                            invoked_at: ctx.now(),
+                        },
+                    );
                 }
                 Msg::WtxAck { id, ts } => {
                     if let Some(w) = c.wtxs.remove(&id) {
@@ -227,7 +232,9 @@ impl EigerNode {
                     promise,
                     min_pending,
                 } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for (k, v, ts) in items {
                         p.items.insert(k, (v, ts));
                     }
@@ -237,8 +244,14 @@ impl EigerNode {
                         Self::after_round_one(c, id, ctx);
                     }
                 }
-                Msg::Read2Resp { id, items, pendings } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                Msg::Read2Resp {
+                    id,
+                    items,
+                    pendings,
+                } => {
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for (k, v, ts) in items {
                         // Round 2 returns the latest version ≤ t, which
                         // may be older than a round-1 item that exceeded
@@ -252,7 +265,9 @@ impl EigerNode {
                     }
                 }
                 Msg::CheckResp { id, decisions } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     let t = p.snapshot;
                     for (tx, decision) in decisions {
                         if let Some(ts) = decision {
@@ -374,7 +389,10 @@ impl EigerNode {
                     let mut per_server: std::collections::BTreeMap<ProcessId, Vec<(Key, Value)>> =
                         Default::default();
                     for &(k, v) in &writes {
-                        per_server.entry(s.topo.primary(k)).or_default().push((k, v));
+                        per_server
+                            .entry(s.topo.primary(k))
+                            .or_default()
+                            .push((k, v));
                     }
                     let participants: Vec<ProcessId> = per_server.keys().copied().collect();
                     s.coordinating.insert(
@@ -419,7 +437,9 @@ impl EigerNode {
                 }
                 Msg::PrepareResp { id, proposed } => {
                     let finished = {
-                        let Some(co) = s.coordinating.get_mut(&id) else { continue };
+                        let Some(co) = s.coordinating.get_mut(&id) else {
+                            continue;
+                        };
                         co.proposals.push(proposed);
                         co.awaiting -= 1;
                         co.awaiting == 0
@@ -439,7 +459,14 @@ impl EigerNode {
                     if let Some(p) = s.prepared.remove(&id) {
                         s.clock.witness(ts);
                         for (k, v) in p.writes {
-                            s.store.insert(k, Version { value: v, ts, tx: id });
+                            s.store.insert(
+                                k,
+                                Version {
+                                    value: v,
+                                    ts,
+                                    tx: id,
+                                },
+                            );
                         }
                     }
                 }
@@ -502,7 +529,14 @@ impl EigerNode {
                         })
                         .collect();
                     pendings.sort_unstable_by_key(|p| p.tx);
-                    ctx.send(env.from, Msg::Read2Resp { id, items, pendings });
+                    ctx.send(
+                        env.from,
+                        Msg::Read2Resp {
+                            id,
+                            items,
+                            pendings,
+                        },
+                    );
                 }
                 Msg::CheckTx { id, txs } => {
                     let decisions: Vec<(TxId, Option<u64>)> = txs
@@ -578,14 +612,23 @@ impl ProtocolNode for EigerNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::Read1Resp { items, .. } => crate::common::max_values_per_object(
-                items.iter().filter(|(_, v, _)| !v.is_bottom()).map(|&(k, _, _)| k),
+                items
+                    .iter()
+                    .filter(|(_, v, _)| !v.is_bottom())
+                    .map(|&(k, _, _)| k),
             ),
-            Msg::Read2Resp { items, pendings, .. } => crate::common::max_values_per_object(
+            Msg::Read2Resp {
+                items, pendings, ..
+            } => crate::common::max_values_per_object(
                 items
                     .iter()
                     .filter(|(_, v, _)| !v.is_bottom())
                     .map(|&(k, _, _)| k)
-                    .chain(pendings.iter().flat_map(|p| p.writes.iter().map(|&(k, _)| k))),
+                    .chain(
+                        pendings
+                            .iter()
+                            .flat_map(|p| p.writes.iter().map(|&(k, _)| k)),
+                    ),
             ),
             _ => 0,
         }
@@ -685,7 +728,8 @@ mod tests {
 
         // Release and check the full history (adding Tw manually since
         // the facade path was bypassed).
-        c.world.release(cbf_sim::ProcessId(0), cbf_sim::ProcessId(1));
+        c.world
+            .release(cbf_sim::ProcessId(0), cbf_sim::ProcessId(1));
         c.world.run_for(MILLIS);
         let mut h = c.history().clone();
         h.push(cbf_model::history::TxRecord {

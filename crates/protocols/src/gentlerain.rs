@@ -163,7 +163,9 @@ impl GentleRainNode {
                     );
                 }
                 Msg::GstResp { id, gst } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     // RYW + monotonic reads without a cache: the snapshot
                     // floor includes the client's own dependency time —
                     // the server will block until it is stable.
@@ -176,7 +178,9 @@ impl GentleRainNode {
                     }
                 }
                 Msg::ReadAtResp { id, reads } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for (k, v, ts) in reads {
                         c.dep_ts = c.dep_ts.max(ts);
                         p.got.insert(k, (v, ts));
@@ -270,7 +274,12 @@ impl GentleRainNode {
                         });
                     }
                 }
-                Msg::PutReq { id, key, value, dep_ts } => {
+                Msg::PutReq {
+                    id,
+                    key,
+                    value,
+                    dep_ts,
+                } => {
                     s.clock.witness(dep_ts);
                     let ts = s.clock.tick(ctx.now());
                     s.store.insert(key, Version { value, ts, tx: id });
@@ -311,7 +320,11 @@ impl ProtocolNode for GentleRainNode {
             clock: HybridClock::new(id.0 as u8),
             known_lst: vec![0; topo.num_servers as usize],
             me: id,
-            period: if topo.tuning > 0 { topo.tuning } else { STABLE_PERIOD },
+            period: if topo.tuning > 0 {
+                topo.tuning
+            } else {
+                STABLE_PERIOD
+            },
             parked: Vec::new(),
         })
     }
@@ -352,7 +365,10 @@ impl ProtocolNode for GentleRainNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::ReadAtResp { reads, .. } => crate::common::max_values_per_object(
-                reads.iter().filter(|(_, v, _)| !v.is_bottom()).map(|&(k, _, _)| k),
+                reads
+                    .iter()
+                    .filter(|(_, v, _)| !v.is_bottom())
+                    .map(|&(k, _, _)| k),
             ),
             _ => 0,
         }
@@ -403,7 +419,11 @@ mod tests {
         assert!(r.audit.blocked, "audit: {:?}", r.audit);
         // The blocked read waited for a stabilization round: well above
         // the 200 µs two-round floor.
-        assert!(r.audit.latency > 400 * cbf_sim::MICROS, "latency {}", r.audit.latency);
+        assert!(
+            r.audit.latency > 400 * cbf_sim::MICROS,
+            "latency {}",
+            r.audit.latency
+        );
         assert!(check_read_your_writes(c.history()).is_empty());
     }
 

@@ -335,7 +335,10 @@ impl<const P: u8, const GOSSIP: bool> ProtocolNode for NaiveNode<P, GOSSIP> {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::ReadResp { reads, .. } => crate::common::max_values_per_object(
-                reads.iter().filter(|(_, v)| !v.is_bottom()).map(|&(k, _)| k),
+                reads
+                    .iter()
+                    .filter(|(_, v)| !v.is_bottom())
+                    .map(|&(k, _)| k),
             ),
             _ => 0,
         }
@@ -424,8 +427,9 @@ mod tests {
         // Release the final phase: the writes become visible.
         c.world.release(writer, ProcessId(0));
         c.world.release(writer, ProcessId(1));
-        c.world
-            .run_until_within(cbf_sim::SECONDS, |w| w.actor(writer).completed(id).is_some());
+        c.world.run_until_within(cbf_sim::SECONDS, |w| {
+            w.actor(writer).completed(id).is_some()
+        });
         let r = c.read_tx(ClientId(1), &[Key(0), Key(1)]).unwrap();
         assert_eq!(r.reads, vec![(Key(0), v0), (Key(1), v1)]);
     }
@@ -449,7 +453,10 @@ mod tests {
         c.write(ClientId(0), Key(1), Value(102)).unwrap();
         let writer = ClientId(2);
         let setup = c.read_tx(writer, &[Key(0), Key(1)]).unwrap();
-        assert_eq!(setup.reads, vec![(Key(0), Value(101)), (Key(1), Value(102))]);
+        assert_eq!(
+            setup.reads,
+            vec![(Key(0), Value(101)), (Key(1), Value(102))]
+        );
 
         // Freeze the writer→p1 link, then issue the multi-write.
         let wpid = c.topo.client_pid(writer);

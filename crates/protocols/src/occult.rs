@@ -197,7 +197,9 @@ impl OccultNode {
                     );
                 }
                 Msg::ReadResp { id, items } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for it in &items {
                         let cur = p.got.get(&it.key).map_or(0, |&(_, ts)| ts);
                         if it.ts >= cur {
@@ -323,7 +325,10 @@ impl OccultNode {
                     let mut per_server: std::collections::BTreeMap<ProcessId, Vec<(Key, Value)>> =
                         Default::default();
                     for &(k, v) in &writes {
-                        per_server.entry(s.topo.primary(k)).or_default().push((k, v));
+                        per_server
+                            .entry(s.topo.primary(k))
+                            .or_default()
+                            .push((k, v));
                     }
                     let participants: Vec<ProcessId> = per_server.keys().copied().collect();
                     s.coordinating.insert(
@@ -349,7 +354,13 @@ impl OccultNode {
                         );
                     }
                 }
-                Msg::Prepare { id, writes, tx_keys, dep_ts, coordinator } => {
+                Msg::Prepare {
+                    id,
+                    writes,
+                    tx_keys,
+                    dep_ts,
+                    coordinator,
+                } => {
                     s.clock.witness(dep_ts);
                     let proposed = s.clock.tick();
                     s.pending.insert(id, (proposed, writes, tx_keys));
@@ -357,7 +368,9 @@ impl OccultNode {
                 }
                 Msg::PrepareResp { id, proposed } => {
                     let finished = {
-                        let Some(co) = s.coordinating.get_mut(&id) else { continue };
+                        let Some(co) = s.coordinating.get_mut(&id) else {
+                            continue;
+                        };
                         co.proposals.push(proposed);
                         co.awaiting -= 1;
                         co.awaiting == 0
@@ -376,7 +389,14 @@ impl OccultNode {
                     if let Some((_, writes, tx_keys)) = s.pending.remove(&id) {
                         s.clock.witness(ts);
                         for (k, v) in writes {
-                            s.store.insert(k, Version { value: v, ts, tx: id });
+                            s.store.insert(
+                                k,
+                                Version {
+                                    value: v,
+                                    ts,
+                                    tx: id,
+                                },
+                            );
                             s.meta.insert((k, ts), tx_keys.clone());
                             // Asynchronous replication to this key's
                             // slaves — writes never wait for it.
@@ -397,7 +417,13 @@ impl OccultNode {
                         }
                     }
                 }
-                Msg::Replicate { key, value, ts, tx, tx_keys } => {
+                Msg::Replicate {
+                    key,
+                    value,
+                    ts,
+                    tx,
+                    tx_keys,
+                } => {
                     s.clock.witness(ts);
                     s.store.insert(key, Version { value, ts, tx });
                     s.meta.insert((key, ts), tx_keys);
@@ -470,7 +496,10 @@ impl ProtocolNode for OccultNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::ReadResp { items, .. } => crate::common::max_values_per_object(
-                items.iter().filter(|it| !it.value.is_bottom()).map(|it| it.key),
+                items
+                    .iter()
+                    .filter(|it| !it.value.is_bottom())
+                    .map(|it| it.key),
             ),
             _ => 0,
         }

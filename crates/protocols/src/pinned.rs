@@ -140,7 +140,9 @@ impl PinnedNode {
                     );
                 }
                 Msg::ReadAtResp { id, reads } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for (k, v, ts) in reads {
                         p.got.insert(k, (v, ts));
                     }
@@ -227,7 +229,10 @@ impl PinnedNode {
                     let mut per_server: std::collections::BTreeMap<ProcessId, Vec<(Key, Value)>> =
                         Default::default();
                     for &(k, v) in &writes {
-                        per_server.entry(s.topo.primary(k)).or_default().push((k, v));
+                        per_server
+                            .entry(s.topo.primary(k))
+                            .or_default()
+                            .push((k, v));
                     }
                     let participants: Vec<ProcessId> = per_server.keys().copied().collect();
                     s.coordinating.insert(
@@ -252,7 +257,12 @@ impl PinnedNode {
                         );
                     }
                 }
-                Msg::Prepare { id, writes, dep_ts, coordinator } => {
+                Msg::Prepare {
+                    id,
+                    writes,
+                    dep_ts,
+                    coordinator,
+                } => {
                     s.clock.witness(dep_ts);
                     let proposed = s.clock.tick();
                     s.pending.insert(id, (proposed, writes));
@@ -260,7 +270,9 @@ impl PinnedNode {
                 }
                 Msg::PrepareResp { id, proposed } => {
                     let finished = {
-                        let Some(co) = s.coordinating.get_mut(&id) else { continue };
+                        let Some(co) = s.coordinating.get_mut(&id) else {
+                            continue;
+                        };
                         co.proposals.push(proposed);
                         co.awaiting -= 1;
                         co.awaiting == 0
@@ -279,7 +291,14 @@ impl PinnedNode {
                     if let Some((_, writes)) = s.pending.remove(&id) {
                         s.clock.witness(ts);
                         for (k, v) in writes {
-                            s.store.insert(k, Version { value: v, ts, tx: id });
+                            s.store.insert(
+                                k,
+                                Version {
+                                    value: v,
+                                    ts,
+                                    tx: id,
+                                },
+                            );
                         }
                     }
                 }
@@ -350,7 +369,10 @@ impl ProtocolNode for PinnedNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::ReadAtResp { reads, .. } => crate::common::max_values_per_object(
-                reads.iter().filter(|(_, v, _)| !v.is_bottom()).map(|&(k, _, _)| k),
+                reads
+                    .iter()
+                    .filter(|(_, v, _)| !v.is_bottom())
+                    .map(|&(k, _, _)| k),
             ),
             _ => 0,
         }

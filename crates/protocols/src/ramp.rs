@@ -70,7 +70,12 @@ pub enum Msg {
     /// Client → server: round-2 sibling fetch at exact `ts`.
     Read2 { id: TxId, key: Key, ts: u64 },
     /// Server → client: the sibling version (prepared or committed).
-    Read2Resp { id: TxId, key: Key, value: Value, ts: u64 },
+    Read2Resp {
+        id: TxId,
+        key: Key,
+        value: Value,
+        ts: u64,
+    },
 }
 
 /// In-flight ROT at the client.
@@ -152,7 +157,10 @@ impl RampNode {
                     let mut per_server: std::collections::BTreeMap<ProcessId, Vec<(Key, Value)>> =
                         Default::default();
                     for &(k, v) in &writes {
-                        per_server.entry(c.topo.primary(k)).or_default().push((k, v));
+                        per_server
+                            .entry(c.topo.primary(k))
+                            .or_default()
+                            .push((k, v));
                     }
                     let participants: Vec<ProcessId> = per_server.keys().copied().collect();
                     for (server, ws) in per_server {
@@ -208,7 +216,9 @@ impl RampNode {
                     }
                 }
                 Msg::Read1Resp { id, items } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for it in &items {
                         // Witnessing observed timestamps keeps the version
                         // order an extension of observed causality, so the
@@ -223,7 +233,9 @@ impl RampNode {
                     }
                 }
                 Msg::Read2Resp { id, key, value, ts } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     c.clock.witness(ts);
                     p.got.insert(key, (value, ts));
                     p.awaiting -= 1;
@@ -288,7 +300,12 @@ impl RampNode {
     fn server_step(s: &mut ServerState, ctx: &mut Ctx<Msg>) {
         for env in ctx.recv() {
             match env.msg {
-                Msg::Prepare { id, ts, writes, tx_keys } => {
+                Msg::Prepare {
+                    id,
+                    ts,
+                    writes,
+                    tx_keys,
+                } => {
                     s.prepared.insert(id, (ts, writes, tx_keys));
                     ctx.send(env.from, Msg::PrepareAck { id });
                 }
@@ -296,7 +313,14 @@ impl RampNode {
                     if let Some((pts, writes, tx_keys)) = s.prepared.remove(&id) {
                         debug_assert_eq!(pts, ts);
                         for (k, v) in writes {
-                            s.store.insert(k, Version { value: v, ts, tx: id });
+                            s.store.insert(
+                                k,
+                                Version {
+                                    value: v,
+                                    ts,
+                                    tx: id,
+                                },
+                            );
                             s.meta.insert((k, ts), tx_keys.clone());
                         }
                     }
@@ -402,7 +426,10 @@ impl ProtocolNode for RampNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::Read1Resp { items, .. } => crate::common::max_values_per_object(
-                items.iter().filter(|it| !it.value.is_bottom()).map(|it| it.key),
+                items
+                    .iter()
+                    .filter(|it| !it.value.is_bottom())
+                    .map(|it| it.key),
             ),
             Msg::Read2Resp { .. } => 1,
             _ => 0,
@@ -508,8 +535,13 @@ mod tests {
         let rpid = c.topo.client_pid(ClientId(1));
         c.world.hold_pair(rpid, ProcessId(1));
         let rot = c.alloc_tx();
-        c.world
-            .inject(rpid, Msg::InvokeRot { id: rot, keys: vec![Key(0), Key(1)] });
+        c.world.inject(
+            rpid,
+            Msg::InvokeRot {
+                id: rot,
+                keys: vec![Key(0), Key(1)],
+            },
+        );
         c.world.run_for(MILLIS);
 
         // Two causally ordered single-key transactions by the writer.

@@ -233,7 +233,9 @@ impl SpannerNode {
                     );
                 }
                 Msg::ReadAtResp { id, reads } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for (k, v, _) in reads {
                         p.got.insert(k, v);
                     }
@@ -306,7 +308,10 @@ impl SpannerNode {
                     let mut per_server: std::collections::BTreeMap<ProcessId, Vec<(Key, Value)>> =
                         Default::default();
                     for &(k, v) in &writes {
-                        per_server.entry(s.topo.primary(k)).or_default().push((k, v));
+                        per_server
+                            .entry(s.topo.primary(k))
+                            .or_default()
+                            .push((k, v));
                     }
                     let participants: Vec<ProcessId> = per_server.keys().copied().collect();
                     s.coordinating.insert(
@@ -343,7 +348,9 @@ impl SpannerNode {
                 }
                 Msg::PrepareResp { id, ts } => {
                     let finished = {
-                        let Some(co) = s.coordinating.get_mut(&id) else { continue };
+                        let Some(co) = s.coordinating.get_mut(&id) else {
+                            continue;
+                        };
                         co.prepare_ts.push(ts);
                         co.awaiting -= 1;
                         co.awaiting == 0
@@ -376,7 +383,14 @@ impl SpannerNode {
                     if let Some((_, writes)) = s.prepared.remove(&id) {
                         s.high_water = s.high_water.max(ts);
                         for (k, v) in writes {
-                            s.store.insert(k, Version { value: v, ts, tx: id });
+                            s.store.insert(
+                                k,
+                                Version {
+                                    value: v,
+                                    ts,
+                                    tx: id,
+                                },
+                            );
                         }
                         // Applying a commit may unblock parked reads.
                         s.drain(ctx);
@@ -404,7 +418,11 @@ impl ProtocolNode for SpannerNode {
     const SUPPORTS_MULTI_WRITE: bool = true;
 
     fn server(topo: &Topology, id: ProcessId) -> Self {
-        let eps = if topo.tuning > 0 { topo.tuning } else { EPSILON };
+        let eps = if topo.tuning > 0 {
+            topo.tuning
+        } else {
+            EPSILON
+        };
         SpannerNode::Server(ServerState {
             topo: topo.clone(),
             store: MvStore::new(),
@@ -419,7 +437,11 @@ impl ProtocolNode for SpannerNode {
     }
 
     fn client(topo: &Topology, id: ProcessId) -> Self {
-        let eps = if topo.tuning > 0 { topo.tuning } else { EPSILON };
+        let eps = if topo.tuning > 0 {
+            topo.tuning
+        } else {
+            EPSILON
+        };
         SpannerNode::Client(ClientState {
             topo: topo.clone(),
             tt: TrueTime::for_node(id.0, eps, 7),
@@ -454,7 +476,10 @@ impl ProtocolNode for SpannerNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::ReadAtResp { reads, .. } => crate::common::max_values_per_object(
-                reads.iter().filter(|(_, v, _)| !v.is_bottom()).map(|&(k, _, _)| k),
+                reads
+                    .iter()
+                    .filter(|(_, v, _)| !v.is_bottom())
+                    .map(|&(k, _, _)| k),
             ),
             _ => 0,
         }

@@ -170,7 +170,9 @@ impl WrenNode {
                     );
                 }
                 Msg::GssResp { id, gss } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     // Snapshot floor keeps reads monotonic across ROTs.
                     let at = gss.max(c.last_snapshot);
                     c.last_snapshot = at;
@@ -182,7 +184,9 @@ impl WrenNode {
                     }
                 }
                 Msg::ReadAtResp { id, reads } => {
-                    let Some(p) = c.rots.get_mut(&id) else { continue };
+                    let Some(p) = c.rots.get_mut(&id) else {
+                        continue;
+                    };
                     for (k, v, ts) in reads {
                         p.got.insert(k, (v, ts));
                     }
@@ -295,7 +299,10 @@ impl WrenNode {
                     let mut per_server: std::collections::BTreeMap<ProcessId, Vec<(Key, Value)>> =
                         Default::default();
                     for &(k, v) in &writes {
-                        per_server.entry(s.topo.primary(k)).or_default().push((k, v));
+                        per_server
+                            .entry(s.topo.primary(k))
+                            .or_default()
+                            .push((k, v));
                     }
                     let participants: Vec<ProcessId> = per_server.keys().copied().collect();
                     s.coordinating.insert(
@@ -335,7 +342,9 @@ impl WrenNode {
                 }
                 Msg::PrepareResp { id, proposed } => {
                     let finished = {
-                        let Some(co) = s.coordinating.get_mut(&id) else { continue };
+                        let Some(co) = s.coordinating.get_mut(&id) else {
+                            continue;
+                        };
                         co.proposals.push(proposed);
                         co.awaiting -= 1;
                         co.awaiting == 0
@@ -354,7 +363,14 @@ impl WrenNode {
                     if let Some((_, writes)) = s.pending.remove(&id) {
                         s.clock.witness(ts);
                         for (k, v) in writes {
-                            s.store.insert(k, Version { value: v, ts, tx: id });
+                            s.store.insert(
+                                k,
+                                Version {
+                                    value: v,
+                                    ts,
+                                    tx: id,
+                                },
+                            );
                         }
                     }
                 }
@@ -395,7 +411,11 @@ impl ProtocolNode for WrenNode {
             coordinating: HashMap::new(),
             known_lst: vec![0; topo.num_servers as usize],
             me: id,
-            period: if topo.tuning > 0 { topo.tuning } else { STABLE_PERIOD },
+            period: if topo.tuning > 0 {
+                topo.tuning
+            } else {
+                STABLE_PERIOD
+            },
         })
     }
 
@@ -436,7 +456,10 @@ impl ProtocolNode for WrenNode {
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
             Msg::ReadAtResp { reads, .. } => crate::common::max_values_per_object(
-                reads.iter().filter(|(_, v, _)| !v.is_bottom()).map(|&(k, _, _)| k),
+                reads
+                    .iter()
+                    .filter(|(_, v, _)| !v.is_bottom())
+                    .map(|&(k, _, _)| k),
             ),
             // GssResp carries a timestamp only — metadata, zero values.
             _ => 0,

@@ -19,9 +19,16 @@ const CASES: u32 = if cfg!(debug_assertions) { 8 } else { 48 };
 /// A generated operation against the two-object deployment.
 #[derive(Clone, Debug)]
 enum GenOp {
-    Rot { client: u32 },
-    Write { client: u32, key: u32 },
-    MultiWrite { client: u32 },
+    Rot {
+        client: u32,
+    },
+    Write {
+        client: u32,
+        key: u32,
+    },
+    MultiWrite {
+        client: u32,
+    },
     /// Let background machinery run (stabilization, in-flight traffic).
     Settle,
 }
@@ -43,11 +50,13 @@ fn run_ops<N: ProtocolNode>(ops: &[GenOp]) -> Cluster<N> {
                 c.read_tx(ClientId(client), &[Key(0), Key(1)]).expect("rot");
             }
             GenOp::Write { client, key } => {
-                c.write_tx_auto(ClientId(client), &[Key(key)]).expect("write");
+                c.write_tx_auto(ClientId(client), &[Key(key)])
+                    .expect("write");
             }
             GenOp::MultiWrite { client } => {
                 if N::SUPPORTS_MULTI_WRITE {
-                    c.write_tx_auto(ClientId(client), &[Key(0), Key(1)]).expect("wtx");
+                    c.write_tx_auto(ClientId(client), &[Key(0), Key(1)])
+                        .expect("wtx");
                 } else {
                     c.write_tx_auto(ClientId(client), &[Key(0)]).expect("w");
                 }

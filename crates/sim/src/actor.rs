@@ -85,11 +85,14 @@ impl<M> Ctx<M> {
 ///
 /// `Clone` is required so that entire configurations (the [`crate::World`])
 /// can be forked; the paper's indistinguishability and visibility arguments
-/// become runnable experiments on forks.
-pub trait Actor: Clone {
+/// become runnable experiments on forks. `Send + Sync` (actors are plain
+/// data, never handles) lets the theorem harness fork one configuration
+/// from several worker threads at once — each probe of a visibility
+/// family runs on its own fork in parallel.
+pub trait Actor: Clone + Send + Sync {
     /// The protocol's message alphabet (requests, responses, replication,
     /// timer payloads — everything that crosses a link).
-    type Msg: Clone + std::fmt::Debug;
+    type Msg: Clone + Send + Sync + std::fmt::Debug;
 
     /// One computation step. All messages delivered since the previous
     /// step are available via [`Ctx::recv`].

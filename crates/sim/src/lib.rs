@@ -44,12 +44,14 @@
 
 mod actor;
 mod latency;
+mod smallvec;
 mod trace;
 mod types;
 mod world;
 
 pub use actor::{Actor, Ctx, Envelope};
 pub use latency::{LatencyKind, LatencyModel};
-pub use trace::{Trace, TraceEvent};
+pub use smallvec::SmallVec;
+pub use trace::{Trace, TraceEvent, TraceView, SEAL_CAP};
 pub use types::{Link, MsgId, ProcessId, RunOutcome, SimConfig, Time, MICROS, MILLIS, SECONDS};
-pub use world::{Flight, ProcStats, World, WorldStats};
+pub use world::{forks_taken, Flight, ProcStats, World, WorldStats};

@@ -1,0 +1,165 @@
+//! A minimal inline-first vector for hot per-link containers.
+//!
+//! [`World`](crate::World) forks clone every income buffer and every
+//! frozen-link list. Almost all of them are empty or hold one or two
+//! entries, so a `Vec` per container means a heap allocation per
+//! container per fork. `SmallVec` keeps up to `N` elements inline and
+//! only spills to a `Vec` beyond that, making the empty/small clone a
+//! plain memcpy. Implemented with `Option` slots — no `unsafe` — since
+//! `N` is tiny and the elements are small.
+
+/// A vector storing up to `N` elements inline, spilling to the heap
+/// past that.
+#[derive(Clone, Debug)]
+pub enum SmallVec<T, const N: usize> {
+    /// Up to `N` elements in place; `len` of the leading slots are
+    /// `Some`.
+    Inline {
+        /// Number of occupied slots.
+        len: u8,
+        /// The slots; `buf[..len]` are `Some`, the rest `None`.
+        buf: [Option<T>; N],
+    },
+    /// Spilled past `N` elements.
+    Heap(Vec<T>),
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::Inline {
+            len: 0,
+            buf: std::array::from_fn(|_| None),
+        }
+    }
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector (inline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            SmallVec::Inline { len, .. } => *len as usize,
+            SmallVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// True when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append an element, spilling to the heap if the inline buffer is
+    /// full.
+    pub fn push(&mut self, value: T) {
+        match self {
+            SmallVec::Inline { len, buf } => {
+                if (*len as usize) < N {
+                    buf[*len as usize] = Some(value);
+                    *len += 1;
+                } else {
+                    let mut v: Vec<T> = Vec::with_capacity(N + 1);
+                    for slot in buf.iter_mut() {
+                        v.push(slot.take().expect("inline slot below len must be Some"));
+                    }
+                    v.push(value);
+                    *self = SmallVec::Heap(v);
+                }
+            }
+            SmallVec::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Iterate the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (inline, heap): (&[Option<T>], &[T]) = match self {
+            SmallVec::Inline { len, buf } => (&buf[..*len as usize], &[]),
+            SmallVec::Heap(v) => (&[], v.as_slice()),
+        };
+        inline
+            .iter()
+            .map(|s| s.as_ref().expect("inline slot below len must be Some"))
+            .chain(heap.iter())
+    }
+
+    /// Remove and return all elements, leaving the vector empty.
+    pub fn take(&mut self) -> Self {
+        std::mem::take(self)
+    }
+
+    /// Move the elements into a plain `Vec`.
+    pub fn into_vec(self) -> Vec<T> {
+        match self {
+            SmallVec::Inline { len, mut buf } => buf[..len as usize]
+                .iter_mut()
+                .map(|s| s.take().expect("inline slot below len must be Some"))
+                .collect(),
+            SmallVec::Heap(v) => v,
+        }
+    }
+}
+
+impl<T, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.into_vec().into_iter()
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_then_spills() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        assert!(matches!(v, SmallVec::Inline { .. }));
+        v.push(3);
+        assert!(matches!(v, SmallVec::Heap(_)));
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn take_empties_in_place() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        v.push(7);
+        let taken = v.take();
+        assert!(v.is_empty());
+        assert_eq!(taken.into_vec(), vec![7]);
+    }
+
+    #[test]
+    fn clone_preserves_order_across_spill() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        let c = v.clone();
+        assert_eq!(c.into_vec(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(v.into_vec(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn into_iter_and_from_iter_round_trip() {
+        let v: SmallVec<u32, 2> = (0..4).collect();
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+}

@@ -4,9 +4,35 @@
 //! raw material for (a) the one-value / one-round audits in `cbf-model`,
 //! (b) the figure renderers in `cbf-bench`, and (c) determinism tests
 //! (same seed ⇒ identical trace).
+//!
+//! ## Sharing on fork
+//!
+//! The theorem machinery forks a [`World`](crate::World) thousands of
+//! times per run, and each fork used to deep-copy the whole event log —
+//! the dominant fork cost once a trace grows past a few thousand events.
+//! The log is append-only, so history is shared structurally instead:
+//! events accumulate in a mutable `tail`, and every [`SEAL_CAP`] events
+//! the tail is sealed into an immutable [`Arc`] segment. Cloning a trace
+//! bumps the segment refcounts and copies only the tail (< `SEAL_CAP`
+//! events), making fork cost O(`SEAL_CAP`) instead of O(history).
+//! Sealed segments are never mutated, so clones never observe each
+//! other's appends.
+//!
+//! Because every sealed segment holds exactly `SEAL_CAP` events,
+//! [`Trace::event_at`] is O(1) index arithmetic. Range views
+//! ([`Trace::events`], [`Trace::since`]) return a [`TraceView`] that
+//! borrows directly from the tail when the requested range lies inside
+//! it (the common "what did this sub-execution do" audit) and
+//! materializes a copy only when the range crosses sealed segments.
 
 use crate::types::{MsgId, ProcessId, Time};
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Events per sealed segment. Every sealed segment holds exactly this
+/// many events, which is what makes [`Trace::event_at`] O(1).
+pub const SEAL_CAP: usize = 512;
 
 /// One recorded event.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,10 +75,50 @@ impl<M> TraceEvent<M> {
     }
 }
 
-/// An append-only log of [`TraceEvent`]s.
+/// A contiguous range of trace events. Borrows from the trace's tail
+/// when the range lies entirely inside it; otherwise holds a
+/// materialized copy. Either way it derefs to `[TraceEvent<M>]`, so
+/// call sites treat it as a slice.
+pub enum TraceView<'a, M> {
+    /// The range is inside the mutable tail; no copy was made.
+    Borrowed(&'a [TraceEvent<M>]),
+    /// The range crossed sealed segments and was copied out.
+    Owned(Vec<TraceEvent<M>>),
+}
+
+impl<M> Deref for TraceView<'_, M> {
+    type Target = [TraceEvent<M>];
+    fn deref(&self) -> &[TraceEvent<M>] {
+        match self {
+            TraceView::Borrowed(s) => s,
+            TraceView::Owned(v) => v,
+        }
+    }
+}
+
+impl<'a, 'b, M> IntoIterator for &'b TraceView<'a, M> {
+    type Item = &'b TraceEvent<M>;
+    type IntoIter = std::slice::Iter<'b, TraceEvent<M>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.deref().iter()
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for TraceView<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.deref()).finish()
+    }
+}
+
+/// An append-only log of [`TraceEvent`]s with structurally shared
+/// history (see module docs).
 #[derive(Clone, Debug)]
 pub struct Trace<M> {
-    events: Vec<TraceEvent<M>>,
+    /// Sealed history: each segment holds exactly [`SEAL_CAP`] events
+    /// and is immutable from the moment it is sealed.
+    segments: Vec<Arc<Vec<TraceEvent<M>>>>,
+    /// Events not yet sealed; always shorter than [`SEAL_CAP`].
+    tail: Vec<TraceEvent<M>>,
     enabled: bool,
 }
 
@@ -60,49 +126,98 @@ impl<M: Clone + fmt::Debug> Trace<M> {
     /// A new trace; when `enabled` is false, pushes are dropped.
     pub fn new(enabled: bool) -> Self {
         Trace {
-            events: Vec::new(),
+            segments: Vec::new(),
+            tail: Vec::new(),
             enabled,
         }
     }
 
+    /// Number of events in sealed segments.
+    #[inline]
+    fn sealed_len(&self) -> usize {
+        self.segments.len() * SEAL_CAP
+    }
+
     #[inline]
     pub(crate) fn push(&mut self, ev: TraceEvent<M>) {
-        if self.enabled {
-            self.events.push(ev);
+        if !self.enabled {
+            return;
+        }
+        self.tail.push(ev);
+        if self.tail.len() == SEAL_CAP {
+            let sealed = std::mem::take(&mut self.tail);
+            self.segments.push(Arc::new(sealed));
         }
     }
 
-    /// All recorded events, in order.
-    pub fn events(&self) -> &[TraceEvent<M>] {
-        &self.events
+    /// The event at index `i` (panics when out of bounds). O(1): sealed
+    /// segments have fixed size, so this is index arithmetic.
+    #[inline]
+    pub fn event_at(&self, i: usize) -> &TraceEvent<M> {
+        let sealed = self.sealed_len();
+        if i < sealed {
+            &self.segments[i / SEAL_CAP][i % SEAL_CAP]
+        } else {
+            &self.tail[i - sealed]
+        }
+    }
+
+    /// All recorded events, in order. Borrows when the whole trace is
+    /// still in the tail; copies otherwise — prefer [`Trace::event_at`]
+    /// or [`Trace::iter`] in loops over long traces.
+    pub fn events(&self) -> TraceView<'_, M> {
+        if self.segments.is_empty() {
+            TraceView::Borrowed(&self.tail)
+        } else {
+            TraceView::Owned(self.iter().cloned().collect())
+        }
+    }
+
+    /// Iterate all events in order without copying.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent<M>> {
+        self.segments
+            .iter()
+            .flat_map(|s| s.iter())
+            .chain(self.tail.iter())
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.sealed_len() + self.tail.len()
     }
 
     /// True if nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
     }
 
     /// Events recorded after index `mark`; use with [`Trace::len`] to
-    /// observe what a sub-execution did.
-    pub fn since(&self, mark: usize) -> &[TraceEvent<M>] {
-        &self.events[mark..]
+    /// observe what a sub-execution did. Borrows (no copy) when `mark`
+    /// falls inside the tail — true whenever fewer than [`SEAL_CAP`]
+    /// events ran since the mark was taken near the head of the tail.
+    pub fn since(&self, mark: usize) -> TraceView<'_, M> {
+        let sealed = self.sealed_len();
+        if mark >= sealed {
+            TraceView::Borrowed(&self.tail[mark - sealed..])
+        } else {
+            TraceView::Owned(self.iter().skip(mark).cloned().collect())
+        }
     }
 
     /// Drop all recorded events (keeps the enabled flag).
     pub fn clear(&mut self) {
-        self.events.clear();
+        self.segments.clear();
+        self.tail.clear();
     }
 
     /// All `Send` events from `from` to `to` after index `mark`.
-    pub fn sends_between(&self, from: ProcessId, to: ProcessId, mark: usize) -> Vec<&TraceEvent<M>> {
-        self.events[mark..]
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Send { from: f, to: t, .. } if *f == from && *t == to))
+    pub fn sends_between(&self, from: ProcessId, to: ProcessId, mark: usize) -> Vec<TraceEvent<M>> {
+        self.iter()
+            .skip(mark)
+            .filter(
+                |e| matches!(e, TraceEvent::Send { from: f, to: t, .. } if *f == from && *t == to),
+            )
+            .cloned()
             .collect()
     }
 
@@ -110,9 +225,15 @@ impl<M: Clone + fmt::Debug> Trace<M> {
     /// reproductions). `names` maps process ids to display labels.
     pub fn render(&self, names: &dyn Fn(ProcessId) -> String) -> String {
         let mut out = String::new();
-        for ev in &self.events {
+        for ev in self.iter() {
             let line = match ev {
-                TraceEvent::Send { at, id, from, to, msg } => format!(
+                TraceEvent::Send {
+                    at,
+                    id,
+                    from,
+                    to,
+                    msg,
+                } => format!(
                     "{:>12} ns  SEND    {:?} {} -> {}  {:?}",
                     at,
                     id,
@@ -172,10 +293,16 @@ impl<M: Clone + fmt::Debug> Trace<M> {
         let lane = |cols: &mut Vec<String>, p: ProcessId, sym: &str| {
             cols[p.index()] = format!("{sym:^W$}");
         };
-        for ev in self.events.iter().skip(from).take(limit) {
+        for ev in self.iter().skip(from).take(limit) {
             let mut cols: Vec<String> = vec![" ".repeat(W); n];
             let note = match ev {
-                TraceEvent::Send { at, id, from, to, msg } => {
+                TraceEvent::Send {
+                    at,
+                    id,
+                    from,
+                    to,
+                    msg,
+                } => {
                     lane(&mut cols, *from, &format!("{id:?}→"));
                     format!(
                         "t={at:>9} {} sends {id:?} to {}: {msg:?}",
@@ -185,7 +312,11 @@ impl<M: Clone + fmt::Debug> Trace<M> {
                 }
                 TraceEvent::Deliver { at, id, from, to } => {
                     lane(&mut cols, *to, &format!("▶{id:?}"));
-                    format!("t={at:>9} {} receives {id:?} from {}", names(*to), names(*from))
+                    format!(
+                        "t={at:>9} {} receives {id:?} from {}",
+                        names(*to),
+                        names(*from)
+                    )
                 }
                 TraceEvent::Step { at, pid } => {
                     lane(&mut cols, *pid, "●");
@@ -235,6 +366,18 @@ mod tests {
             at: 5,
             pid: ProcessId(1),
         });
+        t
+    }
+
+    /// A trace of `n` step events whose times count up from 0.
+    fn long_trace(n: usize) -> Trace<u32> {
+        let mut t = Trace::new(true);
+        for i in 0..n {
+            t.push(TraceEvent::Step {
+                at: i as Time,
+                pid: ProcessId((i % 3) as u32),
+            });
+        }
         t
     }
 
@@ -290,5 +433,77 @@ mod tests {
         assert!(s.contains("DELIVER"));
         assert!(s.contains("STEP"));
         assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn sealing_preserves_order_and_indexing() {
+        let n = 3 * SEAL_CAP + 17;
+        let t = long_trace(n);
+        assert_eq!(t.len(), n);
+        // event_at crosses segment boundaries correctly.
+        for &i in &[0, 1, SEAL_CAP - 1, SEAL_CAP, 2 * SEAL_CAP, n - 1] {
+            assert_eq!(t.event_at(i).at(), i as Time, "index {i}");
+        }
+        // The full materialized view matches the indexed view.
+        let all = t.events();
+        assert_eq!(all.len(), n);
+        for (i, ev) in all.iter().enumerate() {
+            assert_eq!(ev.at(), i as Time);
+        }
+    }
+
+    #[test]
+    fn since_borrows_inside_tail_and_copies_across_segments() {
+        let n = SEAL_CAP + 10;
+        let t = long_trace(n);
+        // Inside the tail: a borrow.
+        let v = t.since(SEAL_CAP + 2);
+        assert!(matches!(v, TraceView::Borrowed(_)));
+        assert_eq!(v.len(), 8);
+        assert_eq!(v[0].at(), (SEAL_CAP + 2) as Time);
+        // Across the boundary: a copy, same contents.
+        let v = t.since(SEAL_CAP - 2);
+        assert!(matches!(v, TraceView::Owned(_)));
+        assert_eq!(v.len(), 12);
+        assert_eq!(v[0].at(), (SEAL_CAP - 2) as Time);
+    }
+
+    #[test]
+    fn clones_share_history_but_diverge_independently() {
+        let mut a = long_trace(2 * SEAL_CAP + 5);
+        let mut b = a.clone();
+        a.push(TraceEvent::Step {
+            at: 9001,
+            pid: ProcessId(0),
+        });
+        b.push(TraceEvent::Step {
+            at: 9002,
+            pid: ProcessId(1),
+        });
+        b.push(TraceEvent::Step {
+            at: 9003,
+            pid: ProcessId(1),
+        });
+        assert_eq!(a.len(), 2 * SEAL_CAP + 6);
+        assert_eq!(b.len(), 2 * SEAL_CAP + 7);
+        assert_eq!(a.event_at(a.len() - 1).at(), 9001);
+        assert_eq!(b.event_at(b.len() - 1).at(), 9003);
+        // Shared history intact in both.
+        assert_eq!(a.event_at(17).at(), 17);
+        assert_eq!(b.event_at(17).at(), 17);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = long_trace(SEAL_CAP + 3);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        t.push(TraceEvent::Step {
+            at: 1,
+            pid: ProcessId(0),
+        });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.event_at(0).at(), 1);
     }
 }

@@ -1,6 +1,5 @@
 //! Core identifier and time types shared by the whole simulator.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Virtual time, in nanoseconds since the start of the execution.
@@ -22,7 +21,7 @@ pub const SECONDS: Time = 1_000_000_000;
 /// The paper models the system as an undirected graph whose nodes are
 /// processes; links connect every pair of processes. `ProcessId` is the
 /// node label.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProcessId(pub u32);
 
 impl ProcessId {
@@ -49,7 +48,7 @@ impl fmt::Display for ProcessId {
 ///
 /// Assigned in send order; never reused. The adversary uses `MsgId`s to
 /// pick exactly which in-flight message to deliver next.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MsgId(pub u64);
 
 impl fmt::Debug for MsgId {
@@ -60,7 +59,7 @@ impl fmt::Debug for MsgId {
 
 /// An undirected-graph link endpoint pair, stored directed (src → dst)
 /// because buffers are per direction.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 #[allow(missing_docs)] // fields are self-describing
 pub struct Link {
     pub src: ProcessId,

@@ -22,11 +22,24 @@
 
 use crate::actor::{Actor, Ctx, Envelope};
 use crate::latency::LatencyModel;
+use crate::smallvec::SmallVec;
 use crate::trace::{Trace, TraceEvent};
 use crate::types::{Link, MsgId, ProcessId, RunOutcome, SimConfig, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Global count of [`World::fork`] calls across all worlds, ever. The
+/// theorem machinery's inner-loop currency; `repro perfbench` reports
+/// deltas of this counter per exhibit.
+static FORKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`World::fork`] calls taken by this process so far.
+pub fn forks_taken() -> u64 {
+    FORKS.load(Ordering::Relaxed)
+}
 
 /// A message in transit: sent, not yet placed in the destination's income
 /// buffer.
@@ -112,13 +125,15 @@ impl WorldStats {
 #[derive(Clone)]
 pub struct World<A: Actor> {
     actors: Vec<A>,
-    labels: Vec<String>,
-    inboxes: Vec<Vec<Envelope<A::Msg>>>,
+    /// Display labels; immutable per run in practice, so forks share
+    /// them through the `Arc` (copy-on-write via [`World::set_label`]).
+    labels: Arc<Vec<String>>,
+    inboxes: Vec<SmallVec<Envelope<A::Msg>, 2>>,
     in_flight: BTreeMap<MsgId, Flight<A::Msg>>,
     queue: std::collections::BinaryHeap<QueuedEvent<A::Msg>>,
     /// Messages whose Deliver event fired while their link was held; they
     /// wait here until the link is released.
-    frozen: HashMap<Link, Vec<MsgId>>,
+    frozen: HashMap<Link, SmallVec<MsgId, 2>>,
     /// With [`SimConfig::fifo_links`]: the latest scheduled arrival per
     /// directed link, so later sends never overtake earlier ones.
     last_arrival: HashMap<Link, Time>,
@@ -141,8 +156,8 @@ impl<A: Actor> World<A> {
         let n = actors.len();
         let mut w = World {
             actors,
-            labels: (0..n).map(|i| format!("P{i}")).collect(),
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            labels: Arc::new((0..n).map(|i| format!("P{i}")).collect()),
+            inboxes: (0..n).map(|_| SmallVec::new()).collect(),
             in_flight: BTreeMap::new(),
             queue: std::collections::BinaryHeap::new(),
             frozen: HashMap::new(),
@@ -170,12 +185,18 @@ impl<A: Actor> World<A> {
 
     /// A convenience constructor with default latency and config.
     pub fn with_defaults(actors: Vec<A>) -> Self {
-        Self::new(actors, LatencyModel::constant_default(), SimConfig::default())
+        Self::new(
+            actors,
+            LatencyModel::constant_default(),
+            SimConfig::default(),
+        )
     }
 
     /// Attach a display label to a process (used by trace rendering).
+    /// Copy-on-write: if any fork shares the label table, it is copied
+    /// here so the fork keeps its old labels.
     pub fn set_label(&mut self, pid: ProcessId, label: impl Into<String>) {
-        self.labels[pid.index()] = label.into();
+        Arc::make_mut(&mut self.labels)[pid.index()] = label.into();
     }
 
     /// The display label of a process.
@@ -186,7 +207,8 @@ impl<A: Actor> World<A> {
     /// Render the full trace with process labels.
     pub fn render_trace(&self) -> String {
         let labels = self.labels.clone();
-        self.trace.render(&move |p: ProcessId| labels[p.index()].clone())
+        self.trace
+            .render(&move |p: ProcessId| labels[p.index()].clone())
     }
 
     /// Render the full trace as a space-time lane diagram with process
@@ -330,7 +352,7 @@ impl<A: Actor> World<A> {
     }
 
     fn do_step(&mut self, pid: ProcessId) {
-        let inbox = std::mem::take(&mut self.inboxes[pid.index()]);
+        let inbox = self.inboxes[pid.index()].take().into_vec();
         let mut ctx = Ctx::new(pid, self.now, inbox);
         self.trace.push(TraceEvent::Step { at: self.now, pid });
         self.stats.per_process[pid.index()].steps += 1;
@@ -430,11 +452,7 @@ impl<A: Actor> World<A> {
             msg: msg.clone(),
         });
         let id = self.fresh_msg_id();
-        self.inboxes[pid.index()].push(Envelope {
-            from: pid,
-            id,
-            msg,
-        });
+        self.inboxes[pid.index()].push(Envelope { from: pid, id, msg });
         self.push_event(self.now, EvKind::StepDue(pid));
     }
 
@@ -447,19 +465,19 @@ impl<A: Actor> World<A> {
             msg: msg.clone(),
         });
         let id = self.fresh_msg_id();
-        self.inboxes[pid.index()].push(Envelope {
-            from: pid,
-            id,
-            msg,
-        });
+        self.inboxes[pid.index()].push(Envelope { from: pid, id, msg });
     }
 
-    /// Fork this configuration. The fork shares nothing with the
-    /// original; both replay deterministically.
+    /// Fork this configuration. The fork is observationally independent
+    /// of the original — both replay deterministically and never see
+    /// each other's subsequent events — while immutable state (labels,
+    /// sealed trace history) is structurally shared, so fork cost is
+    /// proportional to *live* state, not to execution history.
     pub fn fork(&self) -> Self
     where
         A: Clone,
     {
+        FORKS.fetch_add(1, Ordering::Relaxed);
         self.clone()
     }
 
@@ -477,7 +495,9 @@ impl<A: Actor> World<A> {
         horizon: Option<Time>,
         mut pred: Option<&mut dyn FnMut(&Self) -> bool>,
     ) -> RunOutcome {
-        let mut deferred: Vec<QueuedEvent<A::Msg>> = Vec::new();
+        // Most restricted runs defer only a handful of events; keep
+        // them inline.
+        let mut deferred: SmallVec<QueuedEvent<A::Msg>, 2> = SmallVec::new();
         let mut processed: u64 = 0;
         let outcome = loop {
             if let Some(p) = pred.as_mut() {
@@ -511,8 +531,7 @@ impl<A: Actor> World<A> {
                         self.frozen.entry(link).or_default().push(id);
                         continue;
                     }
-                    if !Self::allowed(restrict, flight.from)
-                        || !Self::allowed(restrict, flight.to)
+                    if !Self::allowed(restrict, flight.from) || !Self::allowed(restrict, flight.to)
                     {
                         deferred.push(ev);
                         continue;
@@ -534,11 +553,7 @@ impl<A: Actor> World<A> {
                     self.now = self.now.max(ev.time);
                     self.trace.push(TraceEvent::TimerFire { at: self.now, pid });
                     let id = self.fresh_msg_id();
-                    self.inboxes[pid.index()].push(Envelope {
-                        from: pid,
-                        id,
-                        msg,
-                    });
+                    self.inboxes[pid.index()].push(Envelope { from: pid, id, msg });
                     self.do_step(pid);
                 }
                 EvKind::StepDue(pid) => {
@@ -674,11 +689,7 @@ impl<A: Actor> World<A> {
                 self.now = self.now.max(t) + 1;
                 self.trace.push(TraceEvent::TimerFire { at: self.now, pid });
                 let id = self.fresh_msg_id();
-                self.inboxes[pid.index()].push(Envelope {
-                    from: pid,
-                    id,
-                    msg,
-                });
+                self.inboxes[pid.index()].push(Envelope { from: pid, id, msg });
                 self.do_step(pid);
                 // Steps may set new timers; absorb them from the queue.
                 let drained: Vec<_> = std::mem::take(&mut self.queue).into_vec();

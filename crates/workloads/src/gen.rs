@@ -48,28 +48,47 @@ pub struct Mix {
 impl Mix {
     /// YCSB-A-like: 50% reads, 50% writes.
     pub fn ycsb_a() -> Mix {
-        Mix { read: 0.50, write: 0.45, multi_write: 0.05 }
+        Mix {
+            read: 0.50,
+            write: 0.45,
+            multi_write: 0.05,
+        }
     }
 
     /// YCSB-B-like: 95% reads.
     pub fn ycsb_b() -> Mix {
-        Mix { read: 0.95, write: 0.04, multi_write: 0.01 }
+        Mix {
+            read: 0.95,
+            write: 0.04,
+            multi_write: 0.01,
+        }
     }
 
     /// YCSB-C: read-only.
     pub fn ycsb_c() -> Mix {
-        Mix { read: 1.0, write: 0.0, multi_write: 0.0 }
+        Mix {
+            read: 1.0,
+            write: 0.0,
+            multi_write: 0.0,
+        }
     }
 
     /// The read-dominated mix the paper motivates with production
     /// measurements (Facebook-style: ~99.8% reads).
     pub fn read_dominated() -> Mix {
-        Mix { read: 0.998, write: 0.0015, multi_write: 0.0005 }
+        Mix {
+            read: 0.998,
+            write: 0.0015,
+            multi_write: 0.0005,
+        }
     }
 
     fn validate(&self) {
         let sum = self.read + self.write + self.multi_write;
-        assert!((sum - 1.0).abs() < 1e-9, "mix fractions sum to {sum}, not 1");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "mix fractions sum to {sum}, not 1"
+        );
         assert!(self.read >= 0.0 && self.write >= 0.0 && self.multi_write >= 0.0);
     }
 }
@@ -191,7 +210,12 @@ mod tests {
 
     #[test]
     fn mixes_are_valid() {
-        for m in [Mix::ycsb_a(), Mix::ycsb_b(), Mix::ycsb_c(), Mix::read_dominated()] {
+        for m in [
+            Mix::ycsb_a(),
+            Mix::ycsb_b(),
+            Mix::ycsb_c(),
+            Mix::read_dominated(),
+        ] {
             m.validate();
         }
     }
@@ -200,7 +224,11 @@ mod tests {
     #[should_panic(expected = "sum to")]
     fn invalid_mix_rejected() {
         Workload::new(
-            WorkloadSpec::minimal(Mix { read: 0.5, write: 0.1, multi_write: 0.1 }),
+            WorkloadSpec::minimal(Mix {
+                read: 0.5,
+                write: 0.1,
+                multi_write: 0.1,
+            }),
             0,
         );
     }
@@ -240,7 +268,11 @@ mod tests {
                 rot_size: 4,
                 wtx_size: 3,
                 theta: 0.5,
-                mix: Mix { read: 0.5, write: 0.0, multi_write: 0.5 },
+                mix: Mix {
+                    read: 0.5,
+                    write: 0.0,
+                    multi_write: 0.5,
+                },
             },
             11,
         );

@@ -21,8 +21,14 @@ fn main() {
     // the forks down different futures.
     let mut fork_a = s.clone();
     let mut fork_b = s.clone();
-    fork_a.cluster.write_tx_auto(fork_a.cw, &[Key(0), Key(1)]).unwrap();
-    fork_b.cluster.read_tx(fork_b.reader, &[Key(0), Key(1)]).unwrap();
+    fork_a
+        .cluster
+        .write_tx_auto(fork_a.cw, &[Key(0), Key(1)])
+        .unwrap();
+    fork_b
+        .cluster
+        .read_tx(fork_b.reader, &[Key(0), Key(1)])
+        .unwrap();
     println!(
         "fork A history: {} txs; fork B history: {} txs; original: {} txs",
         fork_a.cluster.history().len(),
@@ -84,7 +90,11 @@ fn main() {
         "\nand composed into γ: reader got {:?} → {:?} → {}",
         out.reads,
         out.snapshot_kind(),
-        if out.caught() { "Lemma 1 violated (the theorem's witness)" } else { "consistent" }
+        if out.caught() {
+            "Lemma 1 violated (the theorem's witness)"
+        } else {
+            "consistent"
+        }
     );
     assert!(out.caught());
 }

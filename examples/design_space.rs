@@ -52,7 +52,17 @@ fn main() {
     print_row(&audit_protocol::<NaiveTwoPhase>(8));
 
     println!("\nPaper reference (Table 1, the systems modelled here):");
-    for want in ["RAMP", "COPS", "GentleRain", "Contrarian", "COPS-SNOW", "Eiger", "Wren", "Calvin", "Spanner"] {
+    for want in [
+        "RAMP",
+        "COPS",
+        "GentleRain",
+        "Contrarian",
+        "COPS-SNOW",
+        "Eiger",
+        "Wren",
+        "Calvin",
+        "Spanner",
+    ] {
         if let Some(r) = paper_table1().iter().find(|r| r.system == want) {
             println!(
                 "| {:<14} | {:>2} | {:>2} | {:^3} | {:^3} | {}{}",
@@ -62,7 +72,11 @@ fn main() {
                 if r.n { "yes" } else { "no" },
                 if r.w { "yes" } else { "no" },
                 r.consistency,
-                if r.dagger { " †(different system model)" } else { "" }
+                if r.dagger {
+                    " †(different system model)"
+                } else {
+                    ""
+                }
             );
         }
     }

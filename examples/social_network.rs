@@ -50,15 +50,33 @@ fn run_scenario<N: ProtocolNode>(name: &str) -> (Vec<(Key, Value)>, bool) {
     db.world.release_pair(pid, ProcessId(1));
     db.world
         .run_until_within(200 * MILLIS, |w| w.actor(pid).completed(id).is_some());
-    let done = db.world.actor_mut(pid).take_completed(id).expect("boss read");
+    let done = db
+        .world
+        .actor_mut(pid)
+        .take_completed(id)
+        .expect("boss read");
 
-    let saw_party = done.reads.iter().any(|&(k, v)| k == ALBUM && v == album_party);
-    let saw_old_acl = done.reads.iter().any(|&(k, v)| k == ACL && v == acl_everyone);
+    let saw_party = done
+        .reads
+        .iter()
+        .any(|&(k, v)| k == ALBUM && v == album_party);
+    let saw_old_acl = done
+        .reads
+        .iter()
+        .any(|&(k, v)| k == ACL && v == acl_everyone);
     let leaked = saw_party && saw_old_acl;
     println!(
         "{name:<12} boss saw ACL={} album={} → {}",
-        if saw_old_acl { "everyone (STALE)" } else { "private     " },
-        if saw_party { "party-photo" } else { "old-photos " },
+        if saw_old_acl {
+            "everyone (STALE)"
+        } else {
+            "private     "
+        },
+        if saw_party {
+            "party-photo"
+        } else {
+            "old-photos "
+        },
         if leaked { "PRIVACY LEAK" } else { "safe" }
     );
     (done.reads, leaked)
@@ -86,7 +104,10 @@ fn main() {
     let (_, leaked_naive) = run_scenario::<NaiveFast>("naive-fast");
 
     println!();
-    assert!(leaked_naive, "the naive claimant must leak under this schedule");
+    assert!(
+        leaked_naive,
+        "the naive claimant must leak under this schedule"
+    );
     println!("naive-fast leaked: \"fast reads + write support\" without a");
     println!("protection mechanism is exactly what the theorem says cannot be");
     println!("causally consistent. The protected designs each paid for safety:");

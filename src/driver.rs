@@ -84,17 +84,15 @@ pub fn drive<N: ProtocolNode>(
                 cluster.write(client, key, v)?;
                 completed += 1;
             }
-            Op::MultiWrite { client, keys } => {
-                match cluster.write_tx_auto(client, &keys) {
-                    Ok(_) => completed += 1,
-                    Err(TxError::MultiWriteUnsupported) if opts.downgrade_writes => {
-                        rejected += 1;
-                        cluster.write_tx_auto(client, &keys[..1])?;
-                        completed += 1;
-                    }
-                    Err(e) => return Err(e),
+            Op::MultiWrite { client, keys } => match cluster.write_tx_auto(client, &keys) {
+                Ok(_) => completed += 1,
+                Err(TxError::MultiWriteUnsupported) if opts.downgrade_writes => {
+                    rejected += 1;
+                    cluster.write_tx_auto(client, &keys[..1])?;
+                    completed += 1;
                 }
-            }
+                Err(e) => return Err(e),
+            },
         }
         if opts.settle_every > 0 && (i as u64 + 1).is_multiple_of(opts.settle_every) {
             cluster.world.run_for(opts.settle_for);

@@ -54,8 +54,8 @@ pub use cbf_workloads as workloads;
 pub mod prelude {
     pub use crate::driver::{drive, DriveOptions, RunSummary};
     pub use cbf_core::{
-        attack_all_servers, audit_protocol, audit_protocol_on, is_visible, mixed_snapshot_attack, run_general,
-        run_theorem, setup_c0, Conclusion, SnapshotKind,
+        attack_all_servers, audit_protocol, audit_protocol_on, is_visible, mixed_snapshot_attack,
+        run_general, run_theorem, setup_c0, Conclusion, SnapshotKind,
     };
     pub use cbf_model::{
         check_causal, ClientId, History, Key, PropertyProfile, RotAudit, TxId, Value,

@@ -18,7 +18,11 @@ trait TraceLen {
 }
 impl<N: ProtocolNode> TraceLen for Cluster<N> {
     fn render_trace_len(&self) -> String {
-        format!("{} events, now={}", self.world.trace.len(), self.world.now())
+        format!(
+            "{} events, now={}",
+            self.world.trace.len(),
+            self.world.now()
+        )
     }
 }
 
@@ -27,7 +31,10 @@ fn histories_are_reproducible_per_seed() {
     for seed in [0u64, 7, 42] {
         assert_eq!(run_once::<WrenNode>(seed), run_once::<WrenNode>(seed));
         assert_eq!(run_once::<EigerNode>(seed), run_once::<EigerNode>(seed));
-        assert_eq!(run_once::<CopsSnowNode>(seed), run_once::<CopsSnowNode>(seed));
+        assert_eq!(
+            run_once::<CopsSnowNode>(seed),
+            run_once::<CopsSnowNode>(seed)
+        );
         assert_eq!(run_once::<SpannerNode>(seed), run_once::<SpannerNode>(seed));
     }
 }
@@ -56,6 +63,28 @@ fn witnesses_are_reproducible() {
         format!("{:?}", attack_all_servers(&s).unwrap().reads)
     };
     assert_eq!(w1, w2);
+}
+
+#[test]
+fn visibility_verdicts_match_serial() {
+    // The probe family fans out across threads; the verdict must be
+    // bit-identical to the serial walk (SNOWBOUND_THREADS=1).
+    use snowbound::theorem::{is_visible, minimal_topology, setup_c0};
+    let s = setup_c0::<NaiveFast>(minimal_topology()).unwrap();
+    let cases = [
+        (Key(0), s.x_in[0]),
+        (Key(1), s.x_in[1]),
+        (Key(0), Value(999_999)),
+    ];
+    for (k, v) in cases {
+        std::env::set_var(cbf_par::THREADS_ENV, "1");
+        let serial = is_visible(&s, k, v);
+        // Force >1 threads so the fan-out really runs, even on one core.
+        std::env::set_var(cbf_par::THREADS_ENV, "4");
+        let parallel = is_visible(&s, k, v);
+        std::env::remove_var(cbf_par::THREADS_ENV);
+        assert_eq!(serial, parallel, "visibility diverged for {k:?}={v:?}");
+    }
 }
 
 #[test]

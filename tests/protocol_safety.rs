@@ -21,7 +21,11 @@ fn sweep<N: ProtocolNode>(seeds: std::ops::Range<u64>, ops: usize) {
         // Chaotic post-run: drain all remaining traffic in random order;
         // anything that completed must still check out.
         cluster.world.run_chaotic(seed, 200_000);
-        assert!(cluster.check().is_ok(), "{} seed {seed} post-chaos", N::NAME);
+        assert!(
+            cluster.check().is_ok(),
+            "{} seed {seed} post-chaos",
+            N::NAME
+        );
     }
 }
 
@@ -152,7 +156,11 @@ fn write_transactions_are_never_fractured() {
                 rot_size: 2,
                 wtx_size: 2,
                 theta: 0.0,
-                mix: Mix { read: 0.5, write: 0.0, multi_write: 0.5 },
+                mix: Mix {
+                    read: 0.5,
+                    write: 0.0,
+                    multi_write: 0.5,
+                },
             },
             3,
         );

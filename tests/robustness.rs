@@ -12,8 +12,20 @@ fn the_attack_works_under_every_latency_model() {
     // mixed-snapshot witness appears regardless of the distribution.
     for (name, kind) in [
         ("constant", LatencyKind::Constant(50 * MICROS)),
-        ("uniform", LatencyKind::Uniform { lo: 10 * MICROS, hi: 2 * MILLIS }),
-        ("lognormal", LatencyKind::LogNormal { median: 100 * MICROS, sigma: 0.8 }),
+        (
+            "uniform",
+            LatencyKind::Uniform {
+                lo: 10 * MICROS,
+                hi: 2 * MILLIS,
+            },
+        ),
+        (
+            "lognormal",
+            LatencyKind::LogNormal {
+                median: 100 * MICROS,
+                sigma: 0.8,
+            },
+        ),
         (
             "tiered",
             LatencyKind::Tiered {
@@ -36,7 +48,11 @@ fn the_attack_works_under_every_latency_model() {
             cluster.write(ClientId(0), Key(0), v0).unwrap();
             cluster.write(ClientId(1), Key(1), v1).unwrap();
             let r = cluster.read_tx(ClientId(2), &[Key(0), Key(1)]).unwrap();
-            assert_eq!(r.reads, vec![(Key(0), v0), (Key(1), v1)], "{name}: C0 setup");
+            assert_eq!(
+                r.reads,
+                vec![(Key(0), v0), (Key(1), v1)],
+                "{name}: C0 setup"
+            );
             snowbound::theorem::TheoremSetup {
                 cluster,
                 keys: vec![Key(0), Key(1)],
@@ -48,7 +64,11 @@ fn the_attack_works_under_every_latency_model() {
             }
         };
         let out = attack_all_servers(&setup).unwrap();
-        assert!(out.caught(), "{name}: claimant escaped; reads {:?}", out.reads);
+        assert!(
+            out.caught(),
+            "{name}: claimant escaped; reads {:?}",
+            out.reads
+        );
         assert_eq!(out.snapshot_kind(), SnapshotKind::Mixed, "{name}");
     }
 }
@@ -56,8 +76,20 @@ fn the_attack_works_under_every_latency_model() {
 #[test]
 fn protocols_stay_causal_on_skewed_slow_networks() {
     for (kind, seed) in [
-        (LatencyKind::Uniform { lo: 10 * MICROS, hi: 3 * MILLIS }, 4u64),
-        (LatencyKind::LogNormal { median: 200 * MICROS, sigma: 1.0 }, 5),
+        (
+            LatencyKind::Uniform {
+                lo: 10 * MICROS,
+                hi: 3 * MILLIS,
+            },
+            4u64,
+        ),
+        (
+            LatencyKind::LogNormal {
+                median: 200 * MICROS,
+                sigma: 1.0,
+            },
+            5,
+        ),
     ] {
         let mut cluster: Cluster<EigerNode> = Cluster::with_network(
             Topology::minimal(4),
@@ -122,8 +154,17 @@ fn fifo_links_change_nothing_for_dep_carrying_protocols() {
     for fifo in [false, true] {
         let mut cluster: Cluster<CopsNode> = Cluster::with_network(
             Topology::minimal(4),
-            LatencyModel::new(LatencyKind::Uniform { lo: 10, hi: 100 * MICROS }, 3),
-            SimConfig { fifo_links: fifo, ..SimConfig::default() },
+            LatencyModel::new(
+                LatencyKind::Uniform {
+                    lo: 10,
+                    hi: 100 * MICROS,
+                },
+                3,
+            ),
+            SimConfig {
+                fifo_links: fifo,
+                ..SimConfig::default()
+            },
         );
         let mut wl = Workload::new(WorkloadSpec::minimal(Mix::ycsb_a()), 17);
         let s = drive(&mut cluster, &mut wl, 40, DriveOptions::default()).unwrap();

@@ -41,7 +41,10 @@ fn every_witness_is_a_checker_verified_mixed_snapshot() {
 #[test]
 fn claim_2_holds_at_every_prefix() {
     // At every constructed C_k the written values are not visible.
-    for report in [run_theorem::<NaiveNode<3>>(12), run_theorem::<NaiveNode<4>>(12)] {
+    for report in [
+        run_theorem::<NaiveNode<3>>(12),
+        run_theorem::<NaiveNode<4>>(12),
+    ] {
         assert!(!report.steps.is_empty());
         for step in &report.steps {
             assert!(
