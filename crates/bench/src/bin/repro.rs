@@ -22,7 +22,22 @@ use snowbound::theorem::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
-    std::fs::create_dir_all("results").ok();
+    if let Err(e) = run(what) {
+        eprintln!("repro: error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(what: &str) -> Result<(), String> {
+    // Every tabular exhibit writes under results/; claim it up front so
+    // a bad working directory fails once, with context, instead of each
+    // exhibit silently skipping its artifact.
+    std::fs::create_dir_all("results").map_err(|e| {
+        let cwd = std::env::current_dir()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|_| String::from("."));
+        format!("cannot create results/ in {cwd}: {e}")
+    })?;
     match what {
         "table1" => table1(),
         "table2" => table2(),
@@ -39,7 +54,7 @@ fn main() {
         "perfbench" => run_perfbench(),
         "all" => {
             for f in [
-                table1 as fn(),
+                table1 as fn() -> Result<(), String>,
                 table2,
                 fig1,
                 fig2,
@@ -52,9 +67,10 @@ fn main() {
                 daggers,
                 freshness,
             ] {
-                f();
+                f()?;
                 println!("\n{}\n", "=".repeat(78));
             }
+            Ok(())
         }
         other => {
             eprintln!("unknown exhibit: {other}");
@@ -64,24 +80,24 @@ fn main() {
     }
 }
 
-fn save_json(name: &str, value: &impl ToJson) {
+fn save_json(name: &str, value: &impl ToJson) -> Result<(), String> {
     let path = format!("results/{name}.json");
-    if std::fs::write(&path, value.to_json(0)).is_ok() {
-        println!("  [written {path}]");
-    }
+    std::fs::write(&path, value.to_json(0)).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("  [written {path}]");
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Table 1
 // ---------------------------------------------------------------------
 
-fn table1() {
+fn table1() -> Result<(), String> {
     println!("TABLE 1 — measured rows (this artifact) vs the paper's characterization");
     println!("Deployment: 2 servers, 2 objects, 6 clients; R/V/N audited from traces.\n");
 
     let rows: Vec<SystemRow> = table1_rows();
     print!("{}", render_table1(&rows));
-    save_json("table1_measured", &rows);
+    save_json("table1_measured", &rows)?;
 
     println!("\nPaper's Table 1 (all 22 systems, reference):");
     println!(
@@ -102,13 +118,14 @@ fn table1() {
     }
     println!("\n† different system model (out of the theorem's scope).");
     println!("Shape check: no non-† causal-or-stronger row has R=1, V=1, N and W.");
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Table 2 — the symbol table (appendix)
 // ---------------------------------------------------------------------
 
-fn table2() {
+fn table2() -> Result<(), String> {
     println!("TABLE 2 — the paper's symbols, mapped to this artifact\n");
     let rows: &[(&str, &str, &str)] = &[
         ("X_i", "object i", "cbf_model::Key"),
@@ -174,13 +191,14 @@ fn table2() {
     for (s, m, h) in rows {
         println!("| {s:<12} | {m:<42} | {h}");
     }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Figure 1 — Qin → Q0 → C0
 // ---------------------------------------------------------------------
 
-fn fig1() {
+fn fig1() -> Result<(), String> {
     println!("FIGURE 1 — configurations Qin → Q0 → C0 (naive-fast deployment)\n");
     let s = setup_c0::<NaiveFast>(minimal_topology()).expect("setup");
     println!(
@@ -197,13 +215,14 @@ fn fig1() {
             t.id, t.client, t.reads, t.writes
         );
     }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Figure 2 — Constructions 1 and 2
 // ---------------------------------------------------------------------
 
-fn fig2() {
+fn fig2() -> Result<(), String> {
     println!("FIGURE 2 — Constructions 1 (γ_old) and 2 (γ_new)\n");
     println!("Both constructions run the same fast ROT T_r = (r(X0)*, r(X1)*);");
     println!("they differ in where along Tw's solo execution the adversary");
@@ -255,13 +274,14 @@ fn fig2() {
     }
     println!("\nThe proof splices a σ_old prefix of Construction 1 with a σ_new");
     println!("suffix of Construction 2 — fig3 shows the splice.");
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Figure 3 — the contradictory execution γ
 // ---------------------------------------------------------------------
 
-fn fig3() {
+fn fig3() -> Result<(), String> {
     println!("FIGURE 3 — the spliced execution γ = σ_old · β_new · σ_new\n");
     let s = setup_c0::<NaiveFast>(minimal_topology()).expect("setup");
     let out = attack_all_servers(&s).expect("attack");
@@ -280,13 +300,14 @@ fn fig3() {
     println!("checker verdict: {:?}\n", out.violations);
     println!("trace of γ (first events):");
     println!("{}", out.trace);
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Theorem 1 — the induction
 // ---------------------------------------------------------------------
 
-fn theorem1() {
+fn theorem1() -> Result<(), String> {
     println!("THEOREM 1 — Lemma 3's prefixes α_k against the claimant family\n");
     println!("{}", run_theorem::<NaiveNode<1>>(12).render());
     println!("{}", run_theorem::<NaiveNode<2>>(12).render());
@@ -305,13 +326,14 @@ fn theorem1() {
     println!("naive-chatty's forced messages are real but useless: the values turn");
     println!("visible at C_1, claim 2 fails, and the δ execution extracts the same");
     println!("forbidden snapshot — the induction covers both of Lemma 3's claims.");
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Theorem 2 — partial replication
 // ---------------------------------------------------------------------
 
-fn theorem2() {
+fn theorem2() -> Result<(), String> {
     println!("THEOREM 2 — the general case (Appendix A): partial replication\n");
     for topo in general_topologies() {
         let report = run_general::<NaiveFast>(topo).expect("general run");
@@ -327,13 +349,14 @@ fn theorem2() {
         )
         .render()
     );
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // §3.4 — the limits of the impossibility result
 // ---------------------------------------------------------------------
 
-fn limits() {
+fn limits() -> Result<(), String> {
     println!("§3.4 — the limits: every 3-of-4 corner is achievable\n");
     let rows = vec![
         ("N+R+V (COPS-SNOW)", audit_protocol::<CopsSnowNode>(6)),
@@ -357,13 +380,14 @@ fn limits() {
     println!("  Wren: every read pays a snapshot round + visibility lag (stabilization)");
     println!("  §3.4 sketch: message payloads grow with the session's causal history");
     println!("  Spanner-like: reads block up to ε + commit-wait under write contention");
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Quantitative companion — latency tables
 // ---------------------------------------------------------------------
 
-fn latency() {
+fn latency() -> Result<(), String> {
     println!("LATENCY — virtual-time ROT latency across the design space\n");
     let mut all: Vec<LatencyRow> = Vec::new();
     for (mix, name) in [
@@ -376,18 +400,19 @@ fn latency() {
         all.extend(rows);
         println!();
     }
-    save_json("latency", &all);
+    save_json("latency", &all)?;
     println!("Shape to verify against the theorem: one-round designs (COPS-SNOW,");
     println!("Spanner-like off the write path) sit at ~1 RTT (100 µs); two-round");
     println!("designs (COPS contention-free, Wren, Eiger round-1-settled) at ~2 RTT;");
     println!("Spanner's p99 inflates under writes (blocking); COPS-RW's V grows.");
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Ablations — quantifying the design choices
 // ---------------------------------------------------------------------
 
-fn ablations() {
+fn ablations() -> Result<(), String> {
     use snowbound::sim::MICROS;
     println!("ABLATIONS — the knobs behind each corner's cost\n");
 
@@ -524,6 +549,7 @@ fn ablations() {
         println!("    {:>4} {:>16} {:>12}", p, report.steps.len(), caught);
     }
     println!("\n    Law: forced = 2P−3 (P ≥ 2); caught at k = 2P−2.");
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -533,7 +559,7 @@ fn ablations() {
 /// A perfbench exhibit: name + the renderer measured serial vs parallel.
 type Exhibit = (&'static str, fn() -> String);
 
-fn run_perfbench() {
+fn run_perfbench() -> Result<(), String> {
     println!("PERFBENCH — harness self-measurement: serial vs parallel exhibits");
     println!(
         "thread budget: {} (override with {}=N)\n",
@@ -593,16 +619,16 @@ fn run_perfbench() {
         exhibits,
     };
     let path = "results/BENCH_harness.json";
-    if std::fs::write(path, report.to_json(0)).is_ok() {
-        println!("\n  [written {path}]");
-    }
+    std::fs::write(path, report.to_json(0)).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("\n  [written {path}]");
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // The † rows — fast + W + causal, without minimal progress
 // ---------------------------------------------------------------------
 
-fn daggers() {
+fn daggers() -> Result<(), String> {
     println!("† SYSTEMS — SwiftCloud / Eiger-PS escape the theorem by violating");
     println!("its progress premise, not its consistency premise.\n");
     println!("The `pinned` protocol distills them: reads at a client-pinned");
@@ -661,13 +687,14 @@ fn daggers() {
     println!("complete all writes, the values they write may be invisible to");
     println!("some clients for an indefinitely long time.\" Definition 3 rules");
     println!("such designs out of scope — and the machinery detects exactly that.");
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Freshness — the stale-read price of order-preserving fast-ish reads
 // ---------------------------------------------------------------------
 
-fn freshness() {
+fn freshness() -> Result<(), String> {
     use snowbound::model::measure_freshness;
     println!("FRESHNESS — Tomsic et al.'s companion trade-off (paper §4): with an");
     println!("order-preserving consistency level, quick reads may have to return");
@@ -713,4 +740,5 @@ fn freshness() {
     println!("trade freshness for their read guarantees; the †-style pinned");
     println!("protocol — \"fast\" reads with W — is maximally stale, which is the");
     println!("degenerate end of exactly this trade-off.");
+    Ok(())
 }

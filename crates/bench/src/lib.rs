@@ -10,6 +10,7 @@
 //!   itself (simulator event throughput, checker scaling, per-protocol
 //!   simulation cost).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

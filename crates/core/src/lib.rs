@@ -15,6 +15,7 @@
 //! * [`audit`] — the property auditor regenerating Table 1 rows from
 //!   measurements, plus the paper's reference table.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,88 @@
+//! Runtime cross-check of the protocols' `snow_properties!` declarations
+//! against the paper's Table 1 reference data (`paper_table1`). The same
+//! check runs statically in `snowlint`; this copy makes `cargo test`
+//! catch a drifted declaration even without the lint step.
+
+use cbf_core::paper_table1;
+use cbf_protocols::all_snow_decls;
+
+/// Is the declared bound consistent with a printed Table 1 bound
+/// (`"1"`, `"≤2"`, `"≥1"`)? `None` declares "unbounded".
+fn bound_ok(declared: Option<u32>, paper: &str) -> bool {
+    if let Some(rest) = paper.strip_prefix('≤') {
+        let cap: u32 = rest.trim().parse().expect("paper bound");
+        return matches!(declared, Some(d) if (1..=cap).contains(&d));
+    }
+    if let Some(rest) = paper.strip_prefix('≥') {
+        let floor: u32 = rest.trim().parse().expect("paper bound");
+        return declared.is_none() || declared.is_some_and(|d| d >= floor);
+    }
+    let exact: u32 = paper.trim().parse().expect("paper bound");
+    declared == Some(exact)
+}
+
+/// Case/punctuation-insensitive comparison for consistency names
+/// ("Per-Client Parallel SI" vs "Per Client Parallel SI").
+fn normalize(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+#[test]
+fn declared_tuples_match_the_paper_rows() {
+    let table = paper_table1();
+    for d in all_snow_decls() {
+        let Some(row_name) = d.paper_row else {
+            continue;
+        };
+        let row = table
+            .iter()
+            .find(|r| r.system == row_name)
+            .unwrap_or_else(|| panic!("{}: no Table 1 row named {row_name}", d.system));
+        assert!(
+            bound_ok(d.rounds, row.r),
+            "{}: declared R {:?} outside the paper's bound {}",
+            d.system,
+            d.rounds,
+            row.r
+        );
+        assert!(
+            bound_ok(d.values, row.v),
+            "{}: declared V {:?} outside the paper's bound {}",
+            d.system,
+            d.values,
+            row.v
+        );
+        assert_eq!(
+            d.nonblocking, row.n,
+            "{}: declared N diverges from the paper",
+            d.system
+        );
+        assert_eq!(
+            d.write_tx, row.w,
+            "{}: declared W diverges from the paper",
+            d.system
+        );
+        assert_eq!(
+            normalize(&d.consistency.to_string()),
+            normalize(row.consistency),
+            "{}: declared consistency diverges from the paper",
+            d.system
+        );
+    }
+}
+
+#[test]
+fn every_paper_linked_decl_names_a_real_row() {
+    let systems: Vec<&str> = paper_table1().iter().map(|r| r.system).collect();
+    let linked: Vec<&str> = all_snow_decls()
+        .iter()
+        .filter_map(|d| d.paper_row)
+        .collect();
+    assert!(linked.len() >= 11, "most protocols have a published row");
+    for name in linked {
+        assert!(systems.contains(&name), "unknown Table 1 row {name}");
+    }
+}

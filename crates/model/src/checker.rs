@@ -199,7 +199,7 @@ pub fn check_causal(h: &History) -> Verdict {
 fn client_serializable(h: &History, co: &CausalOrder, client: ClientId) -> bool {
     let txs = h.transactions();
     // Writers per key, precomputed.
-    let mut writers_of: std::collections::HashMap<Key, Vec<usize>> = Default::default();
+    let mut writers_of: std::collections::BTreeMap<Key, Vec<usize>> = Default::default();
     for (i, t) in txs.iter().enumerate() {
         for (k, _) in &t.writes {
             let ws = writers_of.entry(*k).or_default();

@@ -17,7 +17,7 @@
 use crate::history::History;
 use crate::relations::CausalOrder;
 use crate::types::{ClientId, Key, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Outcome of the exhaustive search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,7 +97,7 @@ fn search_for_client(
         }
     }
     let mut placed = vec![false; n];
-    let mut state: HashMap<Key, Value> = HashMap::new();
+    let mut state: BTreeMap<Key, Value> = BTreeMap::new();
 
     #[allow(clippy::too_many_arguments)] // explicit search state beats a struct here
     fn rec(
@@ -106,7 +106,7 @@ fn search_for_client(
         client: ClientId,
         pred_count: &mut Vec<usize>,
         placed: &mut Vec<bool>,
-        state: &mut HashMap<Key, Value>,
+        state: &mut BTreeMap<Key, Value>,
         remaining: usize,
         budget: u64,
         nodes: &mut u64,

@@ -16,7 +16,7 @@
 
 use crate::history::History;
 use crate::types::{Key, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Staleness statistics over every read in a history.
 #[derive(Clone, Debug, Default)]
@@ -59,7 +59,7 @@ impl FreshnessReport {
 /// harness-recorded invocation/completion times.
 pub fn measure_freshness(h: &History) -> FreshnessReport {
     // Per key: completed writes as (completed_at, value), sorted.
-    let mut writes: HashMap<Key, Vec<(u64, Value)>> = HashMap::new();
+    let mut writes: BTreeMap<Key, Vec<(u64, Value)>> = BTreeMap::new();
     for t in h.transactions() {
         for &(k, v) in &t.writes {
             writes.entry(k).or_default().push((t.completed_at, v));

@@ -31,6 +31,7 @@
 //! assert!(!check_causal(&h).is_ok());
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -3,7 +3,7 @@
 
 use crate::history::History;
 use crate::types::{Key, TxId, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A binary relation over `n` transactions, stored as a row-major
 /// bit-matrix. Rows are `ceil(n/64)` words; `get(i, j)` is bit `j` of row
@@ -195,7 +195,7 @@ impl CausalOrder {
 
         // Program order: consecutive transactions of the same client.
         let mut po = Relation::new(n);
-        let mut last_of_client: HashMap<crate::types::ClientId, usize> = HashMap::new();
+        let mut last_of_client: BTreeMap<crate::types::ClientId, usize> = BTreeMap::new();
         for (i, t) in txs.iter().enumerate() {
             if let Some(&prev) = last_of_client.get(&t.client) {
                 po.set(prev, i);
@@ -204,7 +204,7 @@ impl CausalOrder {
         }
 
         // Writer index: (key, value) → writing transaction.
-        let mut writer: HashMap<(Key, Value), usize> = HashMap::new();
+        let mut writer: BTreeMap<(Key, Value), usize> = BTreeMap::new();
         for (i, t) in txs.iter().enumerate() {
             for &(k, v) in &t.writes {
                 writer.insert((k, v), i);

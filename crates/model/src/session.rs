@@ -97,7 +97,7 @@ pub fn check_monotonic_reads(h: &History) -> Vec<SessionViolation> {
             .filter(|&i| txs[i].client == client)
             .collect();
         // For each key, the sequence of observed writers.
-        let mut last_writer: std::collections::HashMap<Key, usize> = Default::default();
+        let mut last_writer: std::collections::BTreeMap<Key, usize> = Default::default();
         for &i in &mine {
             for &(k, _) in &txs[i].reads {
                 let observed = co

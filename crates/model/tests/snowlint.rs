@@ -1,0 +1,14 @@
+//! Ride-along lint gate: the whole workspace must pass snowlint for
+//! this crate's test suite to go green (so `cargo test -p <crate>` in a
+//! dirty tree fails fast, not just CI).
+
+#[test]
+fn workspace_passes_snowlint() {
+    let root = snowlint::find_workspace_root().expect("workspace root");
+    let report = snowlint::check_workspace(&root);
+    assert!(
+        report.is_clean(),
+        "snowlint found errors:\n{}",
+        report.render()
+    );
+}

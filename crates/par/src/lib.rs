@@ -20,6 +20,10 @@
 //!
 //! [`World`]: ../cbf_sim/struct.World.html
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable overriding the worker-thread count.

@@ -348,6 +348,19 @@ impl ProtocolNode for CalvinNode {
     }
 }
 
+crate::snow_properties! {
+    system: "Calvin",
+    consistency: StrictSerializable,
+    rounds: 2,
+    values: 1,
+    nonblocking: false,
+    write_tx: true,
+    requests: [SeqReq],
+    value_replies: [ShardResp],
+    paper_row: "Calvin",
+    escape_hatch: none,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,10 +5,12 @@
 pub mod api;
 pub mod clock;
 pub mod cluster;
+pub mod snow;
 pub mod store;
 pub mod topology;
 
 pub use api::{Completed, ProtocolNode, TxError};
+pub use snow::SnowDecl;
 
 /// Count the per-object multiplicity of carried values: the `V` metric
 /// is the maximum number of values a message carries for one object.

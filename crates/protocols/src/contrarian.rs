@@ -356,6 +356,19 @@ impl ProtocolNode for ContrarianNode {
     }
 }
 
+crate::snow_properties! {
+    system: "Contrarian",
+    consistency: Causal,
+    rounds: 2,
+    values: 1,
+    nonblocking: true,
+    write_tx: false,
+    requests: [GssReq, ReadAt, PutReq],
+    value_replies: [ReadAtResp],
+    paper_row: "Contrarian",
+    escape_hatch: none,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

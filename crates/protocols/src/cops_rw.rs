@@ -380,6 +380,19 @@ pub fn session_log_len(node: &CopsRwNode) -> usize {
     }
 }
 
+crate::snow_properties! {
+    system: "COPS-RW (§3.4)",
+    consistency: Causal,
+    rounds: 1,
+    values: unbounded,
+    nonblocking: true,
+    write_tx: true,
+    requests: [FatRead, FatWrite],
+    value_replies: [FatReadResp],
+    paper_row: none,
+    escape_hatch: none,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -476,6 +476,19 @@ impl ProtocolNode for CureNode {
     }
 }
 
+crate::snow_properties! {
+    system: "Cure",
+    consistency: Causal,
+    rounds: 2,
+    values: 1,
+    nonblocking: false,
+    write_tx: true,
+    requests: [GstReq, ReadAt, WtxReq],
+    value_replies: [ReadAtResp],
+    paper_row: "Cure",
+    escape_hatch: none,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,6 +21,7 @@
 //! | [`cure`] | Cure | R=2, V, W, blocking |
 //! | [`calvin`] | Calvin | sequencer-ordered, W, blocking, strict-ser — no 2PC |
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -40,5 +41,29 @@ pub mod ramp;
 pub mod spanner;
 pub mod wren;
 
-pub use common::{Cluster, Completed, ProtocolNode, RotResult, Topology, TxError, WtxResult};
+pub use common::{
+    Cluster, Completed, ProtocolNode, RotResult, SnowDecl, Topology, TxError, WtxResult,
+};
 pub use naive::{NaiveFast, NaiveFourPhase, NaiveNode, NaiveThreePhase, NaiveTwoPhase};
+
+/// Every protocol module's [`SnowDecl`], in module order. The `snowlint`
+/// static pass and the `snow_decls` runtime tests both treat this as the
+/// registry of claimed `(R, V, N, W)` tuples.
+pub fn all_snow_decls() -> Vec<&'static SnowDecl> {
+    vec![
+        &calvin::SNOW_DECL,
+        &contrarian::SNOW_DECL,
+        &cops::SNOW_DECL,
+        &cops_rw::SNOW_DECL,
+        &cops_snow::SNOW_DECL,
+        &cure::SNOW_DECL,
+        &eiger::SNOW_DECL,
+        &gentlerain::SNOW_DECL,
+        &naive::SNOW_DECL,
+        &occult::SNOW_DECL,
+        &pinned::SNOW_DECL,
+        &ramp::SNOW_DECL,
+        &spanner::SNOW_DECL,
+        &wren::SNOW_DECL,
+    ]
+}

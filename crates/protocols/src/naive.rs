@@ -349,6 +349,19 @@ impl<const P: u8, const GOSSIP: bool> ProtocolNode for NaiveNode<P, GOSSIP> {
     }
 }
 
+crate::snow_properties! {
+    system: "naive claimant family",
+    consistency: Causal,
+    rounds: 1,
+    values: 1,
+    nonblocking: true,
+    write_tx: true,
+    requests: [ReadReq, Phase],
+    value_replies: [ReadResp],
+    paper_row: none,
+    escape_hatch: "claimant: deliberately impossible (fast + W + causal); exists so the theorem machinery has something to catch",
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -510,6 +510,19 @@ impl ProtocolNode for OccultNode {
     }
 }
 
+crate::snow_properties! {
+    system: "Occult",
+    consistency: PerClientPSI,
+    rounds: unbounded,
+    values: unbounded,
+    nonblocking: true,
+    write_tx: true,
+    requests: [Read, WtxReq],
+    value_replies: [ReadResp],
+    paper_row: "Occult",
+    escape_hatch: none,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -490,6 +490,19 @@ impl ProtocolNode for SpannerNode {
     }
 }
 
+crate::snow_properties! {
+    system: "Spanner-like",
+    consistency: StrictSerializable,
+    rounds: 1,
+    values: 1,
+    nonblocking: false,
+    write_tx: true,
+    requests: [ReadAt, WtxReq],
+    value_replies: [ReadAtResp],
+    paper_row: "Spanner",
+    escape_hatch: none,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -474,6 +474,19 @@ impl ProtocolNode for WrenNode {
     }
 }
 
+crate::snow_properties! {
+    system: "Wren",
+    consistency: Causal,
+    rounds: 2,
+    values: 1,
+    nonblocking: true,
+    write_tx: true,
+    requests: [GssReq, ReadAt, WtxReq],
+    value_replies: [ReadAtResp],
+    paper_row: "Wren",
+    escape_hatch: none,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,93 @@
+//! Runtime cross-check of every module's `snow_properties!` declaration
+//! against the `ProtocolNode` associated consts it claims to describe.
+//! (The static half of this check — message enums, handler signatures,
+//! Table 1 bounds — lives in `snowlint`.)
+
+use cbf_protocols::{all_snow_decls, ProtocolNode, SnowDecl};
+
+/// Pair a declaration with the node type it describes.
+fn decl_matches_node<N: ProtocolNode>(decl: &SnowDecl) {
+    assert_eq!(
+        decl.system,
+        N::NAME,
+        "snow_properties! system must equal ProtocolNode::NAME"
+    );
+    assert_eq!(
+        decl.consistency,
+        N::CONSISTENCY,
+        "{}: declared consistency diverges from ProtocolNode::CONSISTENCY",
+        decl.system
+    );
+    assert_eq!(
+        decl.write_tx,
+        N::SUPPORTS_MULTI_WRITE,
+        "{}: declared W diverges from ProtocolNode::SUPPORTS_MULTI_WRITE",
+        decl.system
+    );
+}
+
+#[test]
+fn every_decl_matches_its_node_consts() {
+    use cbf_protocols as p;
+    decl_matches_node::<p::calvin::CalvinNode>(&p::calvin::SNOW_DECL);
+    decl_matches_node::<p::contrarian::ContrarianNode>(&p::contrarian::SNOW_DECL);
+    decl_matches_node::<p::cops::CopsNode>(&p::cops::SNOW_DECL);
+    decl_matches_node::<p::cops_rw::CopsRwNode>(&p::cops_rw::SNOW_DECL);
+    decl_matches_node::<p::cops_snow::CopsSnowNode>(&p::cops_snow::SNOW_DECL);
+    decl_matches_node::<p::cure::CureNode>(&p::cure::SNOW_DECL);
+    decl_matches_node::<p::eiger::EigerNode>(&p::eiger::SNOW_DECL);
+    decl_matches_node::<p::gentlerain::GentleRainNode>(&p::gentlerain::SNOW_DECL);
+    decl_matches_node::<p::occult::OccultNode>(&p::occult::SNOW_DECL);
+    decl_matches_node::<p::pinned::PinnedNode>(&p::pinned::SNOW_DECL);
+    decl_matches_node::<p::ramp::RampNode>(&p::ramp::SNOW_DECL);
+    decl_matches_node::<p::spanner::SpannerNode>(&p::spanner::SNOW_DECL);
+    decl_matches_node::<p::wren::WrenNode>(&p::wren::SNOW_DECL);
+    // The naive family shares one declaration across its claimant node
+    // types; NAME varies per phase count, so only the property halves
+    // are comparable.
+    let naive = &p::naive::SNOW_DECL;
+    assert_eq!(
+        naive.consistency,
+        <p::NaiveFast as ProtocolNode>::CONSISTENCY
+    );
+    assert_eq!(
+        naive.write_tx,
+        <p::NaiveFast as ProtocolNode>::SUPPORTS_MULTI_WRITE
+    );
+}
+
+#[test]
+fn registry_is_complete_and_unique() {
+    let decls = all_snow_decls();
+    assert_eq!(decls.len(), 14, "one declaration per protocol module");
+    let mut names: Vec<&str> = decls.iter().map(|d| d.system).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), 14, "system names must be unique");
+}
+
+#[test]
+fn impossible_claims_carry_an_escape_hatch() {
+    for d in all_snow_decls() {
+        if d.claims_the_impossible() {
+            assert!(
+                d.escape_hatch.is_some(),
+                "{} claims fast + W + causal without an escape hatch — \
+                 Theorem 1 says this combination cannot exist",
+                d.system
+            );
+        }
+    }
+}
+
+#[test]
+fn request_and_reply_vocabularies_are_nonempty() {
+    for d in all_snow_decls() {
+        assert!(!d.requests.is_empty(), "{}: no request variants", d.system);
+        assert!(
+            !d.value_replies.is_empty(),
+            "{}: no value-carrying replies",
+            d.system
+        );
+    }
+}

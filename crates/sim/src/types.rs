@@ -59,7 +59,7 @@ impl fmt::Debug for MsgId {
 
 /// An undirected-graph link endpoint pair, stored directed (src → dst)
 /// because buffers are per direction.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 #[allow(missing_docs)] // fields are self-describing
 pub struct Link {
     pub src: ProcessId,

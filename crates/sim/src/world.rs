@@ -27,7 +27,7 @@ use crate::trace::{Trace, TraceEvent};
 use crate::types::{Link, MsgId, ProcessId, RunOutcome, SimConfig, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -133,11 +133,11 @@ pub struct World<A: Actor> {
     queue: std::collections::BinaryHeap<QueuedEvent<A::Msg>>,
     /// Messages whose Deliver event fired while their link was held; they
     /// wait here until the link is released.
-    frozen: HashMap<Link, SmallVec<MsgId, 2>>,
+    frozen: BTreeMap<Link, SmallVec<MsgId, 2>>,
     /// With [`SimConfig::fifo_links`]: the latest scheduled arrival per
     /// directed link, so later sends never overtake earlier ones.
-    last_arrival: HashMap<Link, Time>,
-    held: HashSet<Link>,
+    last_arrival: BTreeMap<Link, Time>,
+    held: BTreeSet<Link>,
     now: Time,
     next_msg: u64,
     next_seq: u64,
@@ -160,9 +160,9 @@ impl<A: Actor> World<A> {
             inboxes: (0..n).map(|_| SmallVec::new()).collect(),
             in_flight: BTreeMap::new(),
             queue: std::collections::BinaryHeap::new(),
-            frozen: HashMap::new(),
-            last_arrival: HashMap::new(),
-            held: HashSet::new(),
+            frozen: BTreeMap::new(),
+            last_arrival: BTreeMap::new(),
+            held: BTreeSet::new(),
             now: 0,
             next_msg: 0,
             next_seq: 0,
@@ -282,7 +282,7 @@ impl<A: Actor> World<A> {
     /// Apply a completed step's outputs: enqueue sends and timers.
     fn flush_ctx(&mut self, pid: ProcessId, ctx: Ctx<A::Msg>) {
         if self.config.strict_steps {
-            let mut seen = HashSet::new();
+            let mut seen = BTreeSet::new();
             for (to, _) in &ctx.outbox {
                 assert!(
                     seen.insert(*to),
@@ -485,13 +485,13 @@ impl<A: Actor> World<A> {
     // Automatic scheduling
     // ------------------------------------------------------------------
 
-    fn allowed(set: Option<&HashSet<ProcessId>>, pid: ProcessId) -> bool {
+    fn allowed(set: Option<&BTreeSet<ProcessId>>, pid: ProcessId) -> bool {
         set.is_none_or(|s| s.contains(&pid))
     }
 
     fn run_core(
         &mut self,
-        restrict: Option<&HashSet<ProcessId>>,
+        restrict: Option<&BTreeSet<ProcessId>>,
         horizon: Option<Time>,
         mut pred: Option<&mut dyn FnMut(&Self) -> bool>,
     ) -> RunOutcome {
@@ -607,7 +607,7 @@ impl<A: Actor> World<A> {
     /// messages; everything else is adversarially delayed. Runs until
     /// quiescent-among-allowed or the cap.
     pub fn run_restricted(&mut self, allowed: &[ProcessId]) -> RunOutcome {
-        let set: HashSet<ProcessId> = allowed.iter().copied().collect();
+        let set: BTreeSet<ProcessId> = allowed.iter().copied().collect();
         self.run_core(Some(&set), None, None)
     }
 
@@ -617,7 +617,7 @@ impl<A: Actor> World<A> {
         allowed: &[ProcessId],
         mut pred: impl FnMut(&Self) -> bool,
     ) -> RunOutcome {
-        let set: HashSet<ProcessId> = allowed.iter().copied().collect();
+        let set: BTreeSet<ProcessId> = allowed.iter().copied().collect();
         self.run_core(Some(&set), None, Some(&mut pred))
     }
 
@@ -628,7 +628,7 @@ impl<A: Actor> World<A> {
         dt: Time,
         mut pred: impl FnMut(&Self) -> bool,
     ) -> RunOutcome {
-        let set: HashSet<ProcessId> = allowed.iter().copied().collect();
+        let set: BTreeSet<ProcessId> = allowed.iter().copied().collect();
         let h = self.now + dt;
         self.run_core(Some(&set), Some(h), Some(&mut pred))
     }

@@ -1,0 +1,34 @@
+//! Known-bad fixture: a fake consistency checker that breaks every
+//! determinism rule. Never compiled — lexed by `tests/fixtures.rs`,
+//! which presents it to the lint as `crates/model/src/bad_checker.rs`
+//! and asserts each rule fires at the right line.
+
+use std::collections::HashMap; // line: hash-use
+use std::time::Instant;
+
+pub struct BadChecker {
+    seen: HashMap<u64, u64>, // line: hash-field
+}
+
+impl BadChecker {
+    pub fn verdict(&self) -> Vec<u64> {
+        let started = Instant::now(); // line: clock
+        let mut out = Vec::new();
+        // The actual bug pattern: HashMap iteration order decides the
+        // order verdicts are emitted in.
+        for (txid, _) in self.seen.iter() {
+            out.push(*txid);
+        }
+        let _elapsed = started.elapsed();
+        out
+    }
+
+    pub fn check_in_background(self) {
+        std::thread::spawn(move || drop(self)); // line: thread
+    }
+
+    pub fn fast_path(&self, idx: usize) -> u64 {
+        let slice = [0u64; 4];
+        unsafe { *slice.get_unchecked(idx % 4) } // line: unsafe
+    }
+}

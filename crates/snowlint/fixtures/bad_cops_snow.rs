@@ -1,0 +1,56 @@
+//! Known-bad fixture: a COPS-SNOW clone whose `snow_properties!` tuple
+//! is wrong in three independent ways. Never compiled — lexed by
+//! `tests/fixtures.rs` as `crates/protocols/src/bad_cops_snow.rs`:
+//!
+//! - declares `rounds: 2, values: 2` against Table 1's `1, 1` row for
+//!   COPS-SNOW (`paper-mismatch`, twice);
+//! - declares `PutAck` as a value reply although its `msg_values` arm
+//!   is `0` (`value-reply-mismatch`);
+//! - `msg_is_request` matches `OldReaderQuery`, which the declaration
+//!   omits (`request-set-mismatch`).
+
+pub enum Msg {
+    InvokeRot { id: u64, keys: Vec<u64> },
+    RotReq { id: u64, keys: Vec<u64> },
+    RotResp { id: u64, reads: Vec<(u64, u64, u64)> },
+    PutReq { id: u64, key: u64, value: u64 },
+    OldReaderQuery { put: u64 },
+    OldReaderResp { put: u64, readers: Vec<u64> },
+    PutAck { id: u64, key: u64, ts: u64 },
+}
+
+pub struct BadCopsSnowNode;
+
+impl ProtocolNode for BadCopsSnowNode {
+    const NAME: &'static str = "BAD-COPS-SNOW";
+    const CONSISTENCY: ConsistencyLevel = ConsistencyLevel::Causal;
+    const SUPPORTS_MULTI_WRITE: bool = false;
+
+    fn msg_values(msg: &Msg) -> u32 {
+        match msg {
+            Msg::RotResp { reads, .. } => reads.len() as u32,
+            Msg::PutAck { .. } => 0,
+            _ => 0,
+        }
+    }
+
+    fn msg_is_request(msg: &Msg) -> bool {
+        matches!(
+            msg,
+            Msg::RotReq { .. } | Msg::PutReq { .. } | Msg::OldReaderQuery { .. }
+        )
+    }
+}
+
+crate::snow_properties! { // line: decl
+    system: "BAD-COPS-SNOW",
+    consistency: Causal,
+    rounds: 2,
+    values: 2,
+    nonblocking: true,
+    write_tx: false,
+    requests: [RotReq, PutReq],
+    value_replies: [RotResp, PutAck],
+    paper_row: "COPS-SNOW",
+    escape_hatch: none,
+}

@@ -1,0 +1,205 @@
+//! The determinism rule family.
+//!
+//! The theorem harness asserts parallel == serial *dynamically*; these
+//! rules keep nondeterminism out *statically*:
+//!
+//! - `hash-collections` — no `HashMap`/`HashSet` in the deterministic
+//!   crates (`model`, `core`, `sim`): their iteration order is seeded
+//!   per-process, so any iteration (and therefore any construction —
+//!   the iteration is one refactor away) can leak schedule-dependent
+//!   order into checker verdicts and traces. Use `BTreeMap`/`BTreeSet`.
+//! - `wall-clock` — no `SystemTime`, `Instant::now` or `thread_rng`
+//!   anywhere in first-party code: virtual time and seeded RNGs only.
+//! - `ad-hoc-threads` — no `thread::spawn` or `rayon` outside
+//!   `crates/par`, whose `parallel_map` is the one audited fan-out
+//!   primitive (bit-identical to the serial loop by construction).
+//! - `unsafe-block` — no `unsafe` outside `crates/sim/src/smallvec.rs`,
+//!   the single file allowed to earn it back with Miri coverage.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::report::Finding;
+
+/// Rule name: hash collections in deterministic crates.
+pub const RULE_HASH: &str = "hash-collections";
+/// Rule name: wall-clock time and ambient RNG.
+pub const RULE_CLOCK: &str = "wall-clock";
+/// Rule name: thread spawning outside `cbf-par`.
+pub const RULE_THREAD: &str = "ad-hoc-threads";
+/// Rule name: `unsafe` outside the vetted smallvec file.
+pub const RULE_UNSAFE: &str = "unsafe-block";
+
+/// The crates whose behaviour must be a pure function of the seed.
+const DETERMINISTIC_CRATES: &[&str] = &["crates/model/", "crates/core/", "crates/sim/"];
+
+/// The one file allowed to contain `unsafe`.
+const UNSAFE_ALLOWED_FILE: &str = "crates/sim/src/smallvec.rs";
+
+/// The one crate allowed to create threads.
+const THREAD_ALLOWED_CRATE: &str = "crates/par/";
+
+/// Run every determinism rule over one lexed file. `path` is
+/// workspace-relative with `/` separators.
+pub fn check(path: &str, lx: &Lexed, out: &mut Vec<Finding>) {
+    let in_deterministic_crate = DETERMINISTIC_CRATES.iter().any(|p| path.starts_with(p));
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is = |j: usize, s: &str| toks.get(j).is_some_and(|t| t.is_punct(s));
+        let ident_at = |j: usize, s: &str| toks.get(j).is_some_and(|t| t.is_ident(s));
+
+        if in_deterministic_crate && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(
+                Finding::error(
+                    RULE_HASH,
+                    path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` in a deterministic crate: iteration order is \
+                         seeded per-process and can leak into results",
+                        t.text
+                    ),
+                )
+                .with_help(format!(
+                    "use `BTree{}`, or annotate the line with \
+                     `// snowlint: allow({RULE_HASH}): <why this cannot leak>`",
+                    &t.text[4..]
+                )),
+            );
+        }
+
+        if t.text == "SystemTime"
+            || t.text == "thread_rng"
+            || (t.text == "Instant" && next_is(i + 1, "::") && ident_at(i + 2, "now"))
+        {
+            out.push(
+                Finding::error(
+                    RULE_CLOCK,
+                    path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` reads ambient state: deterministic paths must use \
+                         virtual time (`cbf_sim::Time`) and seeded RNGs",
+                        if t.text == "Instant" {
+                            "Instant::now"
+                        } else {
+                            &t.text
+                        }
+                    ),
+                )
+                .with_help(
+                    "thread the simulator clock or a seeded generator through \
+                     instead; real-time measurement belongs in allowlisted \
+                     bench code only"
+                        .to_string(),
+                ),
+            );
+        }
+
+        if !path.starts_with(THREAD_ALLOWED_CRATE)
+            && ((t.text == "thread" && next_is(i + 1, "::") && ident_at(i + 2, "spawn"))
+                || t.text == "rayon")
+        {
+            out.push(
+                Finding::error(
+                    RULE_THREAD,
+                    path,
+                    t.line,
+                    t.col,
+                    "ad-hoc parallelism outside `crates/par`: unaudited fan-out \
+                     cannot guarantee bit-identical serial/parallel results"
+                        .to_string(),
+                )
+                .with_help(
+                    "use `cbf_par::parallel_map`, which joins results in input \
+                     order and honours SNOWBOUND_THREADS=1"
+                        .to_string(),
+                ),
+            );
+        }
+
+        if t.text == "unsafe" && path != UNSAFE_ALLOWED_FILE {
+            out.push(
+                Finding::error(
+                    RULE_UNSAFE,
+                    path,
+                    t.line,
+                    t.col,
+                    "new `unsafe` outside crates/sim/src/smallvec.rs".to_string(),
+                )
+                .with_help(
+                    "every crate but cbf-sim carries #![deny(unsafe_code)]; \
+                     if unsafe is genuinely needed, move it behind a safe \
+                     abstraction in the sim crate and cover it with Miri"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check(path, &lex(src), &mut out);
+        out
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(run("crates/model/src/x.rs", src).len(), 1);
+        assert_eq!(run("crates/sim/src/world.rs", src).len(), 1);
+        assert!(run("crates/protocols/src/cops.rs", src).is_empty());
+        assert!(run("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = "// HashMap HashSet unsafe thread_rng\nlet s = \"HashMap unsafe\";";
+        assert!(run("crates/model/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_variants() {
+        assert_eq!(
+            run("crates/core/src/x.rs", "let t = Instant::now();").len(),
+            1
+        );
+        assert_eq!(run("src/driver.rs", "SystemTime::now()").len(), 1);
+        assert_eq!(
+            run("crates/workloads/src/gen.rs", "rand::thread_rng()").len(),
+            1
+        );
+        // A stored Instant value (no ::now) is not flagged.
+        assert!(run("crates/core/src/x.rs", "fn f(t: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn threads_allowed_only_in_par() {
+        let src = "std::thread::spawn(|| {});";
+        assert_eq!(run("crates/sim/src/world.rs", src).len(), 1);
+        assert!(run("crates/par/src/lib.rs", src).is_empty());
+        assert_eq!(
+            run("crates/bench/src/lib.rs", "use rayon::prelude::*;").len(),
+            1
+        );
+        // scoped spawns inside par's primitive shape are fine elsewhere
+        // only when not thread::spawn.
+        assert!(run("crates/bench/src/lib.rs", "scope.spawn(|| {});").is_empty());
+    }
+
+    #[test]
+    fn unsafe_allowed_only_in_smallvec() {
+        let src = "unsafe { core::hint::unreachable_unchecked() }";
+        assert_eq!(run("crates/model/src/x.rs", src).len(), 1);
+        assert!(run("crates/sim/src/smallvec.rs", src).is_empty());
+    }
+}

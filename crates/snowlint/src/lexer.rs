@@ -1,0 +1,455 @@
+//! A small Rust tokenizer: exactly enough lexing for the lint rules.
+//!
+//! Comments and whitespace are skipped (line comments are scanned for
+//! `snowlint: allow(...)` annotations first), string/char literals are
+//! unescaped, and the remaining source becomes a flat token stream with
+//! line/column positions. This is *not* a full Rust lexer — it only has
+//! to agree with rustc about where identifiers, literals, comments and
+//! strings begin and end, so that rule matching never fires inside a
+//! string or comment.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal.
+    Number,
+    /// String literal (`text` holds the unescaped value).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; `::`, `=>` and `->` are single tokens.
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text; for [`TokKind::Str`], the unescaped contents.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this punctuation with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// An inline suppression: `// snowlint: allow(rule): justification`.
+/// Suppresses findings of `rule` on the annotation's own line and the
+/// line directly below it.
+#[derive(Clone, Debug)]
+pub struct Annotation {
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// Free-text justification after the closing parenthesis.
+    pub justification: String,
+    /// 1-based line the annotation appears on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Inline `snowlint: allow` annotations found in comments.
+    pub allows: Vec<Annotation>,
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become punctuation.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let (tline, tcol) = (line, col);
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Line comment (also doc `///` and `//!`).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                bump!();
+            }
+            let text: String = b[start..i].iter().collect();
+            if let Some(a) = parse_annotation(&text, tline) {
+                out.allows.push(a);
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+        if (c == 'r' || c == 'b') && {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < b.len() && b[j + 1] == 'r' {
+                j += 1;
+            }
+            let mut k = j + 1;
+            while k < b.len() && b[k] == '#' {
+                k += 1;
+            }
+            k < b.len() && b[k] == '"' && (b[j] == 'r' || (b[j] == 'b' && b[j + 1] == '"'))
+        } {
+            // Re-derive the shape, then consume.
+            let mut hashes = 0usize;
+            let raw;
+            if c == 'b' && b[i + 1] == 'r' {
+                raw = true;
+                bump!();
+                bump!();
+            } else if c == 'r' {
+                raw = true;
+                bump!();
+            } else {
+                raw = false;
+                bump!(); // the `b` of b"..."
+            }
+            while i < b.len() && b[i] == '#' {
+                hashes += 1;
+                bump!();
+            }
+            bump!(); // opening quote
+            let start = i;
+            let mut value = String::new();
+            while i < b.len() {
+                if b[i] == '"' {
+                    // Enough closing hashes?
+                    let mut k = i + 1;
+                    let mut seen = 0usize;
+                    while k < b.len() && b[k] == '#' && seen < hashes {
+                        k += 1;
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        value = b[start..i].iter().collect();
+                        bump!(); // closing quote
+                        for _ in 0..hashes {
+                            bump!();
+                        }
+                        break;
+                    }
+                }
+                if !raw && b[i] == '\\' && i + 1 < b.len() {
+                    bump!();
+                }
+                bump!();
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: if raw { value } else { unescape(&value) },
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            bump!();
+            let mut value = String::new();
+            while i < b.len() && b[i] != '"' {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    value.push(b[i]);
+                    bump!();
+                }
+                value.push(b[i]);
+                bump!();
+            }
+            if i < b.len() {
+                bump!(); // closing quote
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: unescape(&value),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by another quote.
+            let is_lifetime = i + 1 < b.len()
+                && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                && !(i + 2 < b.len() && b[i + 2] == '\'');
+            if is_lifetime {
+                bump!();
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    bump!();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                bump!();
+                let start = i;
+                while i < b.len() && b[i] != '\'' {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        bump!();
+                    }
+                    bump!();
+                }
+                let text: String = b[start..i].iter().collect();
+                if i < b.len() {
+                    bump!();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                bump!();
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Number: digits, underscores, alphanumerics (suffixes, hex), and
+        // a dot only when directly followed by a digit (so `1..=3` stays
+        // three tokens).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() {
+                let d = b[i];
+                let continues_number = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && i + 1 < b.len() && b[i + 1].is_ascii_digit());
+                if continues_number {
+                    bump!();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Number,
+                text: b[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Punctuation; merge the few two-char tokens the rules look at.
+        let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+        if two == "::" || two == "=>" || two == "->" {
+            bump!();
+            bump!();
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: two,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        bump!();
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+    }
+    out
+}
+
+/// Resolve the escape sequences relevant to comparing source strings:
+/// `\\`, `\"`, `\'`, `\n`, `\r`, `\t`, `\0`, and `\u{..}`.
+fn unescape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('0') => out.push('\0'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('\'') => out.push('\''),
+            Some('u') => {
+                if chars.peek() == Some(&'{') {
+                    chars.next();
+                    let mut hex = String::new();
+                    for h in chars.by_ref() {
+                        if h == '}' {
+                            break;
+                        }
+                        hex.push(h);
+                    }
+                    if let Ok(cp) = u32::from_str_radix(&hex, 16) {
+                        if let Some(ch) = char::from_u32(cp) {
+                            out.push(ch);
+                        }
+                    }
+                }
+            }
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Parse `snowlint: allow(rule[, rule]): justification` out of one line
+/// comment. Returns the *first* rule; multi-rule annotations are split
+/// by the caller via repeated parsing — in practice one rule per line.
+fn parse_annotation(comment: &str, line: u32) -> Option<Annotation> {
+    let text = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    let rest = text.strip_prefix("snowlint:")?.trim();
+    let rest = rest.strip_prefix("allow")?.trim();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let mut justification = rest[close + 1..].trim();
+    justification = justification
+        .strip_prefix(':')
+        .unwrap_or(justification)
+        .trim();
+    Some(Annotation {
+        rule,
+        justification: justification.to_string(),
+        line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_strings_and_comments() {
+        let lx = lex("let x = \"HashMap\"; // HashMap in a comment\nHashMap");
+        let idents: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        // The string and the comment never produce ident tokens.
+        assert_eq!(idents, vec!["let", "x", "HashMap"]);
+        let last = lx.tokens.last().unwrap();
+        assert_eq!((last.line, last.col), (2, 1));
+    }
+
+    #[test]
+    fn escapes_are_resolved() {
+        let lx = lex(r#"const S: &str = "COPS-RW (\u{a7}3.4)";"#);
+        let s = lx.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, "COPS-RW (§3.4)");
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let lx = lex("r#\"no \\escape\"# 'static 'a' fn");
+        assert_eq!(lx.tokens[0].kind, TokKind::Str);
+        assert_eq!(lx.tokens[0].text, "no \\escape");
+        assert_eq!(lx.tokens[1].kind, TokKind::Lifetime);
+        assert_eq!(lx.tokens[2].kind, TokKind::Char);
+        assert!(lx.tokens[3].is_ident("fn"));
+    }
+
+    #[test]
+    fn double_colon_merges() {
+        let lx = lex("Instant::now()");
+        assert!(lx.tokens[0].is_ident("Instant"));
+        assert!(lx.tokens[1].is_punct("::"));
+        assert!(lx.tokens[2].is_ident("now"));
+    }
+
+    #[test]
+    fn range_does_not_eat_numbers() {
+        let lx = lex("1..=3");
+        assert_eq!(lx.tokens[0].text, "1");
+        assert_eq!(lx.tokens.last().unwrap().text, "3");
+    }
+
+    #[test]
+    fn annotations_are_collected() {
+        let lx =
+            lex("// snowlint: allow(hash-collections): scratch map, never iterated\nlet x = 1;");
+        assert_eq!(lx.allows.len(), 1);
+        assert_eq!(lx.allows[0].rule, "hash-collections");
+        assert_eq!(lx.allows[0].line, 1);
+        assert!(lx.allows[0].justification.contains("never iterated"));
+    }
+}

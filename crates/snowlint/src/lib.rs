@@ -1,0 +1,248 @@
+//! snowlint — the workspace's static determinism-and-properties pass.
+//!
+//! Two rule families, documented in DESIGN.md:
+//!
+//! - **Determinism** ([`determinism`]): keep hash-ordered collections,
+//!   wall clocks, ambient RNGs, ad-hoc threads and `unsafe` out of the
+//!   paths that must replay bit-identically from a seed.
+//! - **SNOW properties** ([`properties`]): every protocol module
+//!   declares its claimed `(R, V, N, W)` tuple in `snow_properties!`;
+//!   the lint re-derives message-round structure from the module's
+//!   `Msg` enum and handler match arms and cross-checks declaration,
+//!   extraction, and the paper's Table 1 data.
+//!
+//! Suppressions are always justified: inline
+//! `// snowlint: allow(rule): why` (covers its own and the next line)
+//! or a `[[allow]]` entry in the workspace `snowlint.toml`. Unused
+//! suppressions are warnings, so the allowlist cannot rot.
+//!
+//! Run as `cargo run -p snowlint` (writes `results/LINT_report.json`)
+//! or via the `workspace_passes_snowlint` test every crate carries.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod determinism;
+pub mod lexer;
+pub mod properties;
+pub mod report;
+
+use config::Config;
+use report::{Finding, Report, Severity, Suppressed};
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned (build output, vendored deps, artifacts,
+/// the lint's own deliberately-bad fixtures).
+const SKIP_DIRS: &[&str] = &["target", "vendor", "results", "node_modules"];
+
+/// Workspace-relative directory prefixes never scanned.
+const SKIP_PREFIXES: &[&str] = &["crates/snowlint/fixtures"];
+
+/// Where the Table 1 exhibit data lives.
+const PAPER_TABLE_FILE: &str = "crates/core/src/audit.rs";
+
+/// Is this workspace-relative path a protocol module that must carry a
+/// `snow_properties!` declaration?
+fn is_protocol_module(rel: &str) -> bool {
+    rel.starts_with("crates/protocols/src/")
+        && rel.ends_with(".rs")
+        && rel != "crates/protocols/src/lib.rs"
+        && !rel.starts_with("crates/protocols/src/common/")
+}
+
+/// Walk up from `CARGO_MANIFEST_DIR` (or the current directory) to the
+/// first `Cargo.toml` containing a `[workspace]` table.
+pub fn find_workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir = start.as_path();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        dir = dir.parent()?;
+    }
+}
+
+/// Collect every first-party `.rs` file under `root`, sorted, as
+/// workspace-relative `/`-separated paths.
+fn collect_rs_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let rel = path
+                .strip_prefix(root)
+                .map(|p| p.to_string_lossy().replace('\\', "/"))
+                .unwrap_or_default();
+            if path.is_dir() {
+                if name.starts_with('.')
+                    || SKIP_DIRS.contains(&name.as_ref())
+                    || SKIP_PREFIXES.iter().any(|p| rel == *p)
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Run the whole pass over the workspace at `root`.
+pub fn check_workspace(root: &Path) -> Report {
+    let mut report = Report::default();
+    let mut raw: Vec<Finding> = Vec::new();
+
+    // Allowlist.
+    let cfg_path = root.join("snowlint.toml");
+    let cfg = match std::fs::read_to_string(&cfg_path) {
+        Ok(text) => Config::parse(&text),
+        Err(_) => Config::default(),
+    };
+    for (line, problem) in &cfg.problems {
+        report.warnings.push(Finding {
+            severity: Severity::Warning,
+            ..Finding::error("allowlist", "snowlint.toml", *line, 1, problem.clone())
+        });
+    }
+
+    // Table 1 reference data.
+    let paper = std::fs::read_to_string(root.join(PAPER_TABLE_FILE))
+        .map(|src| properties::parse_paper_table(&lexer::lex(&src)))
+        .unwrap_or_default();
+
+    // Scan.
+    let mut annos: Vec<(String, lexer::Annotation, bool)> = Vec::new();
+    for rel in collect_rs_files(root) {
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let lx = lexer::lex(&src);
+        report.files_scanned += 1;
+        determinism::check(&rel, &lx, &mut raw);
+        if is_protocol_module(&rel) {
+            properties::check_protocol(&rel, &lx, &paper, &mut raw);
+            report.protocols_checked += 1;
+        }
+        for a in lx.allows {
+            annos.push((rel.clone(), a, false));
+        }
+    }
+
+    // Apply suppressions: inline annotations first (own line + next
+    // line), then allowlist entries.
+    let mut cfg_used = vec![false; cfg.allows.len()];
+    for f in raw {
+        let inline = annos.iter_mut().find(|(path, a, _)| {
+            *path == f.path && a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line)
+        });
+        if let Some((_, a, used)) = inline {
+            *used = true;
+            report.suppressed.push(Suppressed {
+                finding: f,
+                justification: a.justification.clone(),
+            });
+            continue;
+        }
+        let entry = cfg
+            .allows
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.covers(&f.rule, &f.path));
+        if let Some((idx, e)) = entry {
+            cfg_used[idx] = true;
+            report.suppressed.push(Suppressed {
+                finding: f,
+                justification: e.justification.clone(),
+            });
+            continue;
+        }
+        report.errors.push(f);
+    }
+
+    // A suppression nobody needs is a warning: the allowlist must not rot.
+    for (path, a, used) in &annos {
+        if !used {
+            report.warnings.push(Finding {
+                severity: Severity::Warning,
+                ..Finding::error(
+                    "allowlist",
+                    path,
+                    a.line,
+                    1,
+                    format!(
+                        "unused inline allow({}) — nothing fires here anymore",
+                        a.rule
+                    ),
+                )
+            });
+        } else if a.justification.is_empty() {
+            report.warnings.push(Finding {
+                severity: Severity::Warning,
+                ..Finding::error(
+                    "allowlist",
+                    path,
+                    a.line,
+                    1,
+                    format!("inline allow({}) has no justification", a.rule),
+                )
+            });
+        }
+    }
+    for (idx, e) in cfg.allows.iter().enumerate() {
+        if !cfg_used[idx] {
+            report.warnings.push(Finding {
+                severity: Severity::Warning,
+                ..Finding::error(
+                    "allowlist",
+                    "snowlint.toml",
+                    e.line,
+                    1,
+                    format!("unused [[allow]] for {} on {} — remove it", e.rule, e.path),
+                )
+            });
+        }
+    }
+
+    let key = |f: &Finding| (f.path.clone(), f.line, f.col, f.rule.clone());
+    report.errors.sort_by_key(key);
+    report.warnings.sort_by_key(key);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_module_classification() {
+        assert!(is_protocol_module("crates/protocols/src/cops.rs"));
+        assert!(is_protocol_module("crates/protocols/src/cops_snow.rs"));
+        assert!(!is_protocol_module("crates/protocols/src/lib.rs"));
+        assert!(!is_protocol_module("crates/protocols/src/common/api.rs"));
+        assert!(!is_protocol_module("crates/model/src/checker.rs"));
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let root = find_workspace_root().expect("workspace root");
+        assert!(root.join("crates/snowlint/Cargo.toml").exists());
+        assert!(root.join(PAPER_TABLE_FILE).exists());
+    }
+}

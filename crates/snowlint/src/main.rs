@@ -1,0 +1,80 @@
+//! The `snowlint` binary: lint the workspace, print rustc-style
+//! diagnostics, write `results/LINT_report.json`.
+//!
+//! Exit codes: 0 clean, 1 findings (errors, or warnings under
+//! `--deny-warnings`), 2 usage or I/O failure.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: snowlint [--deny-warnings] [--no-report] [--root <dir>]
+
+  --deny-warnings   treat warnings (allowlist hygiene) as failures
+  --no-report       do not write results/LINT_report.json
+  --root <dir>      lint this workspace instead of the enclosing one";
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut write_report = true;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--no-report" => write_report = false,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("snowlint: error: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("snowlint: error: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(snowlint::find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "snowlint: error: no workspace root found (no enclosing \
+                 Cargo.toml with [workspace]); pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = snowlint::check_workspace(&root);
+    print!("{}", report.render());
+
+    if write_report {
+        let results = root.join("results");
+        if let Err(e) = std::fs::create_dir_all(&results) {
+            eprintln!("snowlint: error: cannot create {}: {e}", results.display());
+            return ExitCode::from(2);
+        }
+        let out = results.join("LINT_report.json");
+        if let Err(e) = std::fs::write(&out, report.to_json()) {
+            eprintln!("snowlint: error: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let failed = !report.is_clean() || (deny_warnings && !report.warnings.is_empty());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,975 @@
+//! The SNOW property rule family.
+//!
+//! Every protocol module in `crates/protocols/src/` declares its claimed
+//! `(R, V, N, W)` tuple in a `snow_properties!` block. This module
+//! re-derives the message-round structure from the module's `Msg` enum
+//! and `ProtocolNode` handler signatures — which variants are
+//! client→server requests (`msg_is_request`), which replies carry
+//! written values (`msg_values`) — and cross-checks declaration,
+//! extraction, and the paper's Table 1 reference data
+//! (`paper_table1()` in `crates/core/src/audit.rs`). A protocol whose
+//! message flow drifts from its claimed tuple fails here with a
+//! file:line diagnostic instead of in a failing repro.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::report::Finding;
+use std::collections::BTreeSet;
+
+/// Rule: protocol module without a `snow_properties!` declaration.
+pub const RULE_MISSING_DECL: &str = "missing-snow-decl";
+/// Rule: more than one declaration in a module.
+pub const RULE_DUPLICATE_DECL: &str = "duplicate-snow-decl";
+/// Rule: a declaration field is malformed.
+pub const RULE_BAD_DECL: &str = "malformed-snow-decl";
+/// Rule: declared message name is not a `Msg` enum variant.
+pub const RULE_UNKNOWN_VARIANT: &str = "unknown-msg-variant";
+/// Rule: declared requests diverge from `msg_is_request`.
+pub const RULE_REQUESTS: &str = "request-set-mismatch";
+/// Rule: declared value replies diverge from `msg_values`.
+pub const RULE_VALUES: &str = "value-reply-mismatch";
+/// Rule: declaration diverges from the `ProtocolNode` consts.
+pub const RULE_CONSTS: &str = "decl-const-mismatch";
+/// Rule: declaration names a Table 1 row that does not exist.
+pub const RULE_UNKNOWN_ROW: &str = "unknown-paper-row";
+/// Rule: declaration falls outside its Table 1 row's bounds.
+pub const RULE_PAPER: &str = "paper-mismatch";
+/// Rule: declaration claims fast + W + causal with no escape hatch.
+pub const RULE_IMPOSSIBLE: &str = "impossible-claim";
+
+/// One parsed `PaperRow { .. }` literal from the Table 1 exhibit data.
+#[derive(Clone, Debug)]
+pub struct PaperRowData {
+    /// System name as printed.
+    pub system: String,
+    /// R bound string (`"1"`, `"≤2"`, `"≥1"`).
+    pub r: String,
+    /// V bound string.
+    pub v: String,
+    /// Non-blocking column.
+    pub n: bool,
+    /// Write-transaction column.
+    pub w: bool,
+    /// Consistency column.
+    pub consistency: String,
+}
+
+/// Parse every `PaperRow { .. }` literal out of the lexed exhibit file.
+pub fn parse_paper_table(lx: &Lexed) -> Vec<PaperRowData> {
+    let toks = &lx.tokens;
+    let mut rows = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("PaperRow") && toks.get(i + 1).is_some_and(|t| t.is_punct("{")) {
+            let end = match block_end(toks, i + 1) {
+                Some(e) => e,
+                None => break,
+            };
+            let mut row = PaperRowData {
+                system: String::new(),
+                r: String::new(),
+                v: String::new(),
+                n: false,
+                w: false,
+                consistency: String::new(),
+            };
+            let mut j = i + 2;
+            while j + 2 < end {
+                if toks[j].kind == TokKind::Ident && toks[j + 1].is_punct(":") {
+                    let key = toks[j].text.as_str();
+                    let val = &toks[j + 2];
+                    match key {
+                        "system" => row.system = val.text.clone(),
+                        "r" => row.r = val.text.clone(),
+                        "v" => row.v = val.text.clone(),
+                        "consistency" => row.consistency = val.text.clone(),
+                        "n" => row.n = val.is_ident("true"),
+                        "w" => row.w = val.is_ident("true"),
+                        _ => {}
+                    }
+                    j += 3;
+                } else {
+                    j += 1;
+                }
+            }
+            if !row.system.is_empty() {
+                rows.push(row);
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    rows
+}
+
+/// A parsed `snow_properties!` declaration, with source position.
+#[derive(Clone, Debug, Default)]
+pub struct Decl {
+    /// `system` field.
+    pub system: String,
+    /// `consistency` variant name.
+    pub consistency: String,
+    /// `rounds` (None = `unbounded`).
+    pub rounds: Option<u32>,
+    /// `values` (None = `unbounded`).
+    pub values: Option<u32>,
+    /// `nonblocking`.
+    pub nonblocking: bool,
+    /// `write_tx`.
+    pub write_tx: bool,
+    /// `requests` list.
+    pub requests: Vec<String>,
+    /// `value_replies` list.
+    pub value_replies: Vec<String>,
+    /// `paper_row` (None = `none`).
+    pub paper_row: Option<String>,
+    /// `escape_hatch` (None = `none`).
+    pub escape_hatch: Option<String>,
+    /// Line of the `snow_properties!` token.
+    pub line: u32,
+}
+
+/// What static extraction recovered from the module source.
+#[derive(Clone, Debug, Default)]
+pub struct Extraction {
+    /// Variants of `enum Msg`.
+    pub msg_variants: Vec<String>,
+    /// `Msg::X` patterns matched inside `fn msg_is_request`.
+    pub requests: BTreeSet<String>,
+    /// `Msg::X` patterns whose `fn msg_values` arm is not literally `0`.
+    pub value_replies: BTreeSet<String>,
+    /// String-literal values of `const NAME` (one per `impl`).
+    pub const_names: Vec<String>,
+    /// Whether every `const NAME` in the file is a string literal.
+    pub names_are_literal: bool,
+    /// Values of `const SUPPORTS_MULTI_WRITE`.
+    pub const_write: Vec<bool>,
+    /// Variant names of `const CONSISTENCY`.
+    pub const_consistency: Vec<String>,
+}
+
+/// Index of the token closing the block opened at `open` (which must be
+/// a `{`, `[` or `(`), or None if unbalanced.
+fn block_end(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" | "[" | "(" => depth += 1,
+                "}" | "]" | ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Parse every `snow_properties! { .. }` invocation in the file.
+pub fn parse_decls(path: &str, lx: &Lexed, out: &mut Vec<Finding>) -> Vec<Decl> {
+    let toks = &lx.tokens;
+    let mut decls = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_ident("snow_properties")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("!")))
+        {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        let Some(open) = (i + 2 < toks.len() && toks[i + 2].is_punct("{")).then_some(i + 2) else {
+            i += 2;
+            continue;
+        };
+        let Some(end) = block_end(toks, open) else {
+            out.push(Finding::error(
+                RULE_BAD_DECL,
+                path,
+                line,
+                toks[i].col,
+                "unbalanced snow_properties! block".into(),
+            ));
+            break;
+        };
+        let mut d = Decl {
+            line,
+            ..Decl::default()
+        };
+        let mut ok = true;
+        let mut j = open + 1;
+        while j < end {
+            // Expect `key : value ,`
+            if !(toks[j].kind == TokKind::Ident && toks.get(j + 1).is_some_and(|t| t.is_punct(":")))
+            {
+                out.push(Finding::error(
+                    RULE_BAD_DECL,
+                    path,
+                    toks[j].line,
+                    toks[j].col,
+                    format!(
+                        "expected `field:` in snow_properties!, found `{}`",
+                        toks[j].text
+                    ),
+                ));
+                ok = false;
+                break;
+            }
+            let key = toks[j].text.clone();
+            let vline = toks[j].line;
+            let vcol = toks[j].col;
+            j += 2;
+            let mut list = Vec::new();
+            let mut scalar: Option<&Token> = None;
+            if toks.get(j).is_some_and(|t| t.is_punct("[")) {
+                let Some(lend) = block_end(toks, j) else {
+                    ok = false;
+                    break;
+                };
+                for t in &toks[j + 1..lend] {
+                    if t.kind == TokKind::Ident {
+                        list.push(t.text.clone());
+                    }
+                }
+                j = lend + 1;
+            } else {
+                scalar = toks.get(j);
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct(",")) {
+                j += 1;
+            }
+            let bad = |why: &str, out: &mut Vec<Finding>| {
+                out.push(Finding::error(
+                    RULE_BAD_DECL,
+                    path,
+                    vline,
+                    vcol,
+                    format!("snow_properties! field `{key}`: {why}"),
+                ));
+            };
+            match key.as_str() {
+                "system" => match scalar {
+                    Some(t) if t.kind == TokKind::Str => d.system = t.text.clone(),
+                    _ => bad("expected a string literal", out),
+                },
+                "consistency" => match scalar {
+                    Some(t) if t.kind == TokKind::Ident => d.consistency = t.text.clone(),
+                    _ => bad("expected a ConsistencyLevel variant name", out),
+                },
+                "rounds" | "values" => {
+                    let parsed = match scalar {
+                        Some(t) if t.is_ident("unbounded") => Some(None),
+                        Some(t) if t.kind == TokKind::Number => {
+                            t.text.parse::<u32>().ok().map(Some)
+                        }
+                        _ => None,
+                    };
+                    match parsed {
+                        Some(v) if key == "rounds" => d.rounds = v,
+                        Some(v) => d.values = v,
+                        None => bad("expected an integer or `unbounded`", out),
+                    }
+                }
+                "nonblocking" | "write_tx" => {
+                    let parsed = match scalar {
+                        Some(t) if t.is_ident("true") => Some(true),
+                        Some(t) if t.is_ident("false") => Some(false),
+                        _ => None,
+                    };
+                    match parsed {
+                        Some(v) if key == "nonblocking" => d.nonblocking = v,
+                        Some(v) => d.write_tx = v,
+                        None => bad("expected true or false", out),
+                    }
+                }
+                "requests" => d.requests = list,
+                "value_replies" => d.value_replies = list,
+                "paper_row" | "escape_hatch" => {
+                    let parsed = match scalar {
+                        Some(t) if t.is_ident("none") => Some(None),
+                        Some(t) if t.kind == TokKind::Str => Some(Some(t.text.clone())),
+                        _ => None,
+                    };
+                    match parsed {
+                        Some(v) if key == "paper_row" => d.paper_row = v,
+                        Some(v) => d.escape_hatch = v,
+                        None => bad("expected a string literal or `none`", out),
+                    }
+                }
+                other => bad(&format!("unknown field `{other}`"), out),
+            }
+        }
+        if ok {
+            decls.push(d);
+        }
+        i = end + 1;
+    }
+    decls
+}
+
+/// Statically extract the message vocabulary and trait consts.
+pub fn extract(lx: &Lexed) -> Extraction {
+    let toks = &lx.tokens;
+    let mut ex = Extraction {
+        names_are_literal: true,
+        ..Extraction::default()
+    };
+
+    let mut i = 0;
+    while i < toks.len() {
+        // enum Msg { V1 {..}, V2(..), V3, .. }
+        if toks[i].is_ident("enum")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("Msg"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("{"))
+        {
+            if let Some(end) = block_end(toks, i + 2) {
+                let mut j = i + 3;
+                let mut expecting_variant = true;
+                let mut depth = 0i32;
+                while j < end {
+                    let t = &toks[j];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "{" | "(" | "[" => depth += 1,
+                            "}" | ")" | "]" => depth -= 1,
+                            "," if depth == 0 => expecting_variant = true,
+                            "#" if depth == 0
+                                // Attribute: skip the [..] group.
+                                && toks.get(j + 1).is_some_and(|t| t.is_punct("[")) =>
+                            {
+                                if let Some(ae) = block_end(toks, j + 1) {
+                                    j = ae;
+                                }
+                            }
+                            _ => {}
+                        }
+                    } else if t.kind == TokKind::Ident && depth == 0 && expecting_variant {
+                        ex.msg_variants.push(t.text.clone());
+                        expecting_variant = false;
+                    }
+                    j += 1;
+                }
+                i = end;
+                continue;
+            }
+        }
+
+        // fn msg_is_request(..) -> bool { .. }
+        if toks[i].is_ident("fn")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("msg_is_request"))
+        {
+            if let Some((body, end)) = fn_body(toks, i) {
+                for k in body.0..body.1 {
+                    if toks[k].is_ident("Msg")
+                        && toks.get(k + 1).is_some_and(|t| t.is_punct("::"))
+                        && toks.get(k + 2).is_some_and(|t| t.kind == TokKind::Ident)
+                    {
+                        ex.requests.insert(toks[k + 2].text.clone());
+                    }
+                }
+                i = end;
+                continue;
+            }
+        }
+
+        // fn msg_values(..) -> u32 { match msg { arms } }
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.is_ident("msg_values")) {
+            if let Some((body, end)) = fn_body(toks, i) {
+                for (pattern, arm_body) in match_arms(toks, body.0, body.1) {
+                    let is_zero = arm_body.len() == 1 && arm_body[0].text == "0";
+                    if is_zero {
+                        continue;
+                    }
+                    let mut k = 0;
+                    while k + 2 < pattern.len() {
+                        if pattern[k].is_ident("Msg")
+                            && pattern[k + 1].is_punct("::")
+                            && pattern[k + 2].kind == TokKind::Ident
+                        {
+                            ex.value_replies.insert(pattern[k + 2].text.clone());
+                        }
+                        k += 1;
+                    }
+                }
+                i = end;
+                continue;
+            }
+        }
+
+        // const NAME / SUPPORTS_MULTI_WRITE / CONSISTENCY
+        if toks[i].is_ident("const") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = toks[i + 1].text.as_str();
+            if matches!(name, "NAME" | "SUPPORTS_MULTI_WRITE" | "CONSISTENCY") {
+                // Skip to the `=` of the item.
+                let mut j = i + 2;
+                while j < toks.len() && !toks[j].is_punct("=") && !toks[j].is_punct(";") {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct("=") {
+                    match name {
+                        "NAME" => match toks.get(j + 1) {
+                            Some(t) if t.kind == TokKind::Str => {
+                                ex.const_names.push(t.text.clone())
+                            }
+                            _ => ex.names_are_literal = false,
+                        },
+                        "SUPPORTS_MULTI_WRITE" => {
+                            if let Some(t) = toks.get(j + 1) {
+                                if t.is_ident("true") || t.is_ident("false") {
+                                    ex.const_write.push(t.is_ident("true"));
+                                }
+                            }
+                        }
+                        "CONSISTENCY"
+                            if toks
+                                .get(j + 1)
+                                .is_some_and(|t| t.is_ident("ConsistencyLevel"))
+                                && toks.get(j + 2).is_some_and(|t| t.is_punct("::")) =>
+                        {
+                            if let Some(t) = toks.get(j + 3) {
+                                ex.const_consistency.push(t.text.clone());
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ex
+}
+
+/// Locate the `{..}` body of the fn starting at token `fn_i`; returns
+/// ((body_start, body_end_exclusive), index_after_body).
+fn fn_body(toks: &[Token], fn_i: usize) -> Option<((usize, usize), usize)> {
+    let mut j = fn_i;
+    // The first `{` after the signature opens the body (signatures here
+    // never contain braces).
+    while j < toks.len() && !toks[j].is_punct("{") {
+        j += 1;
+    }
+    let end = block_end(toks, j)?;
+    Some(((j + 1, end), end))
+}
+
+/// Split the first `match` block inside `[start, end)` into
+/// `(pattern, body)` token-slices per arm.
+fn match_arms(toks: &[Token], start: usize, end: usize) -> Vec<(&[Token], &[Token])> {
+    let mut arms = Vec::new();
+    let mut i = start;
+    while i < end && !toks[i].is_ident("match") {
+        i += 1;
+    }
+    while i < end && !toks[i].is_punct("{") {
+        i += 1;
+    }
+    let Some(mend) = block_end(toks, i) else {
+        return arms;
+    };
+    let mut j = i + 1;
+    while j < mend {
+        // Pattern until a depth-0 `=>`.
+        let pstart = j;
+        let mut depth = 0i32;
+        while j < mend {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => depth -= 1,
+                    "=>" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if j >= mend {
+            break;
+        }
+        let pattern = &toks[pstart..j];
+        j += 1; // skip `=>`
+        let bstart = j;
+        let body;
+        if j < mend && toks[j].is_punct("{") {
+            let bend = block_end(toks, j).unwrap_or(mend).min(mend);
+            body = &toks[bstart..=bend.min(mend.saturating_sub(1))];
+            j = bend + 1;
+            if j < mend && toks[j].is_punct(",") {
+                j += 1;
+            }
+        } else {
+            let mut depth = 0i32;
+            while j < mend {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "{" | "(" | "[" => depth += 1,
+                        "}" | ")" | "]" => depth -= 1,
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            body = &toks[bstart..j];
+            if j < mend {
+                j += 1; // skip `,`
+            }
+        }
+        arms.push((pattern, body));
+    }
+    arms
+}
+
+/// A Table 1 printed bound.
+enum Bound {
+    Exact(u32),
+    AtMost(u32),
+    AtLeast(u32),
+}
+
+fn parse_bound(s: &str) -> Option<Bound> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('≤') {
+        return rest.trim().parse().ok().map(Bound::AtMost);
+    }
+    if let Some(rest) = s.strip_prefix('≥') {
+        return rest.trim().parse().ok().map(Bound::AtLeast);
+    }
+    s.parse().ok().map(Bound::Exact)
+}
+
+/// Is a declared bound (None = unbounded) consistent with the paper's?
+fn bound_ok(declared: Option<u32>, paper: &str) -> bool {
+    match parse_bound(paper) {
+        Some(Bound::Exact(n)) => declared == Some(n),
+        Some(Bound::AtMost(n)) => matches!(declared, Some(d) if (1..=n).contains(&d)),
+        Some(Bound::AtLeast(n)) => declared.is_none() || declared.is_some_and(|d| d >= n),
+        None => false,
+    }
+}
+
+/// The printed consistency name for a `ConsistencyLevel` variant, as the
+/// `Display` impl in `cbf-model` renders it.
+fn consistency_display(variant: &str) -> Option<&'static str> {
+    Some(match variant {
+        "ReadAtomicity" => "Read Atomicity",
+        "Causal" => "Causal Consistency",
+        "SnapshotIsolation" => "Snapshot Isolation",
+        "PerClientPSI" => "Per-Client Parallel SI",
+        "Serializable" => "Serializability",
+        "ProcessOrderedSerializable" => "PO-Serializability",
+        "StrictSerializable" => "Strict Serializability",
+        _ => return None,
+    })
+}
+
+/// Does the variant imply causal consistency (the theorem's scope)?
+fn implies_causal(variant: &str) -> bool {
+    matches!(
+        variant,
+        "Causal"
+            | "SnapshotIsolation"
+            | "Serializable"
+            | "ProcessOrderedSerializable"
+            | "StrictSerializable"
+    )
+}
+
+/// Case- and punctuation-insensitive name comparison.
+fn normalize(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+fn set_diff(declared: &[String], extracted: &BTreeSet<String>) -> (Vec<String>, Vec<String>) {
+    let declared_set: BTreeSet<&String> = declared.iter().collect();
+    let missing: Vec<String> = extracted
+        .iter()
+        .filter(|v| !declared_set.contains(v))
+        .cloned()
+        .collect();
+    let extra: Vec<String> = declared
+        .iter()
+        .filter(|v| !extracted.contains(*v))
+        .cloned()
+        .collect();
+    (missing, extra)
+}
+
+/// Run every property rule over one protocol module.
+pub fn check_protocol(path: &str, lx: &Lexed, paper: &[PaperRowData], out: &mut Vec<Finding>) {
+    let decls = parse_decls(path, lx, out);
+    if decls.is_empty() {
+        out.push(
+            Finding::error(
+                RULE_MISSING_DECL,
+                path,
+                1,
+                1,
+                "protocol module has no snow_properties! declaration".into(),
+            )
+            .with_help(
+                "declare the claimed (R, V, N, W) tuple; see \
+                 crates/protocols/src/common/snow.rs"
+                    .into(),
+            ),
+        );
+        return;
+    }
+    for dup in &decls[1..] {
+        out.push(Finding::error(
+            RULE_DUPLICATE_DECL,
+            path,
+            dup.line,
+            1,
+            "more than one snow_properties! declaration in this module".into(),
+        ));
+    }
+    let d = &decls[0];
+    let ex = extract(lx);
+
+    // Declared names must be real Msg variants.
+    for name in d.requests.iter().chain(&d.value_replies) {
+        if !ex.msg_variants.iter().any(|v| v == name) {
+            out.push(Finding::error(
+                RULE_UNKNOWN_VARIANT,
+                path,
+                d.line,
+                1,
+                format!("declared message `{name}` is not a variant of this module's `enum Msg`"),
+            ));
+        }
+    }
+
+    // Round structure: the declaration's request vocabulary must be
+    // exactly what msg_is_request matches.
+    let (missing, extra) = set_diff(&d.requests, &ex.requests);
+    if !missing.is_empty() || !extra.is_empty() {
+        out.push(
+            Finding::error(
+                RULE_REQUESTS,
+                path,
+                d.line,
+                1,
+                format!(
+                    "declared requests diverge from msg_is_request: \
+                     undeclared {missing:?}, declared-but-unmatched {extra:?}"
+                ),
+            )
+            .with_help(
+                "a new request round must appear in both the handler and the declaration".into(),
+            ),
+        );
+    }
+
+    // Values-per-reply: the declaration's value-carrying replies must be
+    // exactly the non-zero arms of msg_values.
+    let (missing, extra) = set_diff(&d.value_replies, &ex.value_replies);
+    if !missing.is_empty() || !extra.is_empty() {
+        out.push(
+            Finding::error(
+                RULE_VALUES,
+                path,
+                d.line,
+                1,
+                format!(
+                    "declared value_replies diverge from msg_values: \
+                     uncounted {missing:?}, declared-but-zero {extra:?}"
+                ),
+            )
+            .with_help(
+                "every reply that carries written values must be declared — \
+                 the V column is audited over exactly these messages"
+                    .into(),
+            ),
+        );
+    }
+
+    // Trait consts, when statically unambiguous.
+    if ex.names_are_literal && ex.const_names.len() == 1 && ex.const_names[0] != d.system {
+        out.push(Finding::error(
+            RULE_CONSTS,
+            path,
+            d.line,
+            1,
+            format!(
+                "declared system {:?} but ProtocolNode::NAME is {:?}",
+                d.system, ex.const_names[0]
+            ),
+        ));
+    }
+    if !ex.const_write.is_empty()
+        && ex.const_write.iter().all(|&w| w == ex.const_write[0])
+        && ex.const_write[0] != d.write_tx
+    {
+        out.push(Finding::error(
+            RULE_CONSTS,
+            path,
+            d.line,
+            1,
+            format!(
+                "declared write_tx: {} but SUPPORTS_MULTI_WRITE is {}",
+                d.write_tx, ex.const_write[0]
+            ),
+        ));
+    }
+    if !ex.const_consistency.is_empty()
+        && ex
+            .const_consistency
+            .iter()
+            .all(|c| c == &ex.const_consistency[0])
+        && ex.const_consistency[0] != d.consistency
+    {
+        out.push(Finding::error(
+            RULE_CONSTS,
+            path,
+            d.line,
+            1,
+            format!(
+                "declared consistency {} but ProtocolNode::CONSISTENCY is ConsistencyLevel::{}",
+                d.consistency, ex.const_consistency[0]
+            ),
+        ));
+    }
+
+    // Table 1 cross-check.
+    if let Some(row_name) = &d.paper_row {
+        match paper.iter().find(|r| &r.system == row_name) {
+            None => out.push(Finding::error(
+                RULE_UNKNOWN_ROW,
+                path,
+                d.line,
+                1,
+                format!("paper_row {row_name:?} has no row in paper_table1() (crates/core/src/audit.rs)"),
+            )),
+            Some(row) => {
+                let mut mismatch = |what: String| {
+                    out.push(
+                        Finding::error(RULE_PAPER, path, d.line, 1, what).with_help(format!(
+                            "the paper's row for {row_name}: R {}, V {}, N {}, W {}, {}",
+                            row.r, row.v, row.n, row.w, row.consistency
+                        )),
+                    );
+                };
+                if !bound_ok(d.rounds, &row.r) {
+                    mismatch(format!(
+                        "declared rounds {:?} violate Table 1 bound {} for {}",
+                        d.rounds, row.r, row.system
+                    ));
+                }
+                if !bound_ok(d.values, &row.v) {
+                    mismatch(format!(
+                        "declared values {:?} violate Table 1 bound {} for {}",
+                        d.values, row.v, row.system
+                    ));
+                }
+                if d.nonblocking != row.n {
+                    mismatch(format!(
+                        "declared nonblocking: {} but Table 1 says {}",
+                        d.nonblocking, row.n
+                    ));
+                }
+                if d.write_tx != row.w {
+                    mismatch(format!(
+                        "declared write_tx: {} but Table 1 says {}",
+                        d.write_tx, row.w
+                    ));
+                }
+                match consistency_display(&d.consistency) {
+                    Some(disp) if normalize(disp) == normalize(&row.consistency) => {}
+                    Some(disp) => mismatch(format!(
+                        "declared consistency {disp:?} but Table 1 says {:?}",
+                        row.consistency
+                    )),
+                    None => mismatch(format!(
+                        "unknown consistency variant {}",
+                        d.consistency
+                    )),
+                }
+            }
+        }
+    }
+
+    // The theorem itself, over declarations: fast + W + causal needs an
+    // explicit escape hatch.
+    let fast = d.rounds == Some(1) && d.values == Some(1) && d.nonblocking;
+    if fast && d.write_tx && implies_causal(&d.consistency) && d.escape_hatch.is_none() {
+        out.push(
+            Finding::error(
+                RULE_IMPOSSIBLE,
+                path,
+                d.line,
+                1,
+                "declaration claims fast ROTs (R=1, V=1, N) and multi-object \
+                 write transactions under causal-or-stronger consistency — \
+                 Theorem 1 says this combination cannot exist"
+                    .into(),
+            )
+            .with_help(
+                "give up a property, or document the escape hatch (claimant \
+                 protocols, †-style designs that forsake minimal progress)"
+                    .into(),
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const MINI: &str = r#"
+        pub enum Msg {
+            InvokeRot { id: u32 },
+            #[allow(dead_code)]
+            RotReq { id: u32 },
+            RotResp { id: u32, reads: Vec<u32> },
+            PutReq { id: u32 },
+            PutAck { id: u32 },
+        }
+        impl ProtocolNode for FakeNode {
+            const NAME: &'static str = "FAKE";
+            const CONSISTENCY: ConsistencyLevel = ConsistencyLevel::Causal;
+            const SUPPORTS_MULTI_WRITE: bool = false;
+            fn msg_values(msg: &Msg) -> u32 {
+                match msg {
+                    Msg::RotResp { reads, .. } => reads.len() as u32,
+                    _ => 0,
+                }
+            }
+            fn msg_is_request(msg: &Msg) -> bool {
+                matches!(msg, Msg::RotReq { .. } | Msg::PutReq { .. })
+            }
+        }
+    "#;
+
+    #[test]
+    fn extraction_recovers_the_message_structure() {
+        let ex = extract(&lex(MINI));
+        assert_eq!(
+            ex.msg_variants,
+            vec!["InvokeRot", "RotReq", "RotResp", "PutReq", "PutAck"]
+        );
+        let reqs: Vec<&String> = ex.requests.iter().collect();
+        assert_eq!(reqs, vec!["PutReq", "RotReq"]);
+        let vals: Vec<&String> = ex.value_replies.iter().collect();
+        assert_eq!(vals, vec!["RotResp"]);
+        assert_eq!(ex.const_names, vec!["FAKE"]);
+        assert_eq!(ex.const_write, vec![false]);
+        assert_eq!(ex.const_consistency, vec!["Causal"]);
+    }
+
+    #[test]
+    fn decl_parses_and_matching_module_is_clean() {
+        let src = format!(
+            "{MINI}\ncrate::snow_properties! {{
+                system: \"FAKE\",
+                consistency: Causal,
+                rounds: 1,
+                values: unbounded,
+                nonblocking: true,
+                write_tx: false,
+                requests: [RotReq, PutReq],
+                value_replies: [RotResp],
+                paper_row: none,
+                escape_hatch: none,
+            }}"
+        );
+        let lx = lex(&src);
+        let mut out = Vec::new();
+        check_protocol("crates/protocols/src/fake.rs", &lx, &[], &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn drifted_request_set_is_caught() {
+        let src = format!(
+            "{MINI}\ncrate::snow_properties! {{
+                system: \"FAKE\",
+                consistency: Causal,
+                rounds: 1,
+                values: unbounded,
+                nonblocking: true,
+                write_tx: false,
+                requests: [RotReq],
+                value_replies: [RotResp],
+                paper_row: none,
+                escape_hatch: none,
+            }}"
+        );
+        let mut out = Vec::new();
+        check_protocol("crates/protocols/src/fake.rs", &lex(&src), &[], &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, RULE_REQUESTS);
+        assert!(out[0].message.contains("PutReq"));
+    }
+
+    #[test]
+    fn paper_table_parse_and_bounds() {
+        let table = r#"
+            PaperRow { system: "COPS", r: "≤2", v: "≤2", n: true, w: false,
+                       consistency: "Causal Consistency", dagger: false, },
+            PaperRow { system: "Spanner", r: "1", v: "1", n: false, w: true,
+                       consistency: "Strict Serializability", dagger: true, },
+        "#;
+        let rows = parse_paper_table(&lex(table));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].r, "≤2");
+        assert!(bound_ok(Some(2), "≤2"));
+        assert!(!bound_ok(Some(3), "≤2"));
+        assert!(!bound_ok(None, "≤2"));
+        assert!(bound_ok(Some(1), "1"));
+        assert!(!bound_ok(Some(2), "1"));
+        assert!(bound_ok(None, "≥1"));
+        assert!(bound_ok(Some(7), "≥1"));
+    }
+
+    #[test]
+    fn impossible_claim_needs_escape_hatch() {
+        let src = format!(
+            "{MINI}\ncrate::snow_properties! {{
+                system: \"FAKE\",
+                consistency: Causal,
+                rounds: 1,
+                values: 1,
+                nonblocking: true,
+                write_tx: false,
+                requests: [RotReq, PutReq],
+                value_replies: [RotResp],
+                paper_row: none,
+                escape_hatch: none,
+            }}"
+        );
+        // write_tx false: legal.
+        let mut out = Vec::new();
+        check_protocol("crates/protocols/src/fake.rs", &lex(&src), &[], &mut out);
+        assert!(out.iter().all(|f| f.rule != RULE_IMPOSSIBLE));
+
+        let src = src.replace("write_tx: false", "write_tx: true");
+        let mut out = Vec::new();
+        check_protocol("crates/protocols/src/fake.rs", &lex(&src), &[], &mut out);
+        assert!(out.iter().any(|f| f.rule == RULE_IMPOSSIBLE), "{out:#?}");
+    }
+
+    #[test]
+    fn missing_decl_is_an_error() {
+        let mut out = Vec::new();
+        check_protocol("crates/protocols/src/fake.rs", &lex(MINI), &[], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, RULE_MISSING_DECL);
+    }
+}

@@ -1,0 +1,224 @@
+//! Findings, rustc-style rendering, and the `LINT_report.json` artifact.
+
+use std::fmt::Write as _;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// A rule violation; fails the lint.
+    Error,
+    /// Lint hygiene (unused allowlist entries, missing justifications);
+    /// fails only under `--deny-warnings`.
+    Warning,
+}
+
+/// One diagnostic.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule name, e.g. `hash-collections`.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or suppress it (optional).
+    pub help: Option<String>,
+    /// Severity class.
+    pub severity: Severity,
+}
+
+impl Finding {
+    /// Shorthand for an error finding.
+    pub fn error(rule: &str, path: &str, line: u32, col: u32, message: String) -> Self {
+        Finding {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            col,
+            message,
+            help: None,
+            severity: Severity::Error,
+        }
+    }
+
+    /// Attach a help line.
+    pub fn with_help(mut self, help: String) -> Self {
+        self.help = Some(help);
+        self
+    }
+
+    /// Render one diagnostic in rustc's two-line format.
+    pub fn render(&self) -> String {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let mut out = format!(
+            "{sev}[{rule}]: {msg}\n  --> {path}:{line}:{col}\n",
+            rule = self.rule,
+            msg = self.message,
+            path = self.path,
+            line = self.line,
+            col = self.col,
+        );
+        if let Some(h) = &self.help {
+            let _ = writeln!(out, "  = help: {h}");
+        }
+        out
+    }
+}
+
+/// A finding that an allowlist entry or inline annotation silenced.
+#[derive(Clone, Debug)]
+pub struct Suppressed {
+    /// The silenced finding.
+    pub finding: Finding,
+    /// The justification string of the suppression that matched.
+    pub justification: String,
+}
+
+/// The outcome of a whole-workspace lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Active errors.
+    pub errors: Vec<Finding>,
+    /// Active warnings.
+    pub warnings: Vec<Finding>,
+    /// Findings silenced by a documented suppression.
+    pub suppressed: Vec<Suppressed>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of protocol modules whose SNOW declaration was checked.
+    pub protocols_checked: usize,
+}
+
+impl Report {
+    /// No errors (warnings allowed)?
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Human-readable report: every diagnostic plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in self.errors.iter().chain(&self.warnings) {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "snowlint: {} files, {} protocol declarations checked: \
+             {} error(s), {} warning(s), {} suppressed",
+            self.files_scanned,
+            self.protocols_checked,
+            self.errors.len(),
+            self.warnings.len(),
+            self.suppressed.len()
+        );
+        out
+    }
+
+    /// The `results/LINT_report.json` artifact (schema documented in
+    /// EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        fn finding_json(f: &Finding, extra: Option<&str>) -> String {
+            let mut s = format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}",
+                json_str(&f.rule),
+                json_str(&f.path),
+                f.line,
+                f.col,
+                json_str(&f.message)
+            );
+            if let Some(h) = &f.help {
+                let _ = write!(s, ",\"help\":{}", json_str(h));
+            }
+            if let Some(j) = extra {
+                let _ = write!(s, ",\"justification\":{}", json_str(j));
+            }
+            s.push('}');
+            s
+        }
+        let errors: Vec<String> = self.errors.iter().map(|f| finding_json(f, None)).collect();
+        let warnings: Vec<String> = self
+            .warnings
+            .iter()
+            .map(|f| finding_json(f, None))
+            .collect();
+        let suppressed: Vec<String> = self
+            .suppressed
+            .iter()
+            .map(|s| finding_json(&s.finding, Some(&s.justification)))
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"snowlint/1\",\n  \"files_scanned\": {},\n  \
+             \"protocols_checked\": {},\n  \"errors\": [{}],\n  \
+             \"warnings\": [{}],\n  \"suppressed\": [{}]\n}}\n",
+            self.files_scanned,
+            self.protocols_checked,
+            errors.join(","),
+            warnings.join(","),
+            suppressed.join(",")
+        )
+    }
+}
+
+/// Minimal JSON string escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_rustc_shaped() {
+        let f = Finding::error(
+            "hash-collections",
+            "crates/model/src/x.rs",
+            7,
+            3,
+            "bad".into(),
+        )
+        .with_help("use BTreeMap".into());
+        let r = f.render();
+        assert!(r.starts_with("error[hash-collections]: bad"));
+        assert!(r.contains("--> crates/model/src/x.rs:7:3"));
+        assert!(r.contains("= help: use BTreeMap"));
+    }
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn report_json_parses_shape() {
+        let mut rep = Report::default();
+        rep.errors.push(Finding::error("r", "p", 1, 1, "m".into()));
+        let j = rep.to_json();
+        assert!(j.contains("\"schema\": \"snowlint/1\""));
+        assert!(j.contains("\"rule\":\"r\""));
+    }
+}

@@ -1,0 +1,35 @@
+//! The committed tree must lint clean: zero errors, zero warnings
+//! (warnings mean allowlist rot), all protocol declarations checked.
+
+#[test]
+fn head_is_clean_and_fully_covered() {
+    let root = snowlint::find_workspace_root().expect("workspace root");
+    let report = snowlint::check_workspace(&root);
+    assert!(
+        report.is_clean(),
+        "snowlint errors on HEAD:\n{}",
+        report.render()
+    );
+    assert!(
+        report.warnings.is_empty(),
+        "snowlint warnings on HEAD (allowlist rot):\n{}",
+        report.render()
+    );
+    assert_eq!(
+        report.protocols_checked, 14,
+        "every protocol module carries a checked snow_properties! declaration"
+    );
+    assert!(
+        report.files_scanned >= 50,
+        "the scan saw the whole workspace, not a subtree ({} files)",
+        report.files_scanned
+    );
+    // The one sanctioned suppression: perfbench's real-time measurement.
+    assert!(
+        report
+            .suppressed
+            .iter()
+            .any(|s| s.finding.path == "crates/bench/src/perfbench.rs"),
+        "perfbench wall-clock suppression active"
+    );
+}

@@ -1,0 +1,151 @@
+//! The lint must *fail* on the known-bad fixtures — each rule at the
+//! right file and line. Fixtures live in `crates/snowlint/fixtures/`
+//! (excluded from the workspace scan) and are lexed here under the
+//! path a real offender would have.
+
+use snowlint::lexer::lex;
+use snowlint::report::Finding;
+use snowlint::{determinism, properties};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// 1-based line of the first line containing `marker`.
+fn line_of(src: &str, marker: &str) -> u32 {
+    src.lines()
+        .position(|l| l.contains(marker))
+        .unwrap_or_else(|| panic!("marker {marker:?} not in fixture")) as u32
+        + 1
+}
+
+fn expect(findings: &[Finding], rule: &str, path: &str, line: u32) {
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == rule && f.path == path && f.line == line),
+        "expected {rule} at {path}:{line}; got:\n{}",
+        findings.iter().map(|f| f.render()).collect::<String>()
+    );
+}
+
+#[test]
+fn bad_checker_breaks_every_determinism_rule() {
+    let src = fixture("bad_checker.rs");
+    let path = "crates/model/src/bad_checker.rs";
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&src), &mut out);
+
+    expect(
+        &out,
+        determinism::RULE_HASH,
+        path,
+        line_of(&src, "// line: hash-use"),
+    );
+    expect(
+        &out,
+        determinism::RULE_HASH,
+        path,
+        line_of(&src, "// line: hash-field"),
+    );
+    expect(
+        &out,
+        determinism::RULE_CLOCK,
+        path,
+        line_of(&src, "// line: clock"),
+    );
+    expect(
+        &out,
+        determinism::RULE_THREAD,
+        path,
+        line_of(&src, "// line: thread"),
+    );
+    expect(
+        &out,
+        determinism::RULE_UNSAFE,
+        path,
+        line_of(&src, "// line: unsafe"),
+    );
+    assert_eq!(out.len(), 5, "exactly the five marked violations");
+}
+
+#[test]
+fn bad_checker_is_clean_outside_deterministic_crates_except_global_rules() {
+    // The same source under crates/bench is allowed its HashMaps — but
+    // clock, thread and unsafe are global rules and still fire.
+    let src = fixture("bad_checker.rs");
+    let path = "crates/bench/src/bad_checker.rs";
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&src), &mut out);
+    assert!(out.iter().all(|f| f.rule != determinism::RULE_HASH));
+    assert_eq!(out.len(), 3);
+}
+
+#[test]
+fn bad_cops_snow_clone_fails_the_property_rules() {
+    let src = fixture("bad_cops_snow.rs");
+    let path = "crates/protocols/src/bad_cops_snow.rs";
+
+    // Check against the *real* Table 1 data, exactly as the workspace
+    // pass would.
+    let root = snowlint::find_workspace_root().expect("workspace root");
+    let audit = std::fs::read_to_string(root.join("crates/core/src/audit.rs")).unwrap();
+    let paper = properties::parse_paper_table(&lex(&audit));
+    assert!(!paper.is_empty(), "paper_table1() rows parsed");
+
+    let mut out = Vec::new();
+    properties::check_protocol(path, &lex(&src), &paper, &mut out);
+
+    let decl_line = line_of(&src, "// line: decl");
+    expect(&out, properties::RULE_PAPER, path, decl_line);
+    expect(&out, properties::RULE_VALUES, path, decl_line);
+    expect(&out, properties::RULE_REQUESTS, path, decl_line);
+    assert_eq!(
+        out.iter()
+            .filter(|f| f.rule == properties::RULE_PAPER)
+            .count(),
+        2,
+        "both rounds and values violate the 1/1 row:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+    assert_eq!(
+        out.len(),
+        4,
+        "{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+}
+
+#[test]
+fn fixing_the_fixture_tuple_silences_the_property_rules() {
+    // The same clone with the true COPS-SNOW tuple is clean: the rules
+    // flag the declaration, not the clone itself.
+    let src = fixture("bad_cops_snow.rs")
+        .replace("rounds: 2", "rounds: 1")
+        .replace("values: 2", "values: 1")
+        .replace(
+            "value_replies: [RotResp, PutAck]",
+            "value_replies: [RotResp]",
+        )
+        .replace(
+            "requests: [RotReq, PutReq]",
+            "requests: [RotReq, PutReq, OldReaderQuery]",
+        )
+        .replace("paper_row: \"COPS-SNOW\"", "paper_row: none");
+    let mut out = Vec::new();
+    properties::check_protocol(
+        "crates/protocols/src/bad_cops_snow.rs",
+        &lex(&src),
+        &[],
+        &mut out,
+    );
+    assert!(
+        out.is_empty(),
+        "{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+}

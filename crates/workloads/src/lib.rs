@@ -6,6 +6,7 @@
 //! generator ([`Workload`]) that turns a [`WorkloadSpec`] and a seed into
 //! a reproducible stream of transactions.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -39,6 +39,7 @@
 //! assert!(db.check().is_ok());        // the history is causal
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
