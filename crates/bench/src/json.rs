@@ -137,6 +137,24 @@ impl ToJson for crate::LatencyRow {
     }
 }
 
+impl ToJson for crate::chaos::ChaosRow {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .str("protocol", &self.protocol)
+            .u64("drop_pm", self.drop_pm as u64)
+            .u64("dup_pm", self.dup_pm as u64)
+            .bool("crash", self.crash)
+            .u64("seed", self.seed)
+            .u64("completed", self.completed)
+            .u64("total", self.total)
+            .bool("causal_ok", self.causal_ok)
+            // Hex keeps the 64-bit fingerprint exact in JSON consumers
+            // that parse numbers as doubles.
+            .str("digest", &format!("{:016x}", self.digest))
+            .render(indent)
+    }
+}
+
 impl ToJson for snowbound::theorem::SystemRow {
     fn to_json(&self, indent: usize) -> String {
         Obj::new()

@@ -17,6 +17,7 @@
 use snowbound::prelude::*;
 use snowbound::theorem;
 
+pub mod chaos;
 pub mod json;
 pub mod perfbench;
 

@@ -1,0 +1,48 @@
+//! The chaos pipeline must be replayable: the same fault seed produces
+//! the same trace digest every time, and the parallel sweep
+//! (`cbf_par::parallel_map`) is bit-identical to the serial loop. This
+//! is what makes a chaos failure a *repro case* instead of a flake.
+
+use cbf_bench::chaos::chaos_row;
+use snowbound::prelude::{CopsNode, EigerNode, SpannerNode};
+
+/// 32 seeds, each run twice through the parallel sweep and once
+/// serially: every digest must be identical across all three.
+#[test]
+fn chaos_digests_replay_across_32_seeds_serial_and_parallel() {
+    let seeds: Vec<u64> = (0..32).collect();
+
+    std::env::set_var(cbf_par::THREADS_ENV, "4");
+    let par_a: Vec<u64> = cbf_par::parallel_map(seeds.clone(), |s| {
+        chaos_row::<CopsNode>(30, 30, true, s).digest
+    });
+    let par_b: Vec<u64> = cbf_par::parallel_map(seeds.clone(), |s| {
+        chaos_row::<CopsNode>(30, 30, true, s).digest
+    });
+
+    std::env::set_var(cbf_par::THREADS_ENV, "1");
+    let serial: Vec<u64> = seeds
+        .iter()
+        .map(|&s| chaos_row::<CopsNode>(30, 30, true, s).digest)
+        .collect();
+    std::env::remove_var(cbf_par::THREADS_ENV);
+
+    assert_eq!(par_a, par_b, "two parallel chaos sweeps diverged");
+    assert_eq!(par_a, serial, "parallel chaos sweep diverged from serial");
+    // 32 distinct fault schedules should not collapse onto one trace.
+    let distinct: std::collections::BTreeSet<u64> = serial.iter().copied().collect();
+    assert!(distinct.len() > 1, "all seeds produced the same digest");
+}
+
+/// The replay property holds per protocol, not just for COPS.
+#[test]
+fn chaos_replay_is_protocol_independent() {
+    for seed in [2u64, 17] {
+        let a = chaos_row::<EigerNode>(40, 40, true, seed);
+        let b = chaos_row::<EigerNode>(40, 40, true, seed);
+        assert_eq!(a.digest, b.digest, "Eiger seed {seed} diverged");
+        let a = chaos_row::<SpannerNode>(40, 40, true, seed);
+        let b = chaos_row::<SpannerNode>(40, 40, true, seed);
+        assert_eq!(a.digest, b.digest, "Spanner seed {seed} diverged");
+    }
+}

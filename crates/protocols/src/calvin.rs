@@ -170,7 +170,9 @@ impl CalvinNode {
                         }
                         p.awaiting -= 1;
                         if p.awaiting == 0 {
-                            let p = c.pending.remove(&id).unwrap();
+                            let Some(p) = c.pending.remove(&id) else {
+                                continue;
+                            };
                             let reads = if p.is_read {
                                 p.keys
                                     .iter()

@@ -12,6 +12,12 @@ pub mod topology;
 pub use api::{Completed, ProtocolNode, TxError};
 pub use snow::SnowDecl;
 
+/// Maximum client retry attempts when [`Topology::retry_after`] is set.
+/// With exponential doubling the total retry window is
+/// `retry_after * (2^MAX_RETRIES - 1)` virtual ns — for a 1 ms base that
+/// is ~1.02 s, well inside the harness horizons.
+pub const MAX_RETRIES: u32 = 10;
+
 /// Count the per-object multiplicity of carried values: the `V` metric
 /// is the maximum number of values a message carries for one object.
 pub fn max_values_per_object(keys: impl Iterator<Item = cbf_model::Key>) -> u32 {

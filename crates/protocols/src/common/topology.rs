@@ -32,6 +32,13 @@ pub struct Topology {
     /// the stabilization protocols as their broadcast period (both in
     /// virtual ns).
     pub tuning: u64,
+    /// Per-request retry timeout base in virtual ns; 0 (the default)
+    /// disables client retries entirely, which keeps fault-free traces
+    /// byte-identical to the pre-nemesis simulator. When set, clients
+    /// arm a timer per transaction and re-send outstanding requests with
+    /// exponential backoff (base, 2×base, 4×base, …) up to
+    /// [`crate::common::MAX_RETRIES`] attempts.
+    pub retry_after: u64,
 }
 
 impl Topology {
@@ -44,6 +51,7 @@ impl Topology {
             num_keys: 2,
             replication: 1,
             tuning: 0,
+            retry_after: 0,
         }
     }
 
@@ -56,6 +64,7 @@ impl Topology {
             num_keys,
             replication: 1,
             tuning: 0,
+            retry_after: 0,
         }
     }
 
@@ -74,12 +83,20 @@ impl Topology {
             num_keys,
             replication,
             tuning: 0,
+            retry_after: 0,
         }
     }
 
     /// Set the protocol tuning knob (builder style).
     pub fn with_tuning(mut self, tuning: u64) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Enable client-side retry with the given timeout base (builder
+    /// style). See [`Topology::retry_after`].
+    pub fn with_retry(mut self, base: u64) -> Self {
+        self.retry_after = base;
         self
     }
 

@@ -159,7 +159,9 @@ impl ContrarianNode {
                     }
                     p.awaiting -= 1;
                     if p.awaiting == 0 {
-                        let p = c.rots.remove(&id).unwrap();
+                        let Some(p) = c.rots.remove(&id) else {
+                            continue;
+                        };
                         let mut out = Vec::with_capacity(p.keys.len());
                         for &k in &p.keys {
                             let (mut v, ts) = p.got.get(&k).copied().unwrap_or((Value::BOTTOM, 0));

@@ -22,10 +22,12 @@
 //! implementation shards without replication, which preserves exactly the
 //! message pattern (rounds, values, blocking) the theorem is about.
 
-use crate::common::{Completed, LamportClock, MvStore, ProtocolNode, Topology, Version};
+use crate::common::{
+    Completed, LamportClock, MvStore, ProtocolNode, Topology, Version, MAX_RETRIES,
+};
 use cbf_model::{ConsistencyLevel, Key, TxId, Value};
 use cbf_sim::{Actor, Ctx, ProcessId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// A dependency: the client observed version `ts` of `key`.
 pub type Dep = (Key, u64);
@@ -73,15 +75,36 @@ pub enum Msg {
         value: Value,
         ts: u64,
     },
+    /// Self-timer: retry outstanding requests of transaction `id` if it
+    /// is still pending (armed only when `Topology::retry_after > 0`).
+    RetryTick { id: TxId, attempt: u32 },
 }
 
 /// In-flight ROT state at the client.
+///
+/// Waiting *sets* (rather than counters) make response handling
+/// idempotent: a duplicated or retried-then-both-delivered response is
+/// recognised and dropped instead of double-decrementing a counter.
 #[derive(Clone, Debug)]
 struct PendingRot {
     keys: Vec<Key>,
     got: HashMap<Key, (Value, u64)>,
     deps_seen: Vec<(Key, u64, Vec<Dep>)>,
-    awaiting: usize,
+    /// Servers whose round-1 response is still outstanding.
+    round1_waiting: BTreeSet<ProcessId>,
+    /// Keys whose round-2 exact fetch is still outstanding.
+    round2_waiting: BTreeSet<Key>,
+    /// The exact version each round-2 key needs (kept for resend).
+    round2_need: HashMap<Key, u64>,
+    invoked_at: u64,
+}
+
+/// In-flight put state at the client (kept until acked, for resend).
+#[derive(Clone, Debug)]
+struct PendingWrite {
+    key: Key,
+    value: Value,
+    deps: Vec<Dep>,
     invoked_at: u64,
 }
 
@@ -92,8 +115,7 @@ pub struct ClientState {
     /// Latest observed version per key (the COPS "context").
     context: HashMap<Key, u64>,
     rots: HashMap<TxId, PendingRot>,
-    /// In-flight put: invoked_at.
-    puts: HashMap<TxId, u64>,
+    puts: HashMap<TxId, PendingWrite>,
     completed: HashMap<TxId, Completed>,
 }
 
@@ -104,6 +126,10 @@ pub struct ServerState {
     /// Dependencies per (key, ts).
     deps: HashMap<(Key, u64), Vec<Dep>>,
     clock: LamportClock,
+    /// Transactions already applied: `tx → (key, ts)`. A re-delivered
+    /// `PutReq` (duplicate or client retry racing the ack) is answered
+    /// from here instead of creating a second version.
+    applied: HashMap<TxId, (Key, u64)>,
 }
 
 /// A COPS node.
@@ -121,7 +147,8 @@ impl CopsNode {
             match env.msg {
                 Msg::InvokeRot { id, keys } => {
                     let groups = c.topo.group_by_primary(&keys);
-                    let awaiting = groups.len();
+                    let round1_waiting: BTreeSet<ProcessId> =
+                        groups.iter().map(|&(s, _)| s).collect();
                     for (server, ks) in groups {
                         ctx.send(server, Msg::GetReq { id, keys: ks });
                     }
@@ -131,10 +158,13 @@ impl CopsNode {
                             keys,
                             got: HashMap::new(),
                             deps_seen: Vec::new(),
-                            awaiting,
+                            round1_waiting,
+                            round2_waiting: BTreeSet::new(),
+                            round2_need: HashMap::new(),
                             invoked_at: ctx.now(),
                         },
                     );
+                    Self::arm_retry(c, id, 0, ctx);
                 }
                 Msg::InvokeWtx { id, writes } => {
                     // COPS supports only single-object writes; the Cluster
@@ -148,13 +178,23 @@ impl CopsNode {
                             id,
                             key,
                             value,
-                            deps,
+                            deps: deps.clone(),
                         },
                     );
-                    c.puts.insert(id, ctx.now());
+                    c.puts.insert(
+                        id,
+                        PendingWrite {
+                            key,
+                            value,
+                            deps,
+                            invoked_at: ctx.now(),
+                        },
+                    );
+                    Self::arm_retry(c, id, 0, ctx);
                 }
                 Msg::PutAck { id, key, ts } => {
-                    if let Some(invoked_at) = c.puts.remove(&id) {
+                    // `remove` makes a duplicated ack a no-op.
+                    if let Some(pw) = c.puts.remove(&id) {
                         let slot = c.context.entry(key).or_insert(0);
                         *slot = (*slot).max(ts);
                         c.completed.insert(
@@ -162,7 +202,7 @@ impl CopsNode {
                             Completed {
                                 id,
                                 reads: Vec::new(),
-                                invoked_at,
+                                invoked_at: pw.invoked_at,
                                 completed_at: ctx.now(),
                             },
                         );
@@ -172,12 +212,17 @@ impl CopsNode {
                     let Some(p) = c.rots.get_mut(&id) else {
                         continue;
                     };
+                    // Duplicate (or already-answered retry): ignore whole
+                    // response so round-1 state is touched exactly once
+                    // per server.
+                    if !p.round1_waiting.remove(&env.from) {
+                        continue;
+                    }
                     for it in items {
                         p.got.insert(it.key, (it.value, it.ts));
                         p.deps_seen.push((it.key, it.ts, it.deps));
                     }
-                    p.awaiting -= 1;
-                    if p.awaiting == 0 {
+                    if p.round1_waiting.is_empty() {
                         Self::finish_round_one(c, id, ctx);
                     }
                 }
@@ -185,10 +230,45 @@ impl CopsNode {
                     let Some(p) = c.rots.get_mut(&id) else {
                         continue;
                     };
+                    if !p.round2_waiting.remove(&key) {
+                        continue;
+                    }
                     p.got.insert(key, (value, ts));
-                    p.awaiting -= 1;
-                    if p.awaiting == 0 {
+                    if p.round1_waiting.is_empty() && p.round2_waiting.is_empty() {
                         Self::complete_rot(c, id, ctx.now());
+                    }
+                }
+                Msg::RetryTick { id, attempt } => {
+                    let mut live = false;
+                    if let Some(p) = c.rots.get(&id) {
+                        live = true;
+                        if !p.round1_waiting.is_empty() {
+                            for (server, ks) in c.topo.group_by_primary(&p.keys) {
+                                if p.round1_waiting.contains(&server) {
+                                    ctx.send(server, Msg::GetReq { id, keys: ks });
+                                }
+                            }
+                        } else {
+                            for &key in &p.round2_waiting {
+                                let ts = p.round2_need.get(&key).copied().unwrap_or(0);
+                                ctx.send(c.topo.primary(key), Msg::GetExactReq { id, key, ts });
+                            }
+                        }
+                    }
+                    if let Some(pw) = c.puts.get(&id) {
+                        live = true;
+                        ctx.send(
+                            c.topo.primary(pw.key),
+                            Msg::PutReq {
+                                id,
+                                key: pw.key,
+                                value: pw.value,
+                                deps: pw.deps.clone(),
+                            },
+                        );
+                    }
+                    if live {
+                        Self::arm_retry(c, id, attempt + 1, ctx);
                     }
                 }
                 _ => {}
@@ -196,10 +276,22 @@ impl CopsNode {
         }
     }
 
+    /// Arm (or re-arm, with exponential backoff) the per-transaction
+    /// retry timer. No-op when retries are disabled or exhausted.
+    fn arm_retry(c: &ClientState, id: TxId, attempt: u32, ctx: &mut Ctx<Msg>) {
+        if c.topo.retry_after == 0 || attempt >= MAX_RETRIES {
+            return;
+        }
+        let delay = c.topo.retry_after << attempt;
+        ctx.set_timer(delay, Msg::RetryTick { id, attempt });
+    }
+
     /// After all round-1 responses: compute the causally-correct-version
     /// cut; fetch exact versions where the optimistic read is torn.
     fn finish_round_one(c: &mut ClientState, id: TxId, ctx: &mut Ctx<Msg>) {
-        let p = c.rots.get_mut(&id).unwrap();
+        let Some(p) = c.rots.get_mut(&id) else {
+            return;
+        };
         // ccv[k] = newest version of k that anything we saw (returned
         // versions' deps, or our own context) causally requires.
         let mut ccv: HashMap<Key, u64> = HashMap::new();
@@ -226,14 +318,17 @@ impl CopsNode {
             Self::complete_rot(c, id, ctx.now());
             return;
         }
-        p.awaiting = refetch.len();
+        p.round2_waiting = refetch.iter().map(|&(k, _)| k).collect();
+        p.round2_need = refetch.iter().copied().collect();
         for (key, ts) in refetch {
             ctx.send(c.topo.primary(key), Msg::GetExactReq { id, key, ts });
         }
     }
 
     fn complete_rot(c: &mut ClientState, id: TxId, now: u64) {
-        let p = c.rots.remove(&id).unwrap();
+        let Some(p) = c.rots.remove(&id) else {
+            return;
+        };
         let mut reads: Vec<(Key, Value)> = Vec::with_capacity(p.keys.len());
         for &k in &p.keys {
             let (v, ts) = p.got.get(&k).copied().unwrap_or((Value::BOTTOM, 0));
@@ -263,12 +358,20 @@ impl CopsNode {
                     value,
                     deps,
                 } => {
+                    // Idempotence: a re-delivered put (duplicate or retry)
+                    // re-acks the already-applied version instead of
+                    // minting a second one.
+                    if let Some(&(k, ts)) = s.applied.get(&id) {
+                        ctx.send(env.from, Msg::PutAck { id, key: k, ts });
+                        continue;
+                    }
                     for &(_, t) in &deps {
                         s.clock.witness(t);
                     }
                     let ts = s.clock.tick();
                     s.store.insert(key, Version { value, ts, tx: id });
                     s.deps.insert((key, ts), deps);
+                    s.applied.insert(id, (key, ts));
                     ctx.send(env.from, Msg::PutAck { id, key, ts });
                 }
                 Msg::GetReq { id, keys } => {
@@ -293,20 +396,18 @@ impl CopsNode {
                 }
                 Msg::GetExactReq { id, key, ts } => {
                     // The requested version is a dependency some client
-                    // observed, so it was acked — it exists here.
-                    let v = s
-                        .store
-                        .at_exact(key, ts)
-                        .expect("dependency version must exist (causality)");
-                    ctx.send(
-                        env.from,
-                        Msg::GetExactResp {
-                            id,
-                            key,
-                            value: v.value,
-                            ts,
-                        },
-                    );
+                    // observed, so it was acked and exists here. Under
+                    // fault injection we still answer defensively: the
+                    // newest version at-or-before `ts` is the causally
+                    // closest substitute if the exact one is missing.
+                    let (value, ts) = match s.store.at_exact(key, ts) {
+                        Some(v) => (v.value, v.ts),
+                        None => s
+                            .store
+                            .latest_at(key, ts)
+                            .map_or((Value::BOTTOM, 0), |v| (v.value, v.ts)),
+                    };
+                    ctx.send(env.from, Msg::GetExactResp { id, key, value, ts });
                 }
                 _ => {}
             }
@@ -334,6 +435,7 @@ impl ProtocolNode for CopsNode {
             store: MvStore::new(),
             deps: HashMap::new(),
             clock: LamportClock::new(id.0 as u8),
+            applied: HashMap::new(),
         })
     }
 

@@ -210,7 +210,9 @@ impl CopsRwNode {
                         w.1 == 0
                     };
                     if finished {
-                        let (record, _, invoked_at) = c.wtxs.remove(&id).unwrap();
+                        let Some((record, _, invoked_at)) = c.wtxs.remove(&id) else {
+                            continue;
+                        };
                         c.absorb(&record);
                         c.completed.insert(
                             id,
@@ -231,7 +233,9 @@ impl CopsRwNode {
     /// All responses in: absorb every learned transaction into the
     /// session log, then answer from the folded store.
     fn resolve_rot(c: &mut ClientState, id: TxId, now: u64) {
-        let p = c.rots.remove(&id).unwrap();
+        let Some(p) = c.rots.remove(&id) else {
+            return;
+        };
         let mut batch = Vec::new();
         for item in p.items {
             if let Some(rec) = item.record {

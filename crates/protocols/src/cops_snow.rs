@@ -16,10 +16,12 @@
 //! that read `k` below `ts` and the ROTs blacklisted on any version
 //! `≤ ts` of `k`.
 
-use crate::common::{Completed, LamportClock, MvStore, ProtocolNode, Topology, Version};
+use crate::common::{
+    Completed, LamportClock, MvStore, ProtocolNode, Topology, Version, MAX_RETRIES,
+};
 use cbf_model::{ConsistencyLevel, Key, TxId, Value};
 use cbf_sim::{Actor, Ctx, ProcessId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// A dependency: `(key, version timestamp)`.
 pub type Dep = (Key, u64);
@@ -54,14 +56,27 @@ pub enum Msg {
     OldReaderResp { put: TxId, readers: Vec<TxId> },
     /// Server → client: put is visible.
     PutAck { id: TxId, key: Key, ts: u64 },
+    /// Self-timer: retry outstanding requests of transaction `id` if it
+    /// is still pending (armed only when `Topology::retry_after > 0`).
+    RetryTick { id: TxId, attempt: u32 },
 }
 
-/// In-flight ROT at the client.
+/// In-flight ROT at the client. The waiting *set* (not a counter) makes
+/// response handling idempotent under duplicated deliveries.
 #[derive(Clone, Debug)]
 struct PendingRot {
     keys: Vec<Key>,
     got: HashMap<Key, (Value, u64)>,
-    awaiting: usize,
+    waiting: BTreeSet<ProcessId>,
+    invoked_at: u64,
+}
+
+/// In-flight put at the client (kept until acked, for resend).
+#[derive(Clone, Debug)]
+struct PendingWrite {
+    key: Key,
+    value: Value,
+    deps: Vec<Dep>,
     invoked_at: u64,
 }
 
@@ -72,7 +87,7 @@ pub struct ClientState {
     /// Latest observed version per key, attached to puts as dependencies.
     context: HashMap<Key, u64>,
     rots: HashMap<TxId, PendingRot>,
-    puts: HashMap<TxId, u64>,
+    puts: HashMap<TxId, PendingWrite>,
     completed: HashMap<TxId, Completed>,
 }
 
@@ -82,7 +97,11 @@ struct PendingPut {
     key: Key,
     ts: u64,
     client: ProcessId,
-    awaiting: usize,
+    /// Dependency servers whose old-reader response is outstanding.
+    waiting: BTreeSet<ProcessId>,
+    /// The per-server dependency lists (kept so a client retry can
+    /// re-send old-reader queries that were lost in flight).
+    remote_deps: BTreeMap<ProcessId, Vec<Dep>>,
     invisible_to: HashSet<TxId>,
 }
 
@@ -100,6 +119,10 @@ pub struct ServerState {
     readers: HashMap<Key, Vec<(TxId, u64)>>,
     /// Puts awaiting old-reader responses.
     pending_puts: HashMap<TxId, PendingPut>,
+    /// Puts already made visible: `tx → (key, ts)`. A re-delivered
+    /// `PutReq` (duplicate or client retry racing the ack) re-acks from
+    /// here instead of minting a second version.
+    done_puts: HashMap<TxId, (Key, u64)>,
 }
 
 impl ServerState {
@@ -146,11 +169,14 @@ impl ServerState {
     /// All old-reader responses arrived (or none were needed): make the
     /// version visible (except to its blacklist) and ack the writer.
     fn finalize_put(&mut self, put: TxId, ctx: &mut Ctx<Msg>) {
-        let p = self.pending_puts.remove(&put).unwrap();
+        let Some(p) = self.pending_puts.remove(&put) else {
+            return;
+        };
         self.pending_visible.remove(&(p.key, p.ts));
         if !p.invisible_to.is_empty() {
             self.invisible.insert((p.key, p.ts), p.invisible_to);
         }
+        self.done_puts.insert(put, (p.key, p.ts));
         ctx.send(
             p.client,
             Msg::PutAck {
@@ -177,7 +203,7 @@ impl CopsSnowNode {
             match env.msg {
                 Msg::InvokeRot { id, keys } => {
                     let groups = c.topo.group_by_primary(&keys);
-                    let awaiting = groups.len();
+                    let waiting: BTreeSet<ProcessId> = groups.iter().map(|&(s, _)| s).collect();
                     for (server, ks) in groups {
                         ctx.send(server, Msg::RotReq { id, keys: ks });
                     }
@@ -186,10 +212,11 @@ impl CopsSnowNode {
                         PendingRot {
                             keys,
                             got: HashMap::new(),
-                            awaiting,
+                            waiting,
                             invoked_at: ctx.now(),
                         },
                     );
+                    Self::arm_retry(c, id, 0, ctx);
                 }
                 Msg::InvokeWtx { id, writes } => {
                     let (key, value) = writes[0];
@@ -201,21 +228,36 @@ impl CopsSnowNode {
                             id,
                             key,
                             value,
-                            deps,
+                            deps: deps.clone(),
                         },
                     );
-                    c.puts.insert(id, ctx.now());
+                    c.puts.insert(
+                        id,
+                        PendingWrite {
+                            key,
+                            value,
+                            deps,
+                            invoked_at: ctx.now(),
+                        },
+                    );
+                    Self::arm_retry(c, id, 0, ctx);
                 }
                 Msg::RotResp { id, reads } => {
                     let Some(p) = c.rots.get_mut(&id) else {
                         continue;
                     };
+                    // Duplicate (or already-answered retry): ignore the
+                    // whole response.
+                    if !p.waiting.remove(&env.from) {
+                        continue;
+                    }
                     for (k, v, ts) in reads {
                         p.got.insert(k, (v, ts));
                     }
-                    p.awaiting -= 1;
-                    if p.awaiting == 0 {
-                        let p = c.rots.remove(&id).unwrap();
+                    if p.waiting.is_empty() {
+                        let Some(p) = c.rots.remove(&id) else {
+                            continue;
+                        };
                         let mut out = Vec::with_capacity(p.keys.len());
                         for &k in &p.keys {
                             let (v, ts) = p.got.get(&k).copied().unwrap_or((Value::BOTTOM, 0));
@@ -237,7 +279,8 @@ impl CopsSnowNode {
                     }
                 }
                 Msg::PutAck { id, key, ts } => {
-                    if let Some(invoked_at) = c.puts.remove(&id) {
+                    // `remove` makes a duplicated ack a no-op.
+                    if let Some(pw) = c.puts.remove(&id) {
                         let slot = c.context.entry(key).or_insert(0);
                         *slot = (*slot).max(ts);
                         c.completed.insert(
@@ -245,15 +288,53 @@ impl CopsSnowNode {
                             Completed {
                                 id,
                                 reads: Vec::new(),
-                                invoked_at,
+                                invoked_at: pw.invoked_at,
                                 completed_at: ctx.now(),
                             },
                         );
                     }
                 }
+                Msg::RetryTick { id, attempt } => {
+                    let mut live = false;
+                    if let Some(p) = c.rots.get(&id) {
+                        live = true;
+                        for (server, ks) in c.topo.group_by_primary(&p.keys) {
+                            if p.waiting.contains(&server) {
+                                ctx.send(server, Msg::RotReq { id, keys: ks });
+                            }
+                        }
+                    }
+                    if let Some(pw) = c.puts.get(&id) {
+                        live = true;
+                        ctx.send(
+                            c.topo.primary(pw.key),
+                            Msg::PutReq {
+                                id,
+                                key: pw.key,
+                                value: pw.value,
+                                deps: pw.deps.clone(),
+                            },
+                        );
+                    }
+                    if live {
+                        Self::arm_retry(c, id, attempt + 1, ctx);
+                    }
+                }
                 _ => {}
             }
         }
+    }
+
+    /// Arm (or re-arm, with exponential backoff) the per-transaction
+    /// retry timer. No-op when retries are disabled or exhausted.
+    fn arm_retry(c: &ClientState, id: TxId, attempt: u32, ctx: &mut Ctx<Msg>) {
+        if c.topo.retry_after == 0 || attempt >= MAX_RETRIES {
+            return;
+        }
+        ctx.set_timer(
+            c.topo.retry_after << attempt,
+            Msg::RetryTick { id, attempt },
+        );
     }
 
     fn server_step(s: &mut ServerState, ctx: &mut Ctx<Msg>) {
@@ -275,6 +356,20 @@ impl CopsSnowNode {
                     value,
                     deps,
                 } => {
+                    // Idempotence: an already-visible put re-acks; a put
+                    // still gathering old readers re-drives its
+                    // outstanding queries (they may have been lost).
+                    if let Some(&(k, ts)) = s.done_puts.get(&id) {
+                        ctx.send(env.from, Msg::PutAck { id, key: k, ts });
+                        continue;
+                    }
+                    if let Some(p) = s.pending_puts.get(&id) {
+                        for server in p.waiting.iter().copied().collect::<Vec<_>>() {
+                            let deps = p.remote_deps.get(&server).cloned().unwrap_or_default();
+                            ctx.send(server, Msg::OldReaderQuery { put: id, deps });
+                        }
+                        continue;
+                    }
                     for &(_, t) in &deps {
                         s.clock.witness(t);
                     }
@@ -286,8 +381,7 @@ impl CopsSnowNode {
                     // query round. (One message per dep server, as the
                     // paper's step semantics require.)
                     let mut invisible_to = HashSet::new();
-                    let mut remote: std::collections::BTreeMap<ProcessId, Vec<Dep>> =
-                        Default::default();
+                    let mut remote: BTreeMap<ProcessId, Vec<Dep>> = Default::default();
                     for &(dk, dts) in &deps {
                         let home = s.topo.primary(dk);
                         if home == ctx.me() {
@@ -296,18 +390,19 @@ impl CopsSnowNode {
                             remote.entry(home).or_default().push((dk, dts));
                         }
                     }
-                    let awaiting = remote.len();
+                    let waiting: BTreeSet<ProcessId> = remote.keys().copied().collect();
                     s.pending_puts.insert(
                         id,
                         PendingPut {
                             key,
                             ts,
                             client: env.from,
-                            awaiting,
+                            waiting,
+                            remote_deps: remote.clone(),
                             invisible_to,
                         },
                     );
-                    if awaiting == 0 {
+                    if remote.is_empty() {
                         s.finalize_put(id, ctx);
                     } else {
                         for (server, deps) in remote {
@@ -329,9 +424,12 @@ impl CopsSnowNode {
                         let Some(p) = s.pending_puts.get_mut(&put) else {
                             continue;
                         };
+                        // Duplicate response from this server: ignore.
+                        if !p.waiting.remove(&env.from) {
+                            continue;
+                        }
                         p.invisible_to.extend(readers);
-                        p.awaiting -= 1;
-                        p.awaiting == 0
+                        p.waiting.is_empty()
                     };
                     if finalize {
                         s.finalize_put(put, ctx);
@@ -351,6 +449,18 @@ impl Actor for CopsSnowNode {
             CopsSnowNode::Server(s) => Self::server_step(s, ctx),
         }
     }
+
+    fn on_crash(&mut self) {
+        if let CopsSnowNode::Server(s) = self {
+            // In-progress old-reader gathering is volatile. The orphaned
+            // versions stay in `pending_visible` forever — never acked,
+            // never a dependency, so hiding them is causally safe. The
+            // writer's retry re-puts under the same tx id and mints a
+            // fresh version. Store, read log, visibility blacklists and
+            // the done-put log are durable.
+            s.pending_puts.clear();
+        }
+    }
 }
 
 impl ProtocolNode for CopsSnowNode {
@@ -367,6 +477,7 @@ impl ProtocolNode for CopsSnowNode {
             invisible: HashMap::new(),
             readers: HashMap::new(),
             pending_puts: HashMap::new(),
+            done_puts: HashMap::new(),
         })
     }
 

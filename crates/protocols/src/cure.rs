@@ -214,7 +214,9 @@ impl CureNode {
                     }
                     p.awaiting -= 1;
                     if p.awaiting == 0 {
-                        let p = c.rots.remove(&id).unwrap();
+                        let Some(p) = c.rots.remove(&id) else {
+                            continue;
+                        };
                         let reads = p
                             .keys
                             .iter()
@@ -352,8 +354,10 @@ impl CureNode {
                         co.awaiting == 0
                     };
                     if finished {
-                        let co = s.coordinating.remove(&id).unwrap();
-                        let ts = co.proposals.iter().copied().max().unwrap();
+                        let Some(co) = s.coordinating.remove(&id) else {
+                            continue;
+                        };
+                        let ts = co.proposals.iter().copied().max().unwrap_or(0);
                         s.clock.witness(ts);
                         for part in &co.participants {
                             ctx.send(*part, Msg::Commit { id, ts });

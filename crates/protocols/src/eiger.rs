@@ -27,10 +27,12 @@
 //!
 //! No server ever defers a response: non-blocking throughout.
 
-use crate::common::{Completed, LamportClock, MvStore, ProtocolNode, Topology, Version};
+use crate::common::{
+    Completed, LamportClock, MvStore, ProtocolNode, Topology, Version, MAX_RETRIES,
+};
 use cbf_model::{ConsistencyLevel, Key, TxId, Value};
 use cbf_sim::{Actor, Ctx, ProcessId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// `(key, value, commit_ts)` of a committed version; ts 0 ⇒ `⊥`.
 pub type Item = (Key, Value, u64);
@@ -101,25 +103,44 @@ pub enum Msg {
         id: TxId,
         decisions: Vec<(TxId, Option<u64>)>,
     },
+    /// Self-timer: retry outstanding requests of transaction `id` if it
+    /// is still pending (armed only when `Topology::retry_after > 0`).
+    RetryTick { id: TxId, attempt: u32 },
 }
 
-/// In-flight write-only transaction at the client.
+/// In-flight write-only transaction at the client (kept for resend).
 #[derive(Clone, Debug)]
 struct PendingWtx {
+    writes: Vec<(Key, Value)>,
+    dep_ts: u64,
     invoked_at: u64,
 }
 
-/// In-flight ROT at the client.
+/// Which round a ROT is currently in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RotPhase {
+    One,
+    Two,
+    Three,
+}
+
+/// In-flight ROT at the client. The phase tag plus the waiting *set*
+/// make response handling idempotent: a response only counts if it is
+/// for the current round and from a peer still outstanding.
 #[derive(Clone, Debug)]
 struct PendingRot {
     keys: Vec<Key>,
-    awaiting: usize,
+    phase: RotPhase,
+    /// Servers (rounds 1–2) or coordinators (round 3) still outstanding.
+    waiting: BTreeSet<ProcessId>,
     /// Best committed value per key so far: `(value, ts)`.
     items: HashMap<Key, (Value, u64)>,
     /// Round-1 responses: per server, (promise, min_pending).
     round1: HashMap<ProcessId, (u64, u64)>,
     snapshot: u64,
     pendings: Vec<PendingInfo>,
+    /// Round-3 fan-out by coordinator (kept for resend).
+    checks: BTreeMap<ProcessId, Vec<TxId>>,
     invoked_at: u64,
 }
 
@@ -134,13 +155,17 @@ pub struct ClientState {
     completed: HashMap<TxId, Completed>,
 }
 
-/// Coordinator-side state of one 2PC instance.
+/// Coordinator-side state of one 2PC instance. `responded` (a set, not
+/// a counter) makes duplicated proposals idempotent; `per_server` and
+/// `dep_ts` are kept so a client retry can re-drive lost `Prepare`s.
 #[derive(Clone, Debug)]
 struct CoordTx {
     client: ProcessId,
     participants: Vec<ProcessId>,
+    per_server: BTreeMap<ProcessId, Vec<(Key, Value)>>,
+    dep_ts: u64,
     proposals: Vec<u64>,
-    awaiting: usize,
+    responded: BTreeSet<ProcessId>,
 }
 
 /// A pending (prepared) transaction at a participant.
@@ -178,7 +203,7 @@ impl EigerNode {
             match env.msg {
                 Msg::InvokeRot { id, keys } => {
                     let groups = c.topo.group_by_primary(&keys);
-                    let awaiting = groups.len();
+                    let waiting: BTreeSet<ProcessId> = groups.iter().map(|&(s, _)| s).collect();
                     for (server, ks) in groups {
                         ctx.send(server, Msg::Read1 { id, keys: ks });
                     }
@@ -186,31 +211,38 @@ impl EigerNode {
                         id,
                         PendingRot {
                             keys,
-                            awaiting,
+                            phase: RotPhase::One,
+                            waiting,
                             items: HashMap::new(),
                             round1: HashMap::new(),
                             snapshot: 0,
                             pendings: Vec::new(),
+                            checks: BTreeMap::new(),
                             invoked_at: ctx.now(),
                         },
                     );
+                    Self::arm_retry(c, id, 0, ctx);
                 }
                 Msg::InvokeWtx { id, writes } => {
                     let coordinator = c.topo.primary(writes[0].0);
+                    let dep_ts = c.dep_ts;
                     ctx.send(
                         coordinator,
                         Msg::WtxReq {
                             id,
-                            writes,
-                            dep_ts: c.dep_ts,
+                            writes: writes.clone(),
+                            dep_ts,
                         },
                     );
                     c.wtxs.insert(
                         id,
                         PendingWtx {
+                            writes,
+                            dep_ts,
                             invoked_at: ctx.now(),
                         },
                     );
+                    Self::arm_retry(c, id, 0, ctx);
                 }
                 Msg::WtxAck { id, ts } => {
                     if let Some(w) = c.wtxs.remove(&id) {
@@ -235,12 +267,15 @@ impl EigerNode {
                     let Some(p) = c.rots.get_mut(&id) else {
                         continue;
                     };
+                    // Wrong round, or a duplicate from this server: ignore.
+                    if p.phase != RotPhase::One || !p.waiting.remove(&env.from) {
+                        continue;
+                    }
                     for (k, v, ts) in items {
                         p.items.insert(k, (v, ts));
                     }
                     p.round1.insert(env.from, (promise, min_pending));
-                    p.awaiting -= 1;
-                    if p.awaiting == 0 {
+                    if p.waiting.is_empty() {
                         Self::after_round_one(c, id, ctx);
                     }
                 }
@@ -252,6 +287,9 @@ impl EigerNode {
                     let Some(p) = c.rots.get_mut(&id) else {
                         continue;
                     };
+                    if p.phase != RotPhase::Two || !p.waiting.remove(&env.from) {
+                        continue;
+                    }
                     for (k, v, ts) in items {
                         // Round 2 returns the latest version ≤ t, which
                         // may be older than a round-1 item that exceeded
@@ -259,8 +297,7 @@ impl EigerNode {
                         p.items.insert(k, (v, ts));
                     }
                     p.pendings.extend(pendings);
-                    p.awaiting -= 1;
-                    if p.awaiting == 0 {
+                    if p.waiting.is_empty() {
                         Self::after_round_two(c, id, ctx);
                     }
                 }
@@ -268,6 +305,9 @@ impl EigerNode {
                     let Some(p) = c.rots.get_mut(&id) else {
                         continue;
                     };
+                    if p.phase != RotPhase::Three || !p.waiting.remove(&env.from) {
+                        continue;
+                    }
                     let t = p.snapshot;
                     for (tx, decision) in decisions {
                         if let Some(ts) = decision {
@@ -288,9 +328,66 @@ impl EigerNode {
                             }
                         }
                     }
-                    p.awaiting -= 1;
-                    if p.awaiting == 0 {
+                    if p.waiting.is_empty() {
                         Self::complete_rot(c, id, ctx.now());
+                    }
+                }
+                Msg::RetryTick { id, attempt } => {
+                    let mut live = false;
+                    if let Some(p) = c.rots.get(&id) {
+                        live = true;
+                        match p.phase {
+                            RotPhase::One => {
+                                for (server, ks) in c.topo.group_by_primary(&p.keys) {
+                                    if p.waiting.contains(&server) {
+                                        ctx.send(server, Msg::Read1 { id, keys: ks });
+                                    }
+                                }
+                            }
+                            RotPhase::Two => {
+                                // Re-read at the SAME snapshot: idempotent.
+                                for (server, ks) in c.topo.group_by_primary(&p.keys) {
+                                    if p.waiting.contains(&server) {
+                                        ctx.send(
+                                            server,
+                                            Msg::Read2 {
+                                                id,
+                                                keys: ks,
+                                                t: p.snapshot,
+                                            },
+                                        );
+                                    }
+                                }
+                            }
+                            RotPhase::Three => {
+                                for (&coord, txs) in &p.checks {
+                                    if p.waiting.contains(&coord) {
+                                        ctx.send(
+                                            coord,
+                                            Msg::CheckTx {
+                                                id,
+                                                txs: txs.clone(),
+                                            },
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if let Some(pw) = c.wtxs.get(&id) {
+                        live = true;
+                        let coordinator = c.topo.primary(pw.writes[0].0);
+                        ctx.send(
+                            coordinator,
+                            Msg::WtxReq {
+                                id,
+                                writes: pw.writes.clone(),
+                                dep_ts: pw.dep_ts,
+                            },
+                        );
+                    }
+                    if live {
+                        Self::arm_retry(c, id, attempt + 1, ctx);
                     }
                 }
                 _ => {}
@@ -298,11 +395,25 @@ impl EigerNode {
         }
     }
 
+    /// Arm (or re-arm, with exponential backoff) the per-transaction
+    /// retry timer. No-op when retries are disabled or exhausted.
+    fn arm_retry(c: &ClientState, id: TxId, attempt: u32, ctx: &mut Ctx<Msg>) {
+        if c.topo.retry_after == 0 || attempt >= MAX_RETRIES {
+            return;
+        }
+        ctx.set_timer(
+            c.topo.retry_after << attempt,
+            Msg::RetryTick { id, attempt },
+        );
+    }
+
     /// Round 1 done: pick the snapshot; settled servers are covered,
     /// unsettled ones get a round-2 request.
     fn after_round_one(c: &mut ClientState, id: TxId, ctx: &mut Ctx<Msg>) {
         let (t, unsettled, groups) = {
-            let p = c.rots.get_mut(&id).unwrap();
+            let Some(p) = c.rots.get_mut(&id) else {
+                return;
+            };
             let t = p
                 .items
                 .values()
@@ -324,8 +435,11 @@ impl EigerNode {
             Self::complete_rot(c, id, ctx.now());
             return;
         }
-        let p = c.rots.get_mut(&id).unwrap();
-        p.awaiting = unsettled.len();
+        let Some(p) = c.rots.get_mut(&id) else {
+            return;
+        };
+        p.phase = RotPhase::Two;
+        p.waiting = unsettled.iter().copied().collect();
         for (server, ks) in groups {
             if unsettled.contains(&server) {
                 ctx.send(server, Msg::Read2 { id, keys: ks, t });
@@ -336,20 +450,24 @@ impl EigerNode {
     /// Round 2 done: resolve pending transactions with their
     /// coordinators, or finish if there are none.
     fn after_round_two(c: &mut ClientState, id: TxId, ctx: &mut Ctx<Msg>) {
-        let by_coord: std::collections::BTreeMap<ProcessId, Vec<TxId>> = {
-            let p = c.rots.get_mut(&id).unwrap();
+        let by_coord: BTreeMap<ProcessId, Vec<TxId>> = {
+            let Some(p) = c.rots.get_mut(&id) else {
+                return;
+            };
             if p.pendings.is_empty() {
                 Self::complete_rot(c, id, ctx.now());
                 return;
             }
-            let mut by_coord: std::collections::BTreeMap<ProcessId, Vec<TxId>> = Default::default();
+            let mut by_coord: BTreeMap<ProcessId, Vec<TxId>> = Default::default();
             for info in &p.pendings {
                 let txs = by_coord.entry(info.coordinator).or_default();
                 if !txs.contains(&info.tx) {
                     txs.push(info.tx);
                 }
             }
-            p.awaiting = by_coord.len();
+            p.phase = RotPhase::Three;
+            p.waiting = by_coord.keys().copied().collect();
+            p.checks = by_coord.clone();
             by_coord
         };
         for (coord, txs) in by_coord {
@@ -358,7 +476,9 @@ impl EigerNode {
     }
 
     fn complete_rot(c: &mut ClientState, id: TxId, now: u64) {
-        let p = c.rots.remove(&id).unwrap();
+        let Some(p) = c.rots.remove(&id) else {
+            return;
+        };
         let mut reads = Vec::with_capacity(p.keys.len());
         let mut max_seen = p.snapshot;
         for &k in &p.keys {
@@ -382,12 +502,37 @@ impl EigerNode {
         for env in ctx.recv() {
             match env.msg {
                 Msg::WtxReq { id, writes, dep_ts } => {
+                    // Idempotence: already decided → re-ack (the original
+                    // ack may have been lost); still coordinating →
+                    // re-drive the outstanding prepares. A coordinator
+                    // that crashed mid-2PC restarts from scratch —
+                    // participant-side dedup makes the restart safe.
+                    if let Some(&ts) = s.decisions.get(&id) {
+                        ctx.send(env.from, Msg::WtxAck { id, ts });
+                        continue;
+                    }
+                    let me = ctx.me();
+                    if let Some(co) = s.coordinating.get(&id) {
+                        for (&server, ws) in &co.per_server {
+                            if !co.responded.contains(&server) {
+                                ctx.send(
+                                    server,
+                                    Msg::Prepare {
+                                        id,
+                                        writes: ws.clone(),
+                                        dep_ts: co.dep_ts,
+                                        coordinator: me,
+                                    },
+                                );
+                            }
+                        }
+                        continue;
+                    }
                     s.clock.witness(dep_ts);
                     // Fan out prepares, grouping writes by primary; the
                     // coordinator participates via the network like
                     // everyone else, keeping one code path.
-                    let mut per_server: std::collections::BTreeMap<ProcessId, Vec<(Key, Value)>> =
-                        Default::default();
+                    let mut per_server: BTreeMap<ProcessId, Vec<(Key, Value)>> = Default::default();
                     for &(k, v) in &writes {
                         per_server
                             .entry(s.topo.primary(k))
@@ -399,12 +544,13 @@ impl EigerNode {
                         id,
                         CoordTx {
                             client: env.from,
-                            participants: participants.clone(),
+                            participants,
+                            per_server: per_server.clone(),
+                            dep_ts,
                             proposals: Vec::new(),
-                            awaiting: participants.len(),
+                            responded: BTreeSet::new(),
                         },
                     );
-                    let me = ctx.me();
                     for (server, ws) in per_server {
                         ctx.send(
                             server,
@@ -423,6 +569,19 @@ impl EigerNode {
                     dep_ts,
                     coordinator,
                 } => {
+                    // Idempotence: already committed here → re-ack with
+                    // the decided ts; still prepared → re-ack the same
+                    // proposal. Never mint a second proposal, which would
+                    // orphan a pending marker and poison `min_pending`.
+                    if let Some(&ts) = s.decisions.get(&id) {
+                        ctx.send(coordinator, Msg::PrepareResp { id, proposed: ts });
+                        continue;
+                    }
+                    if let Some(p) = s.prepared.get(&id) {
+                        let proposed = p.proposed;
+                        ctx.send(coordinator, Msg::PrepareResp { id, proposed });
+                        continue;
+                    }
                     s.clock.witness(dep_ts);
                     let proposed = s.clock.tick();
                     s.prepared.insert(
@@ -440,13 +599,18 @@ impl EigerNode {
                         let Some(co) = s.coordinating.get_mut(&id) else {
                             continue;
                         };
+                        // Duplicate proposal from this participant: ignore.
+                        if !co.responded.insert(env.from) {
+                            continue;
+                        }
                         co.proposals.push(proposed);
-                        co.awaiting -= 1;
-                        co.awaiting == 0
+                        co.responded.len() == co.participants.len()
                     };
                     if finished {
-                        let co = s.coordinating.remove(&id).unwrap();
-                        let ts = co.proposals.iter().copied().max().unwrap();
+                        let Some(co) = s.coordinating.remove(&id) else {
+                            continue;
+                        };
+                        let ts = co.proposals.iter().copied().max().unwrap_or(0);
                         s.clock.witness(ts);
                         s.decisions.insert(id, ts);
                         for part in &co.participants {
@@ -456,8 +620,12 @@ impl EigerNode {
                     }
                 }
                 Msg::Commit { id, ts } => {
+                    // `remove` makes a duplicated commit a no-op; the
+                    // decision is recorded so a late duplicate `Prepare`
+                    // re-acks instead of re-preparing.
                     if let Some(p) = s.prepared.remove(&id) {
                         s.clock.witness(ts);
+                        s.decisions.insert(id, ts);
                         for (k, v) in p.writes {
                             s.store.insert(
                                 k,
@@ -557,6 +725,17 @@ impl Actor for EigerNode {
         match self {
             EigerNode::Client(c) => Self::client_step(c, ctx),
             EigerNode::Server(s) => Self::server_step(s, ctx),
+        }
+    }
+
+    fn on_crash(&mut self) {
+        if let EigerNode::Server(s) = self {
+            // In-flight coordination is volatile; the store, the
+            // prepared markers and the decision log model durable
+            // (logged) state — real Eiger logs prepares and decisions
+            // before acking. A client retry restarts 2PC and the
+            // participant-side dedup keeps the restart idempotent.
+            s.coordinating.clear();
         }
     }
 }

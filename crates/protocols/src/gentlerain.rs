@@ -187,7 +187,9 @@ impl GentleRainNode {
                     }
                     p.awaiting -= 1;
                     if p.awaiting == 0 {
-                        let p = c.rots.remove(&id).unwrap();
+                        let Some(p) = c.rots.remove(&id) else {
+                            continue;
+                        };
                         let reads = p
                             .keys
                             .iter()

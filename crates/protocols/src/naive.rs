@@ -174,7 +174,9 @@ impl<const P: u8, const GOSSIP: bool> NaiveNode<P, GOSSIP> {
                         p.reads.extend(reads);
                         p.awaiting -= 1;
                         if p.awaiting == 0 {
-                            let p = c.pending.remove(&id).unwrap();
+                            let Some(p) = c.pending.remove(&id) else {
+                                continue;
+                            };
                             let mut reads = p.reads;
                             reads.sort_by_key(|(k, _)| *k);
                             c.completed.insert(
@@ -213,7 +215,9 @@ impl<const P: u8, const GOSSIP: bool> NaiveNode<P, GOSSIP> {
                                     );
                                 }
                             } else {
-                                let p = c.pending.remove(&id).unwrap();
+                                let Some(p) = c.pending.remove(&id) else {
+                                    continue;
+                                };
                                 c.completed.insert(
                                     id,
                                     Completed {

@@ -202,7 +202,9 @@ impl RampNode {
                     if let Some(w) = c.wtxs.get_mut(&id) {
                         w.awaiting -= 1;
                         if w.awaiting == 0 {
-                            let w = c.wtxs.remove(&id).unwrap();
+                            let Some(w) = c.wtxs.remove(&id) else {
+                                continue;
+                            };
                             c.completed.insert(
                                 id,
                                 Completed {
@@ -252,7 +254,9 @@ impl RampNode {
     /// any returned transaction that wrote it; fetch siblings where the
     /// optimistic read lags.
     fn after_round_one(c: &mut ClientState, id: TxId, ctx: &mut Ctx<Msg>) {
-        let p = c.rots.get_mut(&id).unwrap();
+        let Some(p) = c.rots.get_mut(&id) else {
+            return;
+        };
         let mut latest: HashMap<Key, u64> = HashMap::new();
         for it in &p.meta {
             for &k in &it.tx_keys {
@@ -280,7 +284,9 @@ impl RampNode {
     }
 
     fn complete_rot(c: &mut ClientState, id: TxId, now: u64) {
-        let p = c.rots.remove(&id).unwrap();
+        let Some(p) = c.rots.remove(&id) else {
+            return;
+        };
         let reads = p
             .keys
             .iter()
@@ -359,6 +365,7 @@ impl RampNode {
                         })
                     });
                     // The version must exist: its metadata was visible.
+                    // snowlint: allow(handler-unwrap): this shard served the (key, ts) metadata itself, so the sibling is prepared or committed here; RAMP declares no crash durability model and is not run under the nemesis
                     let value = value.expect("sibling version must be prepared or committed");
                     ctx.send(env.from, Msg::Read2Resp { id, key, value, ts });
                 }

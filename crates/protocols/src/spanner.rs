@@ -24,16 +24,22 @@
 //!   `t_safe = min(local clock, min prepared ts − 1)` has passed
 //!   `s_read`; otherwise it parks the read — that is the blocking.
 
-use crate::common::{Completed, MvStore, ProtocolNode, Topology, TrueTime, Version};
+use crate::common::{Completed, MvStore, ProtocolNode, Topology, TrueTime, Version, MAX_RETRIES};
 use cbf_model::{ConsistencyLevel, Key, TxId, Value};
 use cbf_sim::{Actor, Ctx, ProcessId, Time, MICROS};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The advertised TrueTime uncertainty bound ε (virtual ns).
 pub const EPSILON: u64 = 250 * MICROS;
 
 /// How often a server with parked work re-checks its clock.
 const POLL: Time = 20 * MICROS;
+
+/// How long a coordinator waits for a participant's `CommitAck` before
+/// re-sending `Commit` (well above one RTT, so fault-free runs never
+/// resend). A lost commit would otherwise pin the participant's
+/// `prepared` floor and stall `t_safe` forever.
+const COMMIT_RESEND: Time = 500 * MICROS;
 
 /// Spanner-like message alphabet.
 #[derive(Clone, Debug)]
@@ -64,11 +70,16 @@ pub enum Msg {
     PrepareResp { id: TxId, ts: u64 },
     /// Coordinator → participant: commit at `ts` (after commit-wait).
     Commit { id: TxId, ts: u64 },
+    /// Participant → coordinator: commit applied (stops the re-drive).
+    CommitAck { id: TxId },
     /// Coordinator → client: committed at `ts`.
     WtxAck { id: TxId, ts: u64 },
 
     /// Timer: re-check parked reads / finish commit-wait.
     Poll,
+    /// Self-timer: retry outstanding requests of transaction `id` if it
+    /// is still pending (armed only when `Topology::retry_after > 0`).
+    RetryTick { id: TxId, attempt: u32 },
 }
 
 /// A read parked at a server until its safe time passes `at`.
@@ -80,13 +91,16 @@ struct ParkedRead {
     at: u64,
 }
 
-/// Coordinator-side 2PC state.
+/// Coordinator-side 2PC state. `responded` (a set, not a counter) makes
+/// duplicated prepare responses idempotent; `per_server` is kept so a
+/// client retry can re-drive lost `Prepare` messages.
 #[derive(Clone, Debug)]
 struct CoordTx {
     client: ProcessId,
     participants: Vec<ProcessId>,
+    per_server: BTreeMap<ProcessId, Vec<(Key, Value)>>,
     prepare_ts: Vec<u64>,
-    awaiting: usize,
+    responded: BTreeSet<ProcessId>,
 }
 
 /// A commit decided but still in its commit-wait window.
@@ -95,6 +109,14 @@ struct WaitingCommit {
     client: ProcessId,
     participants: Vec<ProcessId>,
     ts: u64,
+}
+
+/// A released commit being re-driven until every participant acks.
+#[derive(Clone, Debug)]
+struct CommitDrive {
+    unacked: BTreeSet<ProcessId>,
+    ts: u64,
+    sent_at: Time,
 }
 
 /// Spanner-like server.
@@ -111,6 +133,18 @@ pub struct ServerState {
     commit_waits: HashMap<TxId, WaitingCommit>,
     parked: Vec<ParkedRead>,
     poll_armed: bool,
+    /// Participant side: transactions already committed here, with their
+    /// commit ts. A re-delivered `Prepare` re-acks from this; a
+    /// re-delivered `Commit` is ignored.
+    decided: HashMap<TxId, u64>,
+    /// Coordinator side: transactions fully acked, for re-acking a
+    /// retried `WtxReq` whose ack was lost.
+    coord_done: HashMap<TxId, u64>,
+    /// Coordinator side: commits released but not yet acked by every
+    /// participant; re-driven from the durable decision (as real Spanner
+    /// re-drives commits from the Paxos log), because a lost `Commit`
+    /// would stall the participant's `t_safe` forever.
+    committing: HashMap<TxId, CommitDrive>,
 }
 
 /// Spanner-like client: owns a TrueTime clock for read timestamps.
@@ -119,21 +153,32 @@ pub struct ClientState {
     topo: Topology,
     tt: TrueTime,
     rots: HashMap<TxId, PendingRot>,
-    wtxs: HashMap<TxId, u64>,
+    wtxs: HashMap<TxId, PendingWtx>,
     completed: HashMap<TxId, Completed>,
 }
 
-/// In-flight ROT at the client.
+/// In-flight ROT at the client. The read timestamp is kept so a retried
+/// `ReadAt` re-reads at the *same* snapshot (idempotent); the waiting
+/// set makes duplicated responses no-ops.
 #[derive(Clone, Debug)]
 struct PendingRot {
     keys: Vec<Key>,
+    at: u64,
     got: HashMap<Key, Value>,
-    awaiting: usize,
+    waiting: BTreeSet<ProcessId>,
+    invoked_at: u64,
+}
+
+/// In-flight write transaction at the client (kept for resend).
+#[derive(Clone, Debug)]
+struct PendingWtx {
+    writes: Vec<(Key, Value)>,
     invoked_at: u64,
 }
 
 /// A Spanner-like node.
 #[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)] // one node per process; size is fine
 pub enum SpannerNode {
     /// A client.
     Client(ClientState),
@@ -185,18 +230,44 @@ impl ServerState {
             .collect();
         ready.sort_unstable();
         for id in ready {
-            let w = self.commit_waits.remove(&id).unwrap();
+            let Some(w) = self.commit_waits.remove(&id) else {
+                continue;
+            };
             for part in &w.participants {
                 ctx.send(*part, Msg::Commit { id, ts: w.ts });
             }
+            self.committing.insert(
+                id,
+                CommitDrive {
+                    unacked: w.participants.iter().copied().collect(),
+                    ts: w.ts,
+                    sent_at: now,
+                },
+            );
+            self.coord_done.insert(id, w.ts);
             ctx.send(w.client, Msg::WtxAck { id, ts: w.ts });
         }
 
-        if !self.parked.is_empty() || !self.commit_waits.is_empty() {
-            self.poll_armed = false;
+        // Re-drive commits whose acks are overdue (lost in flight).
+        let mut overdue: Vec<TxId> = self
+            .committing
+            .iter()
+            .filter(|(_, d)| now.saturating_sub(d.sent_at) >= COMMIT_RESEND)
+            .map(|(&id, _)| id)
+            .collect();
+        overdue.sort_unstable();
+        for id in overdue {
+            if let Some(d) = self.committing.get_mut(&id) {
+                d.sent_at = now;
+                for part in d.unacked.iter().copied().collect::<Vec<_>>() {
+                    ctx.send(part, Msg::Commit { id, ts: d.ts });
+                }
+            }
+        }
+
+        self.poll_armed = false;
+        if !self.parked.is_empty() || !self.commit_waits.is_empty() || !self.committing.is_empty() {
             self.arm_poll(ctx);
-        } else {
-            self.poll_armed = false;
         }
     }
 
@@ -218,7 +289,7 @@ impl SpannerNode {
                     // One round: read everywhere at TT.now().latest.
                     let at = c.tt.now_interval(ctx.now()).1;
                     let groups = c.topo.group_by_primary(&keys);
-                    let awaiting = groups.len();
+                    let waiting: BTreeSet<ProcessId> = groups.iter().map(|&(s, _)| s).collect();
                     for (server, ks) in groups {
                         ctx.send(server, Msg::ReadAt { id, keys: ks, at });
                     }
@@ -226,22 +297,29 @@ impl SpannerNode {
                         id,
                         PendingRot {
                             keys,
+                            at,
                             got: HashMap::new(),
-                            awaiting,
+                            waiting,
                             invoked_at: ctx.now(),
                         },
                     );
+                    Self::arm_retry(c, id, 0, ctx);
                 }
                 Msg::ReadAtResp { id, reads } => {
                     let Some(p) = c.rots.get_mut(&id) else {
                         continue;
                     };
+                    // Duplicate (or already-answered retry): ignore.
+                    if !p.waiting.remove(&env.from) {
+                        continue;
+                    }
                     for (k, v, _) in reads {
                         p.got.insert(k, v);
                     }
-                    p.awaiting -= 1;
-                    if p.awaiting == 0 {
-                        let p = c.rots.remove(&id).unwrap();
+                    if p.waiting.is_empty() {
+                        let Some(p) = c.rots.remove(&id) else {
+                            continue;
+                        };
                         let reads = p
                             .keys
                             .iter()
@@ -260,26 +338,87 @@ impl SpannerNode {
                 }
                 Msg::InvokeWtx { id, writes } => {
                     let coordinator = c.topo.primary(writes[0].0);
-                    ctx.send(coordinator, Msg::WtxReq { id, writes });
-                    c.wtxs.insert(id, ctx.now());
+                    ctx.send(
+                        coordinator,
+                        Msg::WtxReq {
+                            id,
+                            writes: writes.clone(),
+                        },
+                    );
+                    c.wtxs.insert(
+                        id,
+                        PendingWtx {
+                            writes,
+                            invoked_at: ctx.now(),
+                        },
+                    );
+                    Self::arm_retry(c, id, 0, ctx);
                 }
                 Msg::WtxAck { id, ts } => {
                     let _ = ts;
-                    if let Some(invoked_at) = c.wtxs.remove(&id) {
+                    // `remove` makes a duplicated ack a no-op.
+                    if let Some(pw) = c.wtxs.remove(&id) {
                         c.completed.insert(
                             id,
                             Completed {
                                 id,
                                 reads: Vec::new(),
-                                invoked_at,
+                                invoked_at: pw.invoked_at,
                                 completed_at: ctx.now(),
                             },
                         );
                     }
                 }
+                Msg::RetryTick { id, attempt } => {
+                    let mut live = false;
+                    if let Some(p) = c.rots.get(&id) {
+                        live = true;
+                        // Re-read at the SAME timestamp: the snapshot is
+                        // the transaction's identity, so retries are
+                        // idempotent.
+                        for (server, ks) in c.topo.group_by_primary(&p.keys) {
+                            if p.waiting.contains(&server) {
+                                ctx.send(
+                                    server,
+                                    Msg::ReadAt {
+                                        id,
+                                        keys: ks,
+                                        at: p.at,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    if let Some(pw) = c.wtxs.get(&id) {
+                        live = true;
+                        let coordinator = c.topo.primary(pw.writes[0].0);
+                        ctx.send(
+                            coordinator,
+                            Msg::WtxReq {
+                                id,
+                                writes: pw.writes.clone(),
+                            },
+                        );
+                    }
+                    if live {
+                        Self::arm_retry(c, id, attempt + 1, ctx);
+                    }
+                }
                 _ => {}
             }
         }
+    }
+
+    /// Arm (or re-arm, with exponential backoff) the per-transaction
+    /// retry timer. No-op when retries are disabled or exhausted.
+    fn arm_retry(c: &ClientState, id: TxId, attempt: u32, ctx: &mut Ctx<Msg>) {
+        if c.topo.retry_after == 0 || attempt >= MAX_RETRIES {
+            return;
+        }
+        ctx.set_timer(
+            c.topo.retry_after << attempt,
+            Msg::RetryTick { id, attempt },
+        );
     }
 
     fn server_step(s: &mut ServerState, ctx: &mut Ctx<Msg>) {
@@ -305,8 +444,35 @@ impl SpannerNode {
                     }
                 }
                 Msg::WtxReq { id, writes } => {
-                    let mut per_server: std::collections::BTreeMap<ProcessId, Vec<(Key, Value)>> =
-                        Default::default();
+                    // Idempotence: an already-acked tx re-acks; one still
+                    // in 2PC re-drives the outstanding prepares (they or
+                    // their responses may have been lost). A crashed
+                    // coordinator restarts 2PC from scratch — participant
+                    // dedup makes the restart safe.
+                    if let Some(&ts) = s.coord_done.get(&id) {
+                        ctx.send(env.from, Msg::WtxAck { id, ts });
+                        continue;
+                    }
+                    if s.commit_waits.contains_key(&id) {
+                        continue; // decided; ack follows after commit-wait
+                    }
+                    let me = ctx.me();
+                    if let Some(co) = s.coordinating.get(&id) {
+                        for (&server, ws) in &co.per_server {
+                            if !co.responded.contains(&server) {
+                                ctx.send(
+                                    server,
+                                    Msg::Prepare {
+                                        id,
+                                        writes: ws.clone(),
+                                        coordinator: me,
+                                    },
+                                );
+                            }
+                        }
+                        continue;
+                    }
+                    let mut per_server: BTreeMap<ProcessId, Vec<(Key, Value)>> = Default::default();
                     for &(k, v) in &writes {
                         per_server
                             .entry(s.topo.primary(k))
@@ -318,12 +484,12 @@ impl SpannerNode {
                         id,
                         CoordTx {
                             client: env.from,
-                            participants: participants.clone(),
+                            participants,
+                            per_server: per_server.clone(),
                             prepare_ts: Vec::new(),
-                            awaiting: participants.len(),
+                            responded: BTreeSet::new(),
                         },
                     );
-                    let me = ctx.me();
                     for (server, ws) in per_server {
                         ctx.send(
                             server,
@@ -340,6 +506,17 @@ impl SpannerNode {
                     writes,
                     coordinator,
                 } => {
+                    // Idempotence: already committed here → re-ack with
+                    // the decided ts; still prepared → re-ack the same
+                    // prepare ts (never mint a second one).
+                    if let Some(&ts) = s.decided.get(&id) {
+                        ctx.send(coordinator, Msg::PrepareResp { id, ts });
+                        continue;
+                    }
+                    if let Some(&(ts, _)) = s.prepared.get(&id) {
+                        ctx.send(coordinator, Msg::PrepareResp { id, ts });
+                        continue;
+                    }
                     // Prepare above the local clock and anything used before.
                     let ts = (s.tt.local(ctx.now()) + 1).max(s.high_water + 1);
                     s.high_water = ts;
@@ -351,19 +528,24 @@ impl SpannerNode {
                         let Some(co) = s.coordinating.get_mut(&id) else {
                             continue;
                         };
+                        // Duplicate response from this participant: ignore.
+                        if !co.responded.insert(env.from) {
+                            continue;
+                        }
                         co.prepare_ts.push(ts);
-                        co.awaiting -= 1;
-                        co.awaiting == 0
+                        co.responded.len() == co.participants.len()
                     };
                     if finished {
-                        let co = s.coordinating.remove(&id).unwrap();
+                        let Some(co) = s.coordinating.remove(&id) else {
+                            continue;
+                        };
                         let now = ctx.now();
                         let s_commit = co
                             .prepare_ts
                             .iter()
                             .copied()
                             .max()
-                            .unwrap()
+                            .unwrap_or(0)
                             .max(s.tt.now_interval(now).1)
                             .max(s.high_water + 1);
                         s.high_water = s_commit;
@@ -380,7 +562,14 @@ impl SpannerNode {
                     }
                 }
                 Msg::Commit { id, ts } => {
+                    // Always ack (the previous ack may have been lost),
+                    // but a duplicated commit must not re-apply.
+                    ctx.send(env.from, Msg::CommitAck { id });
+                    if s.decided.contains_key(&id) {
+                        continue;
+                    }
                     if let Some((_, writes)) = s.prepared.remove(&id) {
+                        s.decided.insert(id, ts);
                         s.high_water = s.high_water.max(ts);
                         for (k, v) in writes {
                             s.store.insert(
@@ -396,6 +585,14 @@ impl SpannerNode {
                         s.drain(ctx);
                     }
                 }
+                Msg::CommitAck { id } => {
+                    if let Some(d) = s.committing.get_mut(&id) {
+                        d.unacked.remove(&env.from);
+                        if d.unacked.is_empty() {
+                            s.committing.remove(&id);
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -408,6 +605,23 @@ impl Actor for SpannerNode {
         match self {
             SpannerNode::Client(c) => Self::client_step(c, ctx),
             SpannerNode::Server(s) => Self::server_step(s, ctx),
+        }
+    }
+
+    fn on_crash(&mut self) {
+        if let SpannerNode::Server(s) = self {
+            // In-flight coordination, undelivered commit decisions and
+            // parked reads are volatile; the store, the prepare/decide
+            // logs and the high-water mark model Paxos-durable state.
+            // Liveness is restored by client retry: a re-sent WtxReq
+            // restarts 2PC, and participant-side dedup (prepared /
+            // decided) keeps the restart idempotent — which also
+            // unsticks prepared entries orphaned by a lost commit, so
+            // t_safe can advance again.
+            s.coordinating.clear();
+            s.commit_waits.clear();
+            s.parked.clear();
+            s.poll_armed = false;
         }
     }
 }
@@ -433,6 +647,9 @@ impl ProtocolNode for SpannerNode {
             commit_waits: HashMap::new(),
             parked: Vec::new(),
             poll_armed: false,
+            decided: HashMap::new(),
+            coord_done: HashMap::new(),
+            committing: HashMap::new(),
         })
     }
 

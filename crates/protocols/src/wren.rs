@@ -192,7 +192,9 @@ impl WrenNode {
                     }
                     p.awaiting -= 1;
                     if p.awaiting == 0 {
-                        let p = c.rots.remove(&id).unwrap();
+                        let Some(p) = c.rots.remove(&id) else {
+                            continue;
+                        };
                         let mut out = Vec::with_capacity(p.keys.len());
                         for &k in &p.keys {
                             let (mut v, mut ts) =
@@ -350,8 +352,10 @@ impl WrenNode {
                         co.awaiting == 0
                     };
                     if finished {
-                        let co = s.coordinating.remove(&id).unwrap();
-                        let ts = co.proposals.iter().copied().max().unwrap();
+                        let Some(co) = s.coordinating.remove(&id) else {
+                            continue;
+                        };
+                        let ts = co.proposals.iter().copied().max().unwrap_or(0);
                         s.clock.witness(ts);
                         for part in &co.participants {
                             ctx.send(*part, Msg::Commit { id, ts });

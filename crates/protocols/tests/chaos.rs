@@ -1,0 +1,171 @@
+//! Chaos tests: the nemesis drops, duplicates, partitions and crashes,
+//! and the protocols must still complete every client transaction (via
+//! timeout/retry) with a history that passes the causal checker.
+//!
+//! Every fault schedule is a seeded [`FaultPlan`], so any failure here
+//! replays bit-identically from the seed in the panic message.
+
+use cbf_model::{ClientId, Key};
+use cbf_protocols::cops::CopsNode;
+use cbf_protocols::cops_snow::CopsSnowNode;
+use cbf_protocols::eiger::EigerNode;
+use cbf_protocols::spanner::SpannerNode;
+use cbf_protocols::{Cluster, ProtocolNode, Topology};
+use cbf_sim::{FaultPlan, LatencyModel, ProcessId, SimConfig, MICROS, MILLIS};
+
+/// Keep debug-profile runs quick; `--release` sweeps more seeds.
+const SEEDS: &[u64] = if cfg!(debug_assertions) {
+    &[1, 7]
+} else {
+    &[1, 7, 13, 29, 71]
+};
+
+/// A deployment with retries enabled and the given fault schedule.
+fn chaos_cluster<N: ProtocolNode>(plan: FaultPlan) -> Cluster<N> {
+    Cluster::with_network(
+        Topology::minimal(4).with_retry(MILLIS),
+        LatencyModel::constant_default(),
+        SimConfig {
+            fault: Some(plan),
+            ..SimConfig::default()
+        },
+    )
+}
+
+/// Mixed workload: every client writes and reads across both objects.
+/// All transactions must complete — retry rides out the faults — and the
+/// observed history must stay causally consistent.
+fn run_workload<N: ProtocolNode>(c: &mut Cluster<N>, label: &str) {
+    for round in 0..5u32 {
+        for cl in 0..4u32 {
+            let key = Key((round + cl) % 2);
+            c.write_tx_auto(ClientId(cl), &[key])
+                .unwrap_or_else(|e| panic!("{label}: write round {round} client {cl}: {e:?}"));
+            c.read_tx(ClientId((cl + 1) % 4), &[Key(0), Key(1)])
+                .unwrap_or_else(|e| panic!("{label}: read round {round} client {cl}: {e:?}"));
+        }
+    }
+    let v = c.check();
+    assert!(v.is_ok(), "{label}: causal violations: {:?}", v.violations);
+}
+
+/// Message loss and duplication at 3% each.
+fn drops_and_dups<N: ProtocolNode>() {
+    for &seed in SEEDS {
+        let plan = FaultPlan::new(seed).with_drops(30).with_dups(30);
+        let mut c = chaos_cluster::<N>(plan);
+        run_workload(&mut c, &format!("{} drops+dups seed {seed}", N::NAME));
+    }
+}
+
+/// The acceptance scenario: drops and duplicates plus one server crash
+/// with volatile-state loss, recovering mid-workload.
+fn crash_recover<N: ProtocolNode>() {
+    for &seed in SEEDS {
+        let plan = FaultPlan::new(seed)
+            .with_drops(20)
+            .with_dups(20)
+            .with_crash(ProcessId(1), 2 * MILLIS, 8 * MILLIS, true);
+        let mut c = chaos_cluster::<N>(plan);
+        run_workload(&mut c, &format!("{} crash+chaos seed {seed}", N::NAME));
+    }
+}
+
+/// A client↔server partition that heals: the transaction stalls — its
+/// retries pile up on the frozen link — then the heal floods the server
+/// with duplicates, which the request dedup must collapse to one apply.
+fn partition_heals<N: ProtocolNode>() {
+    let heal = 3 * MILLIS;
+    let plan = FaultPlan::new(5).with_partition(ProcessId(0), ProcessId(2), 100 * MICROS, heal);
+    let mut c = chaos_cluster::<N>(plan);
+    let label = format!("{} partition", N::NAME);
+    // Client 0 (pid 2) writes to key 0 (primary: server 0, pid 0): cut.
+    let w = c
+        .write_tx_auto(ClientId(0), &[Key(0)])
+        .unwrap_or_else(|e| panic!("{label}: write across partition: {e:?}"));
+    assert!(
+        w.audit.latency >= heal - 100 * MICROS,
+        "{label}: completed before the heal? latency {}",
+        w.audit.latency
+    );
+    // Post-heal traffic must see a consistent store.
+    run_workload(&mut c, &label);
+}
+
+#[test]
+fn cops_survives_drops_and_dups() {
+    drops_and_dups::<CopsNode>();
+}
+
+#[test]
+fn cops_snow_survives_drops_and_dups() {
+    drops_and_dups::<CopsSnowNode>();
+}
+
+#[test]
+fn eiger_survives_drops_and_dups() {
+    drops_and_dups::<EigerNode>();
+}
+
+#[test]
+fn spanner_survives_drops_and_dups() {
+    drops_and_dups::<SpannerNode>();
+}
+
+#[test]
+fn cops_survives_crash_recover() {
+    crash_recover::<CopsNode>();
+}
+
+#[test]
+fn cops_snow_survives_crash_recover() {
+    crash_recover::<CopsSnowNode>();
+}
+
+#[test]
+fn eiger_survives_crash_recover() {
+    crash_recover::<EigerNode>();
+}
+
+#[test]
+fn spanner_survives_crash_recover() {
+    crash_recover::<SpannerNode>();
+}
+
+#[test]
+fn cops_survives_partition_heal() {
+    partition_heals::<CopsNode>();
+}
+
+#[test]
+fn cops_snow_survives_partition_heal() {
+    partition_heals::<CopsSnowNode>();
+}
+
+#[test]
+fn eiger_survives_partition_heal() {
+    partition_heals::<EigerNode>();
+}
+
+#[test]
+fn spanner_survives_partition_heal() {
+    partition_heals::<SpannerNode>();
+}
+
+/// The same seed replays the same chaos: two identical runs produce
+/// identical trace digests, so any chaos failure is reproducible.
+#[test]
+fn chaos_replays_bit_identically() {
+    fn digest_of(seed: u64) -> u64 {
+        let plan = FaultPlan::new(seed)
+            .with_drops(40)
+            .with_dups(40)
+            .with_crash(ProcessId(0), MILLIS, 4 * MILLIS, true);
+        let mut c = chaos_cluster::<CopsNode>(plan);
+        run_workload(&mut c, &format!("replay seed {seed}"));
+        c.world.trace.digest()
+    }
+    for seed in [3, 11, 42] {
+        assert_eq!(digest_of(seed), digest_of(seed), "seed {seed} diverged");
+    }
+}

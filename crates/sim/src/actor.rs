@@ -103,6 +103,13 @@ pub trait Actor: Clone + Send + Sync {
     fn on_start(&mut self, ctx: &mut Ctx<Self::Msg>) {
         let _ = ctx;
     }
+
+    /// Called when the nemesis crash-recovers this process with volatile
+    /// state loss (see [`crate::FaultPlan::with_crash`]). Implementations
+    /// should discard whatever a real process would lose on restart —
+    /// in-progress coordination state, parked work — while durable state
+    /// (the store) survives. Default: lose nothing.
+    fn on_crash(&mut self) {}
 }
 
 #[cfg(test)]

@@ -1,0 +1,237 @@
+//! The nemesis: a deterministic, replayable fault-injection plan.
+//!
+//! The paper's adversary only *delays* messages (asynchrony); real
+//! deployments also drop, duplicate, partition and crash. A [`FaultPlan`]
+//! is a seeded schedule of those faults, wired into the
+//! [`World`](crate::World) delivery loop via
+//! [`SimConfig::fault`](crate::SimConfig):
+//!
+//! * **drops** and **duplicates**: per-send probabilities, drawn from the
+//!   plan's own seeded RNG — one draw pair per send, always, so the
+//!   random stream stays aligned no matter which faults are enabled;
+//! * **partitions**: both directions of a link are frozen from `from`
+//!   until `until` (the heal), reusing the simulator's hold/frozen
+//!   machinery, so partitioned messages are *delayed*, not lost — this
+//!   keeps the nemesis inside the paper's asynchronous-network model;
+//! * **crashes**: a process goes dark from `at` until `recover_at` —
+//!   its income buffer is cleared, messages arriving in the window are
+//!   dropped, its timers are deferred to the recovery instant, and with
+//!   `lose_volatile` the actor's [`Actor::on_crash`](crate::Actor::on_crash)
+//!   hook discards whatever state a real restart would lose.
+//!
+//! Everything is deterministic in the plan's seed: like
+//! [`LatencyModel`](crate::LatencyModel), cloning a plan clones its RNG
+//! state, so forked worlds replay identical fault schedules and any
+//! chaos failure reproduces bit-identically from its seed.
+
+use crate::types::{ProcessId, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduled bidirectional link partition.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// One endpoint.
+    pub a: ProcessId,
+    /// The other endpoint.
+    pub b: ProcessId,
+    /// Virtual time at which the partition starts.
+    pub from: Time,
+    /// Virtual time at which it heals (frozen messages then deliver).
+    pub until: Time,
+}
+
+/// A scheduled crash/recover of one process.
+#[derive(Clone, Debug)]
+pub struct Crash {
+    /// The process that crashes.
+    pub pid: ProcessId,
+    /// Virtual time of the crash.
+    pub at: Time,
+    /// Virtual time of the recovery (strictly after `at`).
+    pub recover_at: Time,
+    /// Whether the actor's volatile state is lost
+    /// ([`Actor::on_crash`](crate::Actor::on_crash) is invoked).
+    pub lose_volatile: bool,
+}
+
+/// What the nemesis decided for one send. Both fields are always rolled
+/// so the RNG stream stays aligned across configurations.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SendFate {
+    /// The message is lost in the network (never delivered).
+    pub drop: bool,
+    /// A second, independently-delayed copy is delivered too.
+    pub duplicate: bool,
+}
+
+/// A seeded, replayable schedule of network and process faults.
+///
+/// Built with the `with_*` methods and installed via
+/// [`SimConfig::fault`](crate::SimConfig):
+///
+/// ```
+/// use cbf_sim::{FaultPlan, ProcessId, MILLIS};
+///
+/// let plan = FaultPlan::new(42)
+///     .with_drops(50)       // 5% of sends are lost
+///     .with_dups(20)        // 2% of sends are duplicated
+///     .with_crash(ProcessId(0), 2 * MILLIS, 5 * MILLIS, true);
+/// assert_eq!(plan.seed(), 42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_per_mille: u16,
+    dup_per_mille: u16,
+    partitions: Vec<Partition>,
+    crashes: Vec<Crash>,
+    rng: StdRng,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Drop each sent message with probability `per_mille`/1000.
+    pub fn with_drops(mut self, per_mille: u16) -> Self {
+        self.drop_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Duplicate each delivered message with probability `per_mille`/1000
+    /// (the copy samples its own latency, so it can overtake the original).
+    pub fn with_dups(mut self, per_mille: u16) -> Self {
+        self.dup_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Partition `a ↔ b` from `from` until `until`.
+    pub fn with_partition(mut self, a: ProcessId, b: ProcessId, from: Time, until: Time) -> Self {
+        self.partitions.push(Partition {
+            a,
+            b,
+            from,
+            until: until.max(from + 1),
+        });
+        self
+    }
+
+    /// Crash `pid` at `at`, recovering at `recover_at`; with
+    /// `lose_volatile`, the actor's crash hook discards volatile state.
+    pub fn with_crash(
+        mut self,
+        pid: ProcessId,
+        at: Time,
+        recover_at: Time,
+        lose_volatile: bool,
+    ) -> Self {
+        self.crashes.push(Crash {
+            pid,
+            at,
+            recover_at: recover_at.max(at + 1),
+            lose_volatile,
+        });
+        self
+    }
+
+    /// The seed this plan replays from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The drop rate, in per-mille.
+    pub fn drop_rate(&self) -> u16 {
+        self.drop_per_mille
+    }
+
+    /// The duplicate rate, in per-mille.
+    pub fn dup_rate(&self) -> u16 {
+        self.dup_per_mille
+    }
+
+    /// The scheduled partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// The scheduled crashes.
+    pub fn crashes(&self) -> &[Crash] {
+        &self.crashes
+    }
+
+    /// Roll the dice for one send. Both faults are always rolled, even at
+    /// rate 0, so enabling one fault never perturbs the stream of another.
+    pub(crate) fn roll_send(&mut self) -> SendFate {
+        let drop_roll: u16 = self.rng.gen_range(0..1000);
+        let dup_roll: u16 = self.rng.gen_range(0..1000);
+        SendFate {
+            drop: drop_roll < self.drop_per_mille,
+            duplicate: dup_roll < self.dup_per_mille,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_clamped_to_certainty() {
+        let mut p = FaultPlan::new(0).with_drops(5000).with_dups(1000);
+        for _ in 0..50 {
+            let f = p.roll_send();
+            assert!(f.drop);
+            assert!(f.duplicate);
+        }
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let mut p = FaultPlan::new(7);
+        for _ in 0..200 {
+            let f = p.roll_send();
+            assert!(!f.drop);
+            assert!(!f.duplicate);
+        }
+    }
+
+    #[test]
+    fn cloned_plan_replays_identically() {
+        let mut a = FaultPlan::new(9).with_drops(300).with_dups(300);
+        let mut b = a.clone();
+        for _ in 0..500 {
+            let fa = a.roll_send();
+            let fb = b.roll_send();
+            assert_eq!(fa.drop, fb.drop);
+            assert_eq!(fa.duplicate, fb.duplicate);
+        }
+    }
+
+    #[test]
+    fn schedule_times_are_sanitized() {
+        let p = FaultPlan::new(0)
+            .with_partition(ProcessId(0), ProcessId(1), 10, 10)
+            .with_crash(ProcessId(2), 5, 5, false);
+        assert!(p.partitions()[0].until > p.partitions()[0].from);
+        assert!(p.crashes()[0].recover_at > p.crashes()[0].at);
+    }
+
+    #[test]
+    fn approximate_rates_hold() {
+        let mut p = FaultPlan::new(3).with_drops(250);
+        let n = 4000;
+        let drops = (0..n).filter(|_| p.roll_send().drop).count();
+        let frac = drops as f64 / n as f64;
+        assert!((0.2..0.3).contains(&frac), "drop fraction {frac}");
+    }
+}

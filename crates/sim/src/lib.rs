@@ -43,6 +43,7 @@
 #![warn(rust_2018_idioms)]
 
 mod actor;
+mod fault;
 mod latency;
 mod smallvec;
 mod trace;
@@ -50,6 +51,7 @@ mod types;
 mod world;
 
 pub use actor::{Actor, Ctx, Envelope};
+pub use fault::{Crash, FaultPlan, Partition};
 pub use latency::{LatencyKind, LatencyModel};
 pub use smallvec::SmallVec;
 pub use trace::{Trace, TraceEvent, TraceView, SEAL_CAP};

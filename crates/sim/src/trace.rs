@@ -60,6 +60,34 @@ pub enum TraceEvent<M> {
     Inject { at: Time, pid: ProcessId, msg: M },
     /// A timer fired (delivered to its owner as a self-message).
     TimerFire { at: Time, pid: ProcessId },
+    /// The nemesis dropped a message: sent but never delivered.
+    Drop {
+        at: Time,
+        id: MsgId,
+        from: ProcessId,
+        to: ProcessId,
+    },
+    /// The nemesis duplicated message `of`; the copy travels as `id`
+    /// with its own independently-sampled latency.
+    Duplicate {
+        at: Time,
+        id: MsgId,
+        of: MsgId,
+        from: ProcessId,
+        to: ProcessId,
+    },
+    /// A link partition between `a` and `b` started (`healed == false`)
+    /// or healed (`healed == true`).
+    Partition {
+        at: Time,
+        a: ProcessId,
+        b: ProcessId,
+        healed: bool,
+    },
+    /// The nemesis crashed a process.
+    Crash { at: Time, pid: ProcessId },
+    /// A crashed process recovered.
+    Recover { at: Time, pid: ProcessId },
 }
 
 impl<M> TraceEvent<M> {
@@ -70,7 +98,12 @@ impl<M> TraceEvent<M> {
             | TraceEvent::Deliver { at, .. }
             | TraceEvent::Step { at, .. }
             | TraceEvent::Inject { at, .. }
-            | TraceEvent::TimerFire { at, .. } => at,
+            | TraceEvent::TimerFire { at, .. }
+            | TraceEvent::Drop { at, .. }
+            | TraceEvent::Duplicate { at, .. }
+            | TraceEvent::Partition { at, .. }
+            | TraceEvent::Crash { at, .. }
+            | TraceEvent::Recover { at, .. } => at,
         }
     }
 }
@@ -210,6 +243,23 @@ impl<M: Clone + fmt::Debug> Trace<M> {
         self.tail.clear();
     }
 
+    /// A 64-bit FNV-1a digest of the whole trace (over each event's
+    /// `Debug` rendering). Two runs with the same digest took the same
+    /// schedule; the determinism sweeps compare these, and a chaos
+    /// failure is replayed by matching its digest from the same seed.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        for ev in self.iter() {
+            for b in format!("{ev:?}").bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+
     /// All `Send` events from `from` to `to` after index `mark`.
     pub fn sends_between(&self, from: ProcessId, to: ProcessId, mark: usize) -> Vec<TraceEvent<M>> {
         self.iter()
@@ -256,6 +306,40 @@ impl<M: Clone + fmt::Debug> Trace<M> {
                 }
                 TraceEvent::TimerFire { at, pid } => {
                     format!("{:>12} ns  TIMER   {}", at, names(*pid))
+                }
+                TraceEvent::Drop { at, id, from, to } => format!(
+                    "{:>12} ns  DROP    {:?} {} -> {}",
+                    at,
+                    id,
+                    names(*from),
+                    names(*to)
+                ),
+                TraceEvent::Duplicate {
+                    at,
+                    id,
+                    of,
+                    from,
+                    to,
+                } => format!(
+                    "{:>12} ns  DUP     {:?} (of {:?}) {} -> {}",
+                    at,
+                    id,
+                    of,
+                    names(*from),
+                    names(*to)
+                ),
+                TraceEvent::Partition { at, a, b, healed } => format!(
+                    "{:>12} ns  {} {} <-> {}",
+                    at,
+                    if *healed { "HEAL   " } else { "PARTIT " },
+                    names(*a),
+                    names(*b)
+                ),
+                TraceEvent::Crash { at, pid } => {
+                    format!("{:>12} ns  CRASH   {}", at, names(*pid))
+                }
+                TraceEvent::Recover { at, pid } => {
+                    format!("{:>12} ns  RECOVER {}", at, names(*pid))
                 }
             };
             out.push_str(&line);
@@ -329,6 +413,46 @@ impl<M: Clone + fmt::Debug> Trace<M> {
                 TraceEvent::TimerFire { at, pid } => {
                     lane(&mut cols, *pid, "⏲");
                     format!("t={at:>9} {} timer fires", names(*pid))
+                }
+                TraceEvent::Drop { at, id, from, to } => {
+                    lane(&mut cols, *to, &format!("✗{id:?}"));
+                    format!(
+                        "t={at:>9} {id:?} from {} to {} dropped",
+                        names(*from),
+                        names(*to)
+                    )
+                }
+                TraceEvent::Duplicate {
+                    at,
+                    id,
+                    of,
+                    from,
+                    to,
+                } => {
+                    lane(&mut cols, *from, &format!("{id:?}⧉"));
+                    format!(
+                        "t={at:>9} {} duplicate of {of:?} to {} travels as {id:?}",
+                        names(*from),
+                        names(*to)
+                    )
+                }
+                TraceEvent::Partition { at, a, b, healed } => {
+                    lane(&mut cols, *a, if *healed { "═" } else { "╳" });
+                    lane(&mut cols, *b, if *healed { "═" } else { "╳" });
+                    format!(
+                        "t={at:>9} link {} <-> {} {}",
+                        names(*a),
+                        names(*b),
+                        if *healed { "heals" } else { "partitions" }
+                    )
+                }
+                TraceEvent::Crash { at, pid } => {
+                    lane(&mut cols, *pid, "☠");
+                    format!("t={at:>9} {} crashes", names(*pid))
+                }
+                TraceEvent::Recover { at, pid } => {
+                    lane(&mut cols, *pid, "↺");
+                    format!("t={at:>9} {} recovers", names(*pid))
                 }
             };
             out.push_str(&" ".repeat(14));

@@ -1,5 +1,6 @@
 //! Core identifier and time types shared by the whole simulator.
 
+use crate::fault::FaultPlan;
 use std::fmt;
 
 /// Virtual time, in nanoseconds since the start of the execution.
@@ -92,6 +93,10 @@ pub struct SimConfig {
     /// Hard cap on events processed by any `run_*` call, as a runaway
     /// guard. Exceeding it is reported as [`RunOutcome::EventLimit`].
     pub max_events: u64,
+    /// Optional nemesis: a seeded, replayable schedule of message drops,
+    /// duplicates, link partitions and process crashes. `None` (the
+    /// default) is a fault-free network.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -101,6 +106,7 @@ impl Default for SimConfig {
             strict_steps: false,
             fifo_links: false,
             max_events: 10_000_000,
+            fault: None,
         }
     }
 }

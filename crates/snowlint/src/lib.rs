@@ -1,6 +1,6 @@
 //! snowlint — the workspace's static determinism-and-properties pass.
 //!
-//! Two rule families, documented in DESIGN.md:
+//! Three rule families, documented in DESIGN.md:
 //!
 //! - **Determinism** ([`determinism`]): keep hash-ordered collections,
 //!   wall clocks, ambient RNGs, ad-hoc threads and `unsafe` out of the
@@ -10,6 +10,9 @@
 //!   the lint re-derives message-round structure from the module's
 //!   `Msg` enum and handler match arms and cross-checks declaration,
 //!   extraction, and the paper's Table 1 data.
+//! - **Robustness** ([`robustness`]): no panicking `.unwrap()` /
+//!   `.expect()` in protocol modules — the fault injector makes the
+//!   "impossible" arms reachable.
 //!
 //! Suppressions are always justified: inline
 //! `// snowlint: allow(rule): why` (covers its own and the next line)
@@ -28,6 +31,7 @@ pub mod determinism;
 pub mod lexer;
 pub mod properties;
 pub mod report;
+pub mod robustness;
 
 use config::Config;
 use report::{Finding, Report, Severity, Suppressed};
@@ -138,6 +142,7 @@ pub fn check_workspace(root: &Path) -> Report {
         determinism::check(&rel, &lx, &mut raw);
         if is_protocol_module(&rel) {
             properties::check_protocol(&rel, &lx, &paper, &mut raw);
+            robustness::check_protocol(&rel, &lx, &mut raw);
             report.protocols_checked += 1;
         }
         for a in lx.allows {

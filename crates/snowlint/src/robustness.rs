@@ -1,0 +1,117 @@
+//! The robustness rule family.
+//!
+//! The nemesis ([`cbf_sim::FaultPlan`]) duplicates, reorders and replays
+//! messages, and crash/recover wipes volatile state mid-protocol. Under
+//! that adversary, any `.unwrap()` / `.expect()` in a protocol module is
+//! a latent crash: the "impossible" state it asserts — a response for a
+//! transaction already completed, a commit for a tx never prepared here,
+//! a store entry wiped by recovery — is exactly what faults manufacture.
+//!
+//! - `handler-unwrap` — no `.unwrap()` or `.expect()` in protocol
+//!   modules outside `#[cfg(test)]`. Handle the `None`/`Err` arm
+//!   explicitly: drop the stale message (`let .. else { continue }`),
+//!   fall back to a bottom value, or re-ack idempotently.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::report::Finding;
+
+/// Rule name: panicking extractors in protocol message-handling code.
+pub const RULE_HANDLER_UNWRAP: &str = "handler-unwrap";
+
+/// Index of the first token belonging to a `#[cfg(test)]` item, if any.
+/// Protocol modules keep their test module last, so everything from the
+/// first `cfg ( test )` sequence onward is test code.
+fn first_test_token(lx: &Lexed) -> usize {
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        if toks[i].is_ident("cfg")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("test"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(")"))
+        {
+            return i;
+        }
+    }
+    toks.len()
+}
+
+/// Run the robustness rules over one lexed protocol module. `path` is
+/// workspace-relative with `/` separators; the caller has already
+/// established that it is a protocol module.
+pub fn check_protocol(path: &str, lx: &Lexed, out: &mut Vec<Finding>) {
+    let end = first_test_token(lx);
+    let toks = &lx.tokens;
+    for i in 0..end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+            continue;
+        }
+        let method_call =
+            i > 0 && toks[i - 1].is_punct(".") && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if !method_call {
+            continue;
+        }
+        out.push(
+            Finding::error(
+                RULE_HANDLER_UNWRAP,
+                path,
+                t.line,
+                t.col,
+                format!(
+                    "`.{}()` in a protocol module: under the fault injector, \
+                     duplicated/replayed messages and crash-wiped state make \
+                     the asserted case reachable, and the node panics",
+                    t.text
+                ),
+            )
+            .with_help(format!(
+                "drop the stale message (`let .. else {{ continue }}`), fall \
+                 back to a bottom value, or re-ack idempotently; if the \
+                 invariant truly cannot break, annotate with \
+                 `// snowlint: allow({RULE_HANDLER_UNWRAP}): <why>`"
+            )),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check_protocol("crates/protocols/src/x.rs", &lex(src), &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_calls_fire() {
+        assert_eq!(run("let v = map.get(&id).unwrap();").len(), 1);
+        assert_eq!(run("let v = map.get(&id).expect(\"present\");").len(), 1);
+        assert_eq!(run("a.unwrap(); b.expect(\"x\");").len(), 2);
+    }
+
+    #[test]
+    fn non_panicking_relatives_do_not_fire() {
+        assert!(run("let v = x.unwrap_or(0);").is_empty());
+        assert!(run("let v = x.unwrap_or_else(|| 0);").is_empty());
+        assert!(run("let v = x.unwrap_or_default();").is_empty());
+        // Not a method call: free fn, field, or bare ident.
+        assert!(run("unwrap(x); let unwrap = 1;").is_empty());
+    }
+
+    #[test]
+    fn test_module_is_exempt() {
+        let src = "fn h() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}";
+        assert!(run(src).is_empty());
+        // But code before the test module still fires.
+        let src = "fn h() { x.unwrap(); }\n#[cfg(test)]\nmod tests {}";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        assert!(run("// .unwrap() here\nlet s = \".unwrap()\";").is_empty());
+    }
+}
