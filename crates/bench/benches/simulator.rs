@@ -93,6 +93,29 @@ fn simulator(c: &mut Criterion) {
     });
     g.finish();
 
+    // Scheduler stress for the slab flight table + calendar queue: many
+    // tokens in flight at once keeps the slab populated (free-list
+    // recycling on every delivery) and spreads arrivals across calendar
+    // buckets, unlike the single-token ring where the queue depth is 1.
+    let mut g = c.benchmark_group("scheduler_fanout");
+    for &tokens in &[8u32, 64] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(tokens),
+            &tokens,
+            |b, &tokens| {
+                b.iter(|| {
+                    let mut w = ring_world(16, 2_000, false);
+                    for t in 0..tokens {
+                        w.inject(ProcessId(t % 16), 0);
+                    }
+                    w.run_until_quiescent();
+                    w.stats().events
+                })
+            },
+        );
+    }
+    g.finish();
+
     let mut g = c.benchmark_group("chaotic");
     g.bench_function("ring_8x1000", |b| {
         b.iter(|| {

@@ -155,6 +155,47 @@ impl ToJson for crate::chaos::ChaosRow {
     }
 }
 
+impl ToJson for crate::scale::CheckerScaleRow {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .u64("tier", self.tier)
+            .f64("incr_ms", self.incr_ms)
+            .f64("incr_tps", self.incr_tps)
+            .f64("legacy_ms", self.legacy_ms)
+            .f64("legacy_tps", self.legacy_tps)
+            // The legacy columns come from this (small) tier: the dense
+            // closure is cubic, so the speedup above it is a floor.
+            .u64("legacy_measured_at", self.legacy_measured_at)
+            .f64("speedup_vs_legacy", self.speedup_vs_legacy)
+            .bool("verdict_ok", self.verdict_ok)
+            .render(indent)
+    }
+}
+
+impl ToJson for crate::scale::WorldScaleRow {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .u64("tier", self.tier)
+            .u64("events", self.events)
+            .f64("wall_ms", self.wall_ms)
+            .f64("events_per_sec", self.events_per_sec)
+            .u64("trace_events", self.trace_events)
+            .u64("trace_capacity", self.trace_capacity)
+            .str("digest", &format!("{:016x}", self.digest))
+            .render(indent)
+    }
+}
+
+impl ToJson for crate::scale::ScaleReport {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .str("schema", "snowbound-scale-v1")
+            .raw("checker", self.checker.to_json(indent + 1))
+            .raw("world", self.world.to_json(indent + 1))
+            .render(indent)
+    }
+}
+
 impl ToJson for snowbound::theorem::SystemRow {
     fn to_json(&self, indent: usize) -> String {
         Obj::new()

@@ -20,6 +20,7 @@ use snowbound::theorem;
 pub mod chaos;
 pub mod json;
 pub mod perfbench;
+pub mod scale;
 
 /// Latency landmark of one protocol under one mix: mean / p50 / p99 of
 /// ROT latency in virtual microseconds, plus write latency and message

@@ -27,7 +27,7 @@ use crate::relations::{CausalOrder, Relation};
 use crate::types::{ClientId, Key, TxId, Value};
 
 /// A specific way a history fails causal consistency.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 #[allow(missing_docs)] // fields are self-describing
 pub enum Violation {
     /// Two transactions wrote the same value; the graph checker requires
@@ -90,11 +90,17 @@ impl std::fmt::Display for Violation {
 
 /// The checker's result: empty `violations` means the history is causally
 /// consistent.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Verdict {
     /// All detected violations, in detection order.
     pub violations: Vec<Violation>,
 }
+
+/// Distinct violation lines [`Verdict::render`] prints before summarizing
+/// the rest — a failing million-transaction run repeats a handful of
+/// shapes millions of times, and an unbounded report would dwarf the
+/// history it describes.
+const RENDER_MAX_DISTINCT: usize = 1_000;
 
 impl Verdict {
     /// True if the history passed.
@@ -102,22 +108,59 @@ impl Verdict {
         self.violations.is_empty()
     }
 
-    /// A human-readable multi-line report.
+    /// A human-readable multi-line report. Duplicate violations collapse
+    /// into one line with a `(×count)` suffix, in first-occurrence order,
+    /// and the report is capped at [`RENDER_MAX_DISTINCT`] distinct lines
+    /// so its size is bounded by the violation variety, not the history
+    /// length.
     pub fn render(&self) -> String {
         if self.is_ok() {
-            "causally consistent".to_string()
-        } else {
-            let mut out = format!("{} violation(s):\n", self.violations.len());
-            for v in &self.violations {
-                out.push_str(&format!("  - {v}\n"));
-            }
-            out
+            return "causally consistent".to_string();
         }
+        // first-occurrence order ↔ count, via a sorted index.
+        let mut counts: std::collections::BTreeMap<&Violation, (usize, u64)> = Default::default();
+        for (i, v) in self.violations.iter().enumerate() {
+            counts.entry(v).or_insert((i, 0)).1 += 1;
+        }
+        let mut distinct: Vec<(&Violation, usize, u64)> =
+            counts.into_iter().map(|(v, (i, n))| (v, i, n)).collect();
+        distinct.sort_unstable_by_key(|&(_, first, _)| first);
+
+        let mut out = format!("{} violation(s):\n", self.violations.len());
+        let shown = distinct.len().min(RENDER_MAX_DISTINCT);
+        for &(v, _, n) in &distinct[..shown] {
+            if n == 1 {
+                out.push_str(&format!("  - {v}\n"));
+            } else {
+                out.push_str(&format!("  - {v} (×{n})\n"));
+            }
+        }
+        if distinct.len() > shown {
+            out.push_str(&format!(
+                "  … and {} more distinct violation(s)\n",
+                distinct.len() - shown
+            ));
+        }
+        out
     }
 }
 
 /// Check a history for causal consistency. See module docs for the rules.
+///
+/// This is a thin wrapper over the incremental checker
+/// ([`crate::incremental::check_causal_incremental`]), whose verdicts are
+/// asserted bit-identical to [`check_causal_legacy`] by the differential
+/// suite in `tests/differential.rs`.
 pub fn check_causal(h: &History) -> Verdict {
+    crate::incremental::check_causal_incremental(h)
+}
+
+/// The original recompute-from-scratch checker: builds the full
+/// [`CausalOrder`] (dense transitive closure) and scans
+/// `reads_from × transactions`. Kept as the differential-testing oracle
+/// for the incremental path; quadratic memory and roughly cubic time, so
+/// only viable up to a few thousand transactions.
+pub fn check_causal_legacy(h: &History) -> Verdict {
     let mut v = Verdict::default();
     if !h.values_distinct() {
         v.violations.push(Violation::DuplicateValues);
@@ -196,7 +239,7 @@ pub fn check_causal(h: &History) -> Verdict {
 /// acyclicity. Constraint: for each read by `client`'s transaction `T` of
 /// object `k` from `W1`, every other writer `W2` of `k` that is forced
 /// before `T` must be forced before `W1`.
-fn client_serializable(h: &History, co: &CausalOrder, client: ClientId) -> bool {
+pub(crate) fn client_serializable(h: &History, co: &CausalOrder, client: ClientId) -> bool {
     let txs = h.transactions();
     // Writers per key, precomputed.
     let mut writers_of: std::collections::BTreeMap<Key, Vec<usize>> = Default::default();

@@ -1,0 +1,602 @@
+//! Incremental causal-consistency checking: the scale path.
+//!
+//! [`crate::checker::check_causal_legacy`] rebuilds the full
+//! [`CausalOrder`] — two `n × n` bit matrices and a cubic
+//! `transitive_close` — on every call, which caps the histories the
+//! chaos and Table-1 pipelines can afford to verify at a few thousand
+//! transactions. [`CausalChecker`] replaces the dense closure with
+//! per-transaction **vector-clock frontiers** and per-key, per-session
+//! **version chains**, so each of Definition 1's rules is decided by
+//! order-of-`log` chain lookups instead of matrix scans:
+//!
+//! * `clock(t)[c]` counts the transactions of client `c` in the causal
+//!   past of `t` (inclusive of `t` itself). Because each client's
+//!   transactions are totally ordered by program order, the causal past
+//!   restricted to one client is always a *prefix* of that client's
+//!   transactions, so a single counter per client is a lossless encoding
+//!   of the past, and `a <c b  ⟺  a ≠ b ∧ clock(b)[client(a)] > pos(a)`.
+//! * For a reads-from edge `w → r` on key `k`, the writers of `k` that
+//!   sit in `past(r) \ (past(w) ∪ {w})` are, per client `c`, exactly the
+//!   chain entries with position in `[clock(w)[c], clock(r)[c])` — a
+//!   binary-searched window. Each such writer `j` is a **stale read**
+//!   (rule 3) when `w <c j`, and otherwise a concurrent extra writer
+//!   that forces the reader's client through the rule-4 fixpoint.
+//! * A `⊥`-read by `t` of key `k` is a **bottom-read violation**
+//!   (rule 3b) for every chain entry below `clock(t)[c]`.
+//!
+//! The clock encoding is only sound when the resolved reads-from edges
+//! all point *backward* (writer ingested before reader): then program
+//! order plus reads-from is a DAG by construction, there can be no
+//! [`Violation::CausalityCycle`], and the frontiers are well-defined. A
+//! read that resolves to a *later* writer — the one shape that can close
+//! a cycle — flips the checker into whole-verdict fallback to the legacy
+//! path. Likewise a client that needs the genuine rule-4 constraint
+//! saturation falls back to the legacy per-client fixpoint. The fallback
+//! set is precisely why [`verdict`](CausalChecker::verdict) is
+//! **bit-identical** to [`crate::check_causal_legacy`] on every history:
+//! the differential suite (`tests/differential.rs`) asserts equality
+//! over the exhaustive history enumerator, all chaos scenarios, and the
+//! proptest sweep.
+//!
+//! The verdict-time scans shard by session (client) through
+//! [`cbf_par::parallel_map`], so `SNOWBOUND_THREADS=1` reproduces the
+//! serial loop byte for byte and larger budgets fan the per-session
+//! windows across cores; results are merged back in the legacy emission
+//! order (reads-from list order for rule 3, transaction order for
+//! rule 3b, sorted client order for rule 4).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::checker::{check_causal_legacy, client_serializable, Verdict, Violation};
+use crate::history::{History, TxRecord};
+use crate::relations::{CausalOrder, ReadsFrom};
+use crate::types::{ClientId, Key, Value};
+
+/// A read that did not resolve to an already-ingested writer: either a
+/// forward reference (resolved later ⇒ fallback) or an unknown value.
+#[derive(Clone, Debug)]
+struct PendingRead {
+    tx: usize,
+    key: Key,
+    value: Value,
+}
+
+/// How rule 4 resolved for one client on the fast path.
+enum Rule4 {
+    /// No extra writer ever lands between a read and its source: the
+    /// identity serialization works, no fixpoint needed.
+    Serializable,
+    /// A stale read or bottom-read violation already dooms the client —
+    /// the legacy fixpoint is guaranteed to return `false`.
+    Violated,
+    /// A writer concurrent with the read's source precedes the reader:
+    /// only the constraint-graph saturation can decide this client.
+    NeedsFixpoint,
+}
+
+/// What one session's verdict-time scan produced.
+struct SessionScan {
+    client: ClientId,
+    /// `(reads-from index, stale writers ascending)` per rule 3.
+    stale: Vec<(usize, Vec<usize>)>,
+    /// `(bottom-read index, causally-preceding writers ascending)`.
+    bottoms: Vec<(usize, Vec<usize>)>,
+    rule4: Rule4,
+}
+
+/// An online causal-consistency checker: ingest transactions one at a
+/// time, ask for the [`Verdict`] at any point.
+///
+/// ```
+/// use cbf_model::{history::tx, CausalChecker};
+/// let mut ck = CausalChecker::new();
+/// ck.ingest(tx(0, 0, &[], &[(0, 1)]));
+/// ck.ingest(tx(1, 1, &[(0, 1)], &[]));
+/// assert!(ck.verdict().is_ok());
+/// ```
+#[derive(Default)]
+pub struct CausalChecker {
+    history: History,
+    state: IngestState,
+}
+
+impl CausalChecker {
+    /// An empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one more transaction. Amortized `O(C + reads + writes)` for
+    /// `C` distinct clients seen so far.
+    pub fn ingest(&mut self, t: TxRecord) {
+        self.state.ingest(&t);
+        self.history.push(t);
+    }
+
+    /// Transactions ingested so far.
+    pub fn len(&self) -> usize {
+        self.state.n
+    }
+
+    /// True when nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.state.n == 0
+    }
+
+    /// The history as ingested (owned copy, used by the fallback paths).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Decide Definition 1 over everything ingested so far. Bit-identical
+    /// to [`check_causal_legacy`] on the same history.
+    pub fn verdict(&self) -> Verdict {
+        self.state.verdict(&self.history)
+    }
+}
+
+/// One-shot convenience: ingest `h` into a fresh [`CausalChecker`] state
+/// (without copying the records) and return its verdict.
+pub fn check_causal_incremental(h: &History) -> Verdict {
+    let mut st = IngestState::default();
+    for t in h.transactions() {
+        st.ingest(t);
+    }
+    st.verdict(h)
+}
+
+/// The derived per-transaction state, separated from the owned history so
+/// [`check_causal_incremental`] can run over a borrowed one.
+#[derive(Default)]
+struct IngestState {
+    n: usize,
+    /// Per transaction: dense session index of its client.
+    session_of: Vec<u32>,
+    /// Per transaction: its index within its client's sequence.
+    pos: Vec<u32>,
+    /// Per transaction: the vector-clock frontier (length = sessions
+    /// discovered at ingest time; missing entries read as 0).
+    clocks: Vec<Vec<u32>>,
+    /// Client → dense session index, in sorted-client order.
+    sessions: BTreeMap<ClientId, u32>,
+    /// Dense session index → transaction indices, in program order.
+    txs_of_session: Vec<Vec<usize>>,
+    /// `(key, value)` → writer transaction. Injective once
+    /// `values_distinct` holds, which `duplicate` tracks.
+    writer_of: BTreeMap<(Key, Value), usize>,
+    /// Version chains: key → session → writing transactions in program
+    /// order (each transaction at most once per key).
+    chains: BTreeMap<Key, BTreeMap<u32, Vec<usize>>>,
+    /// Resolved (backward) reads-from edges, in legacy list order.
+    reads_from: Vec<ReadsFrom>,
+    /// Reads with no writer yet, in read order: unknown values unless a
+    /// later writer shows up (⇒ `forward_edge`).
+    pending: Vec<PendingRead>,
+    /// The resolvable pending keys (own-write reads are excluded — with
+    /// distinct values they can never match a later writer).
+    pending_keys: BTreeSet<(Key, Value)>,
+    /// `(transaction, key)` for every `⊥`-read, in read order.
+    bottom_reads: Vec<(usize, Key)>,
+    seen_values: BTreeSet<Value>,
+    /// Some value was written twice: verdict short-circuits exactly like
+    /// the legacy precondition check.
+    duplicate: bool,
+    /// A read resolved to a later writer: clocks are not sound, fall
+    /// back to the legacy checker wholesale.
+    forward_edge: bool,
+}
+
+impl IngestState {
+    fn session(&mut self, c: ClientId) -> u32 {
+        if let Some(&s) = self.sessions.get(&c) {
+            return s;
+        }
+        let s = self.txs_of_session.len() as u32;
+        self.sessions.insert(c, s);
+        self.txs_of_session.push(Vec::new());
+        s
+    }
+
+    /// `clock(t)[s]`, with absent entries reading 0.
+    fn clk(&self, t: usize, s: u32) -> u32 {
+        self.clocks[t].get(s as usize).copied().unwrap_or(0)
+    }
+
+    /// `a <c b` under the frontier encoding (requires `a ≠ b`).
+    fn before(&self, a: usize, b: usize) -> bool {
+        self.clk(b, self.session_of[a]) > self.pos[a]
+    }
+
+    fn ingest(&mut self, t: &TxRecord) {
+        let idx = self.n;
+        self.n += 1;
+        let s = self.session(t.client);
+        let pos = self.txs_of_session[s as usize].len() as u32;
+
+        // Frontier: start from the same client's previous transaction.
+        let mut clock: Vec<u32> = match self.txs_of_session[s as usize].last() {
+            Some(&prev) => self.clocks[prev].clone(),
+            None => Vec::new(),
+        };
+
+        // Writes first: the legacy writer map covers the whole history,
+        // so a transaction's own writes are visible to its reads (and
+        // resolve them to "unknown" — reads observe the pre-state).
+        for &(k, v) in &t.writes {
+            if !self.seen_values.insert(v) {
+                self.duplicate = true;
+            }
+            if self.pending_keys.contains(&(k, v)) {
+                self.forward_edge = true;
+            }
+            self.writer_of.insert((k, v), idx);
+            let chain = self.chains.entry(k).or_default().entry(s).or_default();
+            if chain.last() != Some(&idx) {
+                chain.push(idx);
+            }
+        }
+
+        for &(k, v) in &t.reads {
+            if v.is_bottom() {
+                self.bottom_reads.push((idx, k));
+                continue;
+            }
+            match self.writer_of.get(&(k, v)) {
+                Some(&w) if w != idx => {
+                    self.reads_from.push(ReadsFrom {
+                        reader: idx,
+                        writer: w,
+                        key: k,
+                        value: v,
+                    });
+                    // Join the writer's frontier into ours.
+                    let wc = self.clocks[w].clone();
+                    if clock.len() < wc.len() {
+                        clock.resize(wc.len(), 0);
+                    }
+                    for (mine, theirs) in clock.iter_mut().zip(&wc) {
+                        *mine = (*mine).max(*theirs);
+                    }
+                }
+                Some(_) => {
+                    // Own-write read: permanently unknown (values are
+                    // distinct, so no later writer can claim it).
+                    self.pending.push(PendingRead {
+                        tx: idx,
+                        key: k,
+                        value: v,
+                    });
+                }
+                None => {
+                    self.pending.push(PendingRead {
+                        tx: idx,
+                        key: k,
+                        value: v,
+                    });
+                    self.pending_keys.insert((k, v));
+                }
+            }
+        }
+
+        if clock.len() <= s as usize {
+            clock.resize(s as usize + 1, 0);
+        }
+        clock[s as usize] = pos + 1;
+        self.clocks.push(clock);
+        self.pos.push(pos);
+        self.session_of.push(s);
+        self.txs_of_session[s as usize].push(idx);
+    }
+
+    fn verdict(&self, h: &History) -> Verdict {
+        let mut v = Verdict::default();
+        if self.duplicate {
+            v.violations.push(Violation::DuplicateValues);
+            return v;
+        }
+        if self.forward_edge {
+            // A forward reads-from edge is the one shape that can close a
+            // causality cycle; the frontiers are not sound for it.
+            return check_causal_legacy(h);
+        }
+        let txs = h.transactions();
+
+        for p in &self.pending {
+            v.violations.push(Violation::UnknownValue {
+                reader: txs[p.tx].id,
+                key: p.key,
+                value: p.value,
+            });
+        }
+        // All edges point backward ⇒ the causal relation is a DAG by
+        // construction: rule 2 cannot fire.
+
+        // Shard the rule-3/3b/4 scans by session. Each job only reads
+        // shared state; results are folded back in sorted-client order.
+        let mut rf_of_session: Vec<Vec<usize>> = vec![Vec::new(); self.txs_of_session.len()];
+        for (i, rf) in self.reads_from.iter().enumerate() {
+            rf_of_session[self.session_of[rf.reader] as usize].push(i);
+        }
+        let mut bottoms_of_session: Vec<Vec<usize>> = vec![Vec::new(); self.txs_of_session.len()];
+        for (i, &(tx, _)) in self.bottom_reads.iter().enumerate() {
+            bottoms_of_session[self.session_of[tx] as usize].push(i);
+        }
+
+        let jobs: Vec<(ClientId, u32)> = self.sessions.iter().map(|(&c, &s)| (c, s)).collect();
+        let scans = cbf_par::parallel_map(jobs, |(client, s)| {
+            self.scan_session(
+                client,
+                s,
+                &rf_of_session[s as usize],
+                &bottoms_of_session[s as usize],
+            )
+        });
+
+        // Rule 3, in reads-from list order (each edge belongs to exactly
+        // one session; a global sort restores the legacy order).
+        let mut stale: Vec<(usize, Vec<usize>)> = scans
+            .iter()
+            .flat_map(|sc| sc.stale.iter().cloned())
+            .collect();
+        stale.sort_unstable_by_key(|&(rf_idx, _)| rf_idx);
+        for (rf_idx, writers) in &stale {
+            let rf = &self.reads_from[*rf_idx];
+            for &j in writers {
+                v.violations.push(Violation::StaleRead {
+                    reader: txs[rf.reader].id,
+                    key: rf.key,
+                    read_from: txs[rf.writer].id,
+                    overwritten_by: txs[j].id,
+                });
+            }
+        }
+
+        // Rule 3b, in (transaction, read) order.
+        let mut bottoms: Vec<(usize, Vec<usize>)> = scans
+            .iter()
+            .flat_map(|sc| sc.bottoms.iter().cloned())
+            .collect();
+        bottoms.sort_unstable_by_key(|&(b_idx, _)| b_idx);
+        for (b_idx, writers) in &bottoms {
+            let (reader, key) = self.bottom_reads[*b_idx];
+            for &j in writers {
+                v.violations.push(Violation::BottomReadAfterWrite {
+                    reader: txs[reader].id,
+                    key,
+                    written_by: txs[j].id,
+                });
+            }
+        }
+
+        // Rule 4, in sorted-client order. Clients that genuinely need the
+        // constraint saturation run the legacy fixpoint over a lazily
+        // built CausalOrder (at most once per verdict).
+        let mut legacy_order: Option<CausalOrder> = None;
+        for scan in &scans {
+            let ok = match scan.rule4 {
+                Rule4::Serializable => true,
+                Rule4::Violated => false,
+                Rule4::NeedsFixpoint => {
+                    let co = legacy_order.get_or_insert_with(|| CausalOrder::build(h));
+                    client_serializable(h, co, scan.client)
+                }
+            };
+            if !ok {
+                v.violations.push(Violation::Unserializable {
+                    client: scan.client,
+                });
+            }
+        }
+        v
+    }
+
+    /// The verdict-time work for one session: window scans over the
+    /// version chains for every reads-from edge and `⊥`-read whose
+    /// reader belongs to `client`.
+    fn scan_session(
+        &self,
+        client: ClientId,
+        _s: u32,
+        rf_idxs: &[usize],
+        bottom_idxs: &[usize],
+    ) -> SessionScan {
+        let mut stale = Vec::new();
+        let mut needs_fixpoint = false;
+        let mut violated = false;
+
+        for &rf_idx in rf_idxs {
+            let rf = &self.reads_from[rf_idx];
+            let (w, r) = (rf.writer, rf.reader);
+            let Some(per_session) = self.chains.get(&rf.key) else {
+                continue;
+            };
+            let mut found: Vec<usize> = Vec::new();
+            for (&s2, chain) in per_session {
+                // Writers of `key` by session `s2` inside
+                // `past(r) \ (past(w) ∪ {w})`: chain positions in
+                // `[clock(w)[s2], clock(r)[s2])`.
+                let lo = self.clk(w, s2);
+                let hi = self.clk(r, s2);
+                if lo >= hi {
+                    continue;
+                }
+                let from = chain.partition_point(|&j| self.pos[j] < lo);
+                for &j in &chain[from..] {
+                    if self.pos[j] >= hi {
+                        break;
+                    }
+                    if j == w || j == r {
+                        continue;
+                    }
+                    if self.before(w, j) {
+                        found.push(j); // w <c j <c r: stale (rule 3)
+                    } else {
+                        // j ∥ w but j <c r: the legacy fixpoint would
+                        // force j before w — only it can decide rule 4.
+                        needs_fixpoint = true;
+                    }
+                }
+            }
+            if !found.is_empty() {
+                // Any stale read makes the rule-4 saturation cyclic for
+                // this client (j → w is forced while w <c j holds).
+                violated = true;
+                found.sort_unstable();
+                stale.push((rf_idx, found));
+            }
+        }
+
+        let mut bottoms = Vec::new();
+        for &b_idx in bottom_idxs {
+            let (reader, key) = self.bottom_reads[b_idx];
+            let Some(per_session) = self.chains.get(&key) else {
+                continue;
+            };
+            let mut found: Vec<usize> = Vec::new();
+            for (&s2, chain) in per_session {
+                let hi = self.clk(reader, s2);
+                for &j in chain {
+                    if self.pos[j] >= hi {
+                        break;
+                    }
+                    if j != reader {
+                        found.push(j);
+                    }
+                }
+            }
+            if !found.is_empty() {
+                // A causally-overwritten ⊥-read also fails the client's
+                // bottom_ok precheck in the legacy fixpoint.
+                violated = true;
+                found.sort_unstable();
+                bottoms.push((b_idx, found));
+            }
+        }
+
+        let rule4 = if violated {
+            Rule4::Violated
+        } else if needs_fixpoint {
+            Rule4::NeedsFixpoint
+        } else {
+            Rule4::Serializable
+        };
+        SessionScan {
+            client,
+            stale,
+            bottoms,
+            rule4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::tx;
+
+    fn both(h: &History) -> (Verdict, Verdict) {
+        (check_causal_incremental(h), check_causal_legacy(h))
+    }
+
+    #[test]
+    fn online_ingest_matches_oneshot() {
+        let records = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 1, &[(0, 1)], &[(1, 2)]),
+            tx(2, 2, &[(0, 1), (1, 2)], &[]),
+        ];
+        let mut ck = CausalChecker::new();
+        for t in records.iter().cloned() {
+            ck.ingest(t);
+        }
+        assert_eq!(ck.len(), 3);
+        let h: History = records.into_iter().collect();
+        assert_eq!(ck.verdict(), check_causal_incremental(&h));
+        assert!(ck.verdict().is_ok());
+    }
+
+    #[test]
+    fn incremental_matches_legacy_on_the_papers_gamma() {
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 1, &[], &[(1, 2)]),
+            tx(2, 2, &[(0, 1), (1, 2)], &[]),
+            tx(3, 2, &[], &[(0, 10), (1, 11)]),
+            tx(4, 3, &[(0, 1), (1, 11)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        let (inc, leg) = both(&h);
+        assert_eq!(inc, leg);
+        assert!(!inc.is_ok());
+    }
+
+    #[test]
+    fn forward_read_falls_back_to_legacy() {
+        // T0 reads the value T1 writes later: a forward edge (and, with
+        // the reverse read, a causality cycle).
+        let h: History = vec![
+            tx(0, 0, &[(0, 2)], &[(1, 1)]),
+            tx(1, 1, &[(1, 1)], &[(0, 2)]),
+        ]
+        .into_iter()
+        .collect();
+        let (inc, leg) = both(&h);
+        assert_eq!(inc, leg);
+        assert!(inc.violations.contains(&Violation::CausalityCycle));
+    }
+
+    #[test]
+    fn fixpoint_fallback_on_fractured_reads() {
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1), (1, 2)]),
+            tx(1, 1, &[], &[(0, 3), (1, 4)]),
+            tx(2, 2, &[(0, 1), (1, 4)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        let (inc, leg) = both(&h);
+        assert_eq!(inc, leg);
+        assert!(inc.violations.contains(&Violation::Unserializable {
+            client: ClientId(2)
+        }));
+    }
+
+    #[test]
+    fn duplicate_values_short_circuit() {
+        let h: History = vec![tx(0, 0, &[], &[(0, 1)]), tx(1, 1, &[], &[(1, 1)])]
+            .into_iter()
+            .collect();
+        let (inc, leg) = both(&h);
+        assert_eq!(inc, leg);
+        assert_eq!(inc.violations, vec![Violation::DuplicateValues]);
+    }
+
+    #[test]
+    fn bottom_read_after_write_matches_legacy() {
+        let h: History = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 1, &[(0, 1)], &[]),
+            tx(2, 1, &[(0, u64::MAX)], &[]),
+        ]
+        .into_iter()
+        .collect();
+        let (inc, leg) = both(&h);
+        assert_eq!(inc, leg);
+        assert!(inc
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::BottomReadAfterWrite { .. })));
+    }
+
+    #[test]
+    fn long_chain_stays_linear_and_consistent() {
+        let mut records = vec![tx(0, 0, &[], &[(0, 100)])];
+        for i in 1..200u64 {
+            records.push(tx(i, i as u32 % 8, &[(0, 99 + i)], &[(0, 100 + i)]));
+        }
+        let h: History = records.into_iter().collect();
+        let (inc, leg) = both(&h);
+        assert_eq!(inc, leg);
+    }
+}

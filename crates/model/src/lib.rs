@@ -40,15 +40,17 @@ pub mod checker;
 pub mod exhaustive;
 pub mod freshness;
 pub mod history;
+pub mod incremental;
 pub mod relations;
 pub mod session;
 pub mod types;
 
 pub use audit::{ConsistencyLevel, PropertyProfile, RotAudit, WtxAudit};
-pub use checker::{check_causal, Verdict, Violation};
+pub use checker::{check_causal, check_causal_legacy, Verdict, Violation};
 pub use exhaustive::{check_causal_exhaustive, Exhaustive};
 pub use freshness::{measure_freshness, FreshnessReport};
 pub use history::{History, TxRecord, TxSpec};
+pub use incremental::{check_causal_incremental, CausalChecker};
 pub use relations::{CausalOrder, ReadsFrom, Relation};
 pub use session::{
     check_monotonic_reads, check_read_atomicity, check_read_your_writes, SessionViolation,

@@ -3,7 +3,8 @@
 
 use cbf_model::history::TxRecord;
 use cbf_model::{
-    check_causal, check_causal_exhaustive, ClientId, Exhaustive, History, Key, TxId, Value,
+    check_causal, check_causal_exhaustive, check_causal_legacy, ClientId, Exhaustive, History, Key,
+    TxId, Value,
 };
 use proptest::prelude::*;
 
@@ -121,6 +122,16 @@ proptest! {
         std::env::remove_var(cbf_par::THREADS_ENV);
         prop_assert_eq!(serial_graph, par_graph);
         prop_assert_eq!(serial_exact, par_exact);
+    }
+
+    /// The incremental fast path (what `check_causal` now runs) must be
+    /// bit-identical to the legacy dense-closure checker — violations,
+    /// order and all — on histories with forward reads, ⊥-reads,
+    /// duplicate values and cycles.
+    #[test]
+    fn incremental_matches_legacy(gens in prop::collection::vec(tx_gen(), 0..8)) {
+        let h = materialize(&gens);
+        prop_assert_eq!(check_causal(&h), check_causal_legacy(&h));
     }
 
     /// Checking is deterministic and non-destructive.

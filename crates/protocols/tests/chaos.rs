@@ -5,7 +5,7 @@
 //! Every fault schedule is a seeded [`FaultPlan`], so any failure here
 //! replays bit-identically from the seed in the panic message.
 
-use cbf_model::{ClientId, Key};
+use cbf_model::{check_causal_legacy, ClientId, Key};
 use cbf_protocols::cops::CopsNode;
 use cbf_protocols::cops_snow::CopsSnowNode;
 use cbf_protocols::eiger::EigerNode;
@@ -47,6 +47,14 @@ fn run_workload<N: ProtocolNode>(c: &mut Cluster<N>, label: &str) {
     }
     let v = c.check();
     assert!(v.is_ok(), "{label}: causal violations: {:?}", v.violations);
+    // Differential rider: `Cluster::check` runs the incremental checker;
+    // on every recorded chaos history its verdict must be bit-identical
+    // to the legacy dense-closure oracle's.
+    let legacy = check_causal_legacy(c.history());
+    assert_eq!(
+        v, legacy,
+        "{label}: incremental verdict diverged from legacy"
+    );
 }
 
 /// Message loss and duplication at 3% each.

@@ -40,6 +40,26 @@ impl<M> Ctx<M> {
         }
     }
 
+    /// Like [`Ctx::new`], but reusing previously-allocated (empty)
+    /// outbox/timer buffers. The world recycles these scratch vectors
+    /// across steps so the hot event loop stops allocating per step.
+    pub(crate) fn recycled(
+        me: ProcessId,
+        now: Time,
+        inbox: Vec<Envelope<M>>,
+        outbox: Vec<(ProcessId, M)>,
+        timers: Vec<(Time, M)>,
+    ) -> Self {
+        debug_assert!(outbox.is_empty() && timers.is_empty());
+        Ctx {
+            me,
+            now,
+            inbox,
+            outbox,
+            timers,
+        }
+    }
+
     /// The id of the process taking this step.
     #[inline]
     pub fn me(&self) -> ProcessId {

@@ -1,0 +1,341 @@
+//! A bucketed calendar queue over virtual time.
+//!
+//! The simulator's event queue was a single `BinaryHeap`: every push
+//! and pop costs `O(log n)` comparisons over the whole pending set.
+//! Discrete-event workloads are strongly *time-local* — most events are
+//! scheduled within a few link latencies of `now` — which is exactly
+//! the access pattern a calendar queue exploits: near-future events are
+//! scattered into fixed-width time buckets (push is O(1)), and only the
+//! small set of events inside the *current* bucket window sits in a
+//! real heap.
+//!
+//! ## Structure
+//!
+//! * `active` — a `BinaryHeap` of every event with `time < start + W`,
+//!   where `start` is the (bucket-aligned) base of the current window
+//!   and `W` = [`WIDTH`]. This includes "late" events pushed for times
+//!   at or before `now` (deferred redeliveries, releases), so nothing
+//!   is ever scheduled behind the cursor.
+//! * `buckets` — a ring of [`NUM_BUCKETS`] vectors covering
+//!   `[start + W, start + NUM_BUCKETS·W)`. Bucket membership is
+//!   `(time / W) mod NUM_BUCKETS`; the window never spans more than
+//!   `NUM_BUCKETS` buckets, so a slot holds events of exactly one
+//!   absolute bucket at a time.
+//! * `overflow` — a heap for far-future events (`time ≥ start +
+//!   NUM_BUCKETS·W`, e.g. a fault plan's recovery several virtual
+//!   seconds out). Migrated into the ring as the window advances.
+//!
+//! ## Pop order is exactly the heap's
+//!
+//! Invariants: every `active` event is earlier than every bucketed
+//! event (buckets start at `start + W`), and every bucketed event is
+//! earlier than every overflow event. Within `active`, the element
+//! type's own `Ord` — reversed `(time, seq)` — decides. The pop
+//! sequence is therefore *identical* to a single min-heap over
+//! `(time, seq)`, which is what keeps `Trace::digest()` unchanged on
+//! every existing seed.
+
+#![deny(unsafe_code)]
+
+use crate::types::Time;
+use std::collections::BinaryHeap;
+
+/// Bucket width in virtual nanoseconds (16.384 µs — a fraction of the
+/// default 50 µs link latency, so consecutive deliveries usually land a
+/// handful of buckets apart).
+const WIDTH_SHIFT: u32 = 14;
+/// `1 << WIDTH_SHIFT`.
+const WIDTH: Time = 1 << WIDTH_SHIFT;
+/// Ring size; the window covers `NUM_BUCKETS × WIDTH ≈ 4.2 ms` of
+/// virtual time beyond the cursor.
+const NUM_BUCKETS: usize = 256;
+/// Width of the whole ring window.
+const WINDOW: Time = (NUM_BUCKETS as Time) * WIDTH;
+
+/// An event with a virtual-time coordinate. Implementors' `Ord` must be
+/// the *reversed* `(time, tiebreak)` order (max-heap ⇒ earliest on
+/// top), as the simulator's queued events already are.
+pub(crate) trait Scheduled: Ord {
+    /// The virtual time this event is scheduled for.
+    fn time(&self) -> Time;
+}
+
+/// The calendar queue. See module docs.
+#[derive(Clone, Debug)]
+pub(crate) struct CalendarQueue<T> {
+    active: BinaryHeap<T>,
+    buckets: Vec<Vec<T>>,
+    /// Total events across all ring buckets.
+    bucket_events: usize,
+    overflow: BinaryHeap<T>,
+    /// Bucket-aligned base of the current window.
+    start: Time,
+}
+
+impl<T: Scheduled> CalendarQueue<T> {
+    pub(crate) fn new() -> Self {
+        CalendarQueue {
+            active: BinaryHeap::new(),
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            bucket_events: 0,
+            overflow: BinaryHeap::new(),
+            start: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.active.len() + self.bucket_events + self.overflow.len()
+    }
+
+    pub(crate) fn push(&mut self, ev: T) {
+        let t = ev.time();
+        if t < self.start.saturating_add(WIDTH) {
+            self.active.push(ev);
+        } else if t < self.start.saturating_add(WINDOW) {
+            let slot = ((t >> WIDTH_SHIFT) % NUM_BUCKETS as Time) as usize;
+            self.buckets[slot].push(ev);
+            self.bucket_events += 1;
+        } else {
+            self.overflow.push(ev);
+        }
+    }
+
+    /// Pop the earliest event: minimal `(time, tiebreak)` across the
+    /// whole queue.
+    pub(crate) fn pop(&mut self) -> Option<T> {
+        loop {
+            if let Some(ev) = self.active.pop() {
+                return Some(ev);
+            }
+            if self.bucket_events > 0 {
+                // Advance the cursor one bucket and spill it into the
+                // active heap. At most NUM_BUCKETS advances reach the
+                // earliest bucketed event.
+                self.start = self.start.saturating_add(WIDTH);
+                let slot = ((self.start >> WIDTH_SHIFT) % NUM_BUCKETS as Time) as usize;
+                let drained = std::mem::take(&mut self.buckets[slot]);
+                self.bucket_events -= drained.len();
+                for ev in drained {
+                    self.active.push(ev);
+                }
+                self.migrate_overflow();
+            } else if let Some(t0) = self.overflow.peek().map(|e| e.time()) {
+                // Ring empty: jump the window straight to the earliest
+                // far-future event instead of walking empty buckets.
+                self.start = (t0 >> WIDTH_SHIFT) << WIDTH_SHIFT;
+                self.migrate_overflow();
+            } else {
+                return None;
+            }
+        }
+    }
+
+    /// Restore the invariant that `overflow` only holds events beyond
+    /// the ring window; called after every window movement.
+    fn migrate_overflow(&mut self) {
+        let limit = self.start.saturating_add(WINDOW);
+        while self.overflow.peek().is_some_and(|e| e.time() < limit) {
+            let ev = self.overflow.pop().expect("peeked above");
+            self.push(ev);
+        }
+    }
+
+    /// Remove every pending event, in ascending `(time, tiebreak)`
+    /// order. (The chaotic scheduler drains the queue to take over
+    /// dispatch; a sorted order keeps that takeover deterministic.)
+    pub(crate) fn drain_sorted(&mut self) -> Vec<T> {
+        let mut out: Vec<T> = Vec::with_capacity(self.len());
+        out.extend(std::mem::take(&mut self.active));
+        for slot in &mut self.buckets {
+            out.append(slot);
+        }
+        self.bucket_events = 0;
+        out.extend(std::mem::take(&mut self.overflow));
+        // `Ord` is reversed (time, tiebreak): sort then flip for
+        // ascending schedule order.
+        out.sort_unstable();
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A stand-in for the simulator's queued event: reversed (time, seq)
+    /// ordering, exactly like the real one.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Ev {
+        time: Time,
+        seq: u64,
+    }
+    impl PartialOrd for Ev {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ev {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .time
+                .cmp(&self.time)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+    impl Scheduled for Ev {
+        fn time(&self) -> Time {
+            self.time
+        }
+    }
+
+    /// The ground truth: pop order of a plain BinaryHeap over the same
+    /// reversed ordering.
+    fn reference_order(mut evs: Vec<Ev>) -> Vec<Ev> {
+        let mut heap: BinaryHeap<Ev> = evs.drain(..).collect();
+        let mut out = Vec::new();
+        while let Some(e) = heap.pop() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn pop_order_matches_heap_on_random_interleavings() {
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut q = CalendarQueue::new();
+            // Reference: the multiset of pending events; every pop must
+            // return exactly its (time, seq) minimum — the element a
+            // plain min-heap would return.
+            let mut pending: Vec<Ev> = Vec::new();
+            let mut seq = 0u64;
+            let mut now: Time = 0;
+            for _ in 0..2000 {
+                if rng.gen_bool(0.6) || q.len() == 0 {
+                    // Times cluster near `now` but occasionally land far
+                    // out (overflow) or exactly at `now` (late events).
+                    let dt = match rng.gen_range(0..10) {
+                        0 => 0,
+                        1..=7 => rng.gen_range(0..200_000),
+                        8 => rng.gen_range(0..5_000_000),
+                        _ => rng.gen_range(0..2_000_000_000),
+                    };
+                    let ev = Ev {
+                        time: now + dt,
+                        seq,
+                    };
+                    seq += 1;
+                    pending.push(ev.clone());
+                    q.push(ev);
+                } else {
+                    let ev = q.pop().expect("non-empty");
+                    let min = pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| (e.time, e.seq))
+                        .map(|(i, _)| i)
+                        .expect("reference non-empty");
+                    assert_eq!(ev, pending.swap_remove(min), "seed {seed}");
+                    now = now.max(ev.time);
+                }
+            }
+            while let Some(ev) = q.pop() {
+                let min = pending
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| (e.time, e.seq))
+                    .map(|(i, _)| i)
+                    .expect("queue had more events than were pushed");
+                assert_eq!(ev, pending.swap_remove(min), "seed {seed}");
+            }
+            assert!(pending.is_empty(), "seed {seed}: events lost in the queue");
+        }
+    }
+
+    #[test]
+    fn fully_loaded_queue_pops_in_exact_heap_order() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let evs: Vec<Ev> = (0..5000)
+            .map(|seq| Ev {
+                time: match rng.gen_range(0..10) {
+                    0..=6 => rng.gen_range(0..1_000_000),
+                    7 | 8 => rng.gen_range(0..50_000_000),
+                    _ => rng.gen_range(0..10_000_000_000),
+                },
+                seq,
+            })
+            .collect();
+        let mut q = CalendarQueue::new();
+        for ev in evs.clone() {
+            q.push(ev);
+        }
+        let mut got = Vec::new();
+        while let Some(ev) = q.pop() {
+            got.push(ev);
+        }
+        assert_eq!(got, reference_order(evs));
+    }
+
+    #[test]
+    fn ties_break_by_seq() {
+        let mut q = CalendarQueue::new();
+        for seq in [3u64, 1, 2, 0] {
+            q.push(Ev { time: 500, seq });
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn far_future_events_survive_the_window_jump() {
+        let mut q = CalendarQueue::new();
+        // One event several windows out, nothing in between.
+        q.push(Ev {
+            time: 40 * WINDOW,
+            seq: 0,
+        });
+        q.push(Ev { time: 10, seq: 1 });
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().time, 40 * WINDOW);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn late_pushes_behind_the_cursor_still_pop_first() {
+        let mut q = CalendarQueue::new();
+        q.push(Ev {
+            time: 3 * WINDOW,
+            seq: 0,
+        });
+        assert_eq!(q.pop().unwrap().seq, 0); // cursor is now far ahead
+        q.push(Ev { time: 5, seq: 1 }); // re-push in the past (deferred event)
+        q.push(Ev {
+            time: 4 * WINDOW,
+            seq: 2,
+        });
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn drain_sorted_is_schedule_ordered_and_total() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut q = CalendarQueue::new();
+        for seq in 0..500u64 {
+            q.push(Ev {
+                time: rng.gen_range(0..3_000_000_000),
+                seq,
+            });
+        }
+        assert_eq!(q.len(), 500);
+        let drained = q.drain_sorted();
+        assert_eq!(q.len(), 0);
+        assert_eq!(drained.len(), 500);
+        for w in drained.windows(2) {
+            assert!((w[0].time, w[0].seq) < (w[1].time, w[1].seq));
+        }
+    }
+}

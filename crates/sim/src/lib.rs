@@ -43,8 +43,10 @@
 #![warn(rust_2018_idioms)]
 
 mod actor;
+mod calendar;
 mod fault;
 mod latency;
+mod slab;
 mod smallvec;
 mod trace;
 mod types;

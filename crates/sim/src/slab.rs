@@ -1,0 +1,249 @@
+//! A generation-indexed slab for the in-flight message table.
+//!
+//! [`World`](crate::World) used to keep messages in transit in a
+//! `BTreeMap<MsgId, Flight>`: every send and every delivery paid a tree
+//! insert/remove (pointer chasing, node allocation), and every fork
+//! deep-copied the tree. The slab replaces that with a flat `Vec` of
+//! slots and a free list: insert is a push (or a free-slot reuse),
+//! removal is an `Option::take`, and a fork is one `memcpy`-ish `Vec`
+//! clone.
+//!
+//! ## Generations make stale references safe
+//!
+//! The event queue holds `Deliver` events that may outlive their
+//! message (the adversary can deliver a message manually, making the
+//! queued event stale; the slot may then be reused by a *later* send).
+//! Each slot carries a generation counter, bumped on every removal, and
+//! a [`SlotRef`] captures the generation it was created under. A lookup
+//! checks both the generation and the stored [`MsgId`], so a stale
+//! reference can never observe a recycled slot.
+//!
+//! ## Determinism
+//!
+//! Slot order is allocation order, not [`MsgId`] order (the free list
+//! recycles). Every observable iteration therefore sorts by `MsgId`
+//! ([`FlightSlab::iter_sorted`], [`FlightSlab::drain_sorted`]), which
+//! reproduces exactly the iteration order of the `BTreeMap` this slab
+//! replaced — the adversary-visible APIs and the chaotic scheduler's
+//! action enumeration are bit-for-bit unchanged.
+
+#![deny(unsafe_code)]
+
+use crate::types::MsgId;
+
+/// A handle to a slab slot, valid for one occupancy of that slot.
+///
+/// Captures the slot's generation at insert time; once the entry is
+/// removed (and the generation bumped), the reference is *stale* and
+/// every lookup through it misses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SlotRef {
+    index: u32,
+    gen: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Slot<V> {
+    /// Bumped every time an entry is removed from this slot.
+    gen: u32,
+    /// The occupant, tagged with its id for stale-reference detection.
+    entry: Option<(MsgId, V)>,
+}
+
+/// The slab itself. See module docs.
+#[derive(Clone, Debug)]
+pub(crate) struct FlightSlab<V> {
+    slots: Vec<Slot<V>>,
+    /// Indices of vacant slots, used LIFO.
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<V> FlightSlab<V> {
+    pub(crate) fn new() -> Self {
+        FlightSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Insert an entry, reusing a vacant slot when one exists.
+    pub(crate) fn insert(&mut self, id: MsgId, value: V) -> SlotRef {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.entry.is_none(), "free list pointed at a live slot");
+            slot.entry = Some((id, value));
+            SlotRef {
+                index,
+                gen: slot.gen,
+            }
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("more than 2^32 live flights");
+            self.slots.push(Slot {
+                gen: 0,
+                entry: Some((id, value)),
+            });
+            SlotRef { index, gen: 0 }
+        }
+    }
+
+    /// Look up a live entry; `None` if `r` is stale (removed, or the
+    /// slot was recycled for a different message).
+    pub(crate) fn get(&self, r: SlotRef, id: MsgId) -> Option<&V> {
+        let slot = self.slots.get(r.index as usize)?;
+        if slot.gen != r.gen {
+            return None;
+        }
+        match &slot.entry {
+            Some((stored, v)) if *stored == id => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Remove and return a live entry; `None` if `r` is stale. Bumps
+    /// the slot generation so outstanding references to this occupancy
+    /// die.
+    pub(crate) fn remove(&mut self, r: SlotRef, id: MsgId) -> Option<V> {
+        let slot = self.slots.get_mut(r.index as usize)?;
+        if slot.gen != r.gen || !matches!(&slot.entry, Some((stored, _)) if *stored == id) {
+            return None;
+        }
+        let (_, v) = slot.entry.take().expect("entry checked above");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(r.index);
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Find the slot currently holding `id` (linear scan; used only by
+    /// the id-keyed adversary APIs, never by the automatic event loop).
+    pub(crate) fn find(&self, id: MsgId) -> Option<SlotRef> {
+        self.slots.iter().enumerate().find_map(|(i, slot)| {
+            matches!(&slot.entry, Some((stored, _)) if *stored == id).then(|| SlotRef {
+                index: i as u32,
+                gen: slot.gen,
+            })
+        })
+    }
+
+    /// Look up a live entry by id alone (linear scan; see
+    /// [`FlightSlab::find`]).
+    pub(crate) fn get_by_id(&self, id: MsgId) -> Option<&V> {
+        self.slots.iter().find_map(|slot| match &slot.entry {
+            Some((stored, v)) if *stored == id => Some(v),
+            _ => None,
+        })
+    }
+
+    /// All live entries in ascending `MsgId` order — the iteration
+    /// order of the `BTreeMap` this slab replaced.
+    pub(crate) fn iter_sorted(&self) -> Vec<(MsgId, SlotRef, &V)> {
+        let mut out: Vec<(MsgId, SlotRef, &V)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.entry.as_ref().map(|(id, v)| {
+                    (
+                        *id,
+                        SlotRef {
+                            index: i as u32,
+                            gen: slot.gen,
+                        },
+                        v,
+                    )
+                })
+            })
+            .collect();
+        out.sort_unstable_by_key(|(id, _, _)| *id);
+        out
+    }
+
+    /// Remove every live entry, returning them in ascending `MsgId`
+    /// order. All outstanding [`SlotRef`]s become stale.
+    pub(crate) fn drain_sorted(&mut self) -> Vec<(MsgId, V)> {
+        let mut out: Vec<(MsgId, V)> = Vec::with_capacity(self.len);
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(entry) = slot.entry.take() {
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(i as u32);
+                out.push(entry);
+            }
+        }
+        self.len = 0;
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut s: FlightSlab<&str> = FlightSlab::new();
+        let r = s.insert(MsgId(7), "hello");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(r, MsgId(7)), Some(&"hello"));
+        assert_eq!(s.get(r, MsgId(8)), None, "wrong id must miss");
+        assert_eq!(s.remove(r, MsgId(7)), Some("hello"));
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.remove(r, MsgId(7)), None, "double remove must miss");
+    }
+
+    #[test]
+    fn stale_ref_misses_after_slot_reuse() {
+        let mut s: FlightSlab<u32> = FlightSlab::new();
+        let r0 = s.insert(MsgId(0), 10);
+        s.remove(r0, MsgId(0));
+        // The freed slot is reused for a different message.
+        let r1 = s.insert(MsgId(1), 11);
+        assert_eq!(r1.index, r0.index, "free list should reuse the slot");
+        assert_eq!(s.get(r0, MsgId(0)), None, "old generation must miss");
+        assert_eq!(s.remove(r0, MsgId(0)), None);
+        assert_eq!(s.get(r1, MsgId(1)), Some(&11), "new occupant unaffected");
+    }
+
+    #[test]
+    fn iteration_is_msg_id_sorted_despite_slot_recycling() {
+        let mut s: FlightSlab<u32> = FlightSlab::new();
+        let r0 = s.insert(MsgId(0), 0);
+        let _r1 = s.insert(MsgId(1), 1);
+        s.remove(r0, MsgId(0));
+        // MsgId 5 lands in the recycled slot 0 — allocation order is now
+        // [5, 1], but iteration must be id order [1, 5].
+        s.insert(MsgId(5), 5);
+        let ids: Vec<u64> = s.iter_sorted().into_iter().map(|(id, _, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 5]);
+        assert_eq!(s.find(MsgId(5)).map(|r| r.index), Some(0));
+        assert_eq!(s.get_by_id(MsgId(1)), Some(&1));
+        assert_eq!(s.get_by_id(MsgId(0)), None);
+    }
+
+    #[test]
+    fn drain_sorted_empties_and_invalidates() {
+        let mut s: FlightSlab<u32> = FlightSlab::new();
+        let refs: Vec<SlotRef> = (0..5).map(|i| s.insert(MsgId(9 - i), i as u32)).collect();
+        let drained = s.drain_sorted();
+        assert_eq!(
+            drained.iter().map(|(id, _)| id.0).collect::<Vec<_>>(),
+            vec![5, 6, 7, 8, 9]
+        );
+        assert_eq!(s.len(), 0);
+        for (i, r) in refs.into_iter().enumerate() {
+            assert_eq!(s.get(r, MsgId(9 - i as u64)), None);
+        }
+        // Slab remains usable after a drain.
+        let r = s.insert(MsgId(100), 1);
+        assert_eq!(s.get(r, MsgId(100)), Some(&1));
+        assert_eq!(s.len(), 1);
+    }
+}

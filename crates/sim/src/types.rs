@@ -97,6 +97,12 @@ pub struct SimConfig {
     /// duplicates, link partitions and process crashes. `None` (the
     /// default) is a fault-free network.
     pub fault: Option<FaultPlan>,
+    /// Workload hint: expected number of trace events this run will
+    /// record. Pre-sizes the trace's buffers so long recorded runs do
+    /// not pay repeated reallocation; `0` (the default) means "no
+    /// hint". Purely an allocation hint — it never affects scheduling,
+    /// trace contents or digests.
+    pub trace_capacity_hint: usize,
 }
 
 impl Default for SimConfig {
@@ -107,6 +113,7 @@ impl Default for SimConfig {
             fifo_links: false,
             max_events: 10_000_000,
             fault: None,
+            trace_capacity_hint: 0,
         }
     }
 }

@@ -21,7 +21,9 @@
 //!   is what the theorem machinery in `cbf-core` drives.
 
 use crate::actor::{Actor, Ctx, Envelope};
+use crate::calendar::{CalendarQueue, Scheduled};
 use crate::latency::LatencyModel;
+use crate::slab::{FlightSlab, SlotRef};
 use crate::smallvec::SmallVec;
 use crate::trace::{Trace, TraceEvent};
 use crate::types::{Link, MsgId, ProcessId, RunOutcome, SimConfig, Time};
@@ -55,7 +57,10 @@ pub struct Flight<M> {
 #[derive(Clone, Debug)]
 enum EvKind<M> {
     /// Move a message into the destination's income buffer, then step it.
-    Deliver(MsgId),
+    /// Carries the message's slab slot so the hot path resolves it in
+    /// O(1); the generation check makes a stale event (message already
+    /// delivered by the adversary) a cheap miss.
+    Deliver(MsgId, SlotRef),
     /// A timer set by `pid` fires, carrying `msg`.
     Timer(ProcessId, M),
     /// A step is due (after an injection or an explicit schedule).
@@ -116,6 +121,12 @@ impl<M> Ord for QueuedEvent<M> {
     }
 }
 
+impl<M> Scheduled for QueuedEvent<M> {
+    fn time(&self) -> Time {
+        self.time
+    }
+}
+
 /// Per-process counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProcStats {
@@ -133,6 +144,12 @@ pub struct ProcStats {
 pub struct WorldStats {
     pub events: u64,
     pub per_process: Vec<ProcStats>,
+    /// Events recorded in the trace. Zero on the live counters; filled
+    /// by [`World::stats_snapshot`] (perf exhibits report it).
+    pub trace_events: u64,
+    /// Allocated trace capacity, in events (see [`Trace::capacity`]).
+    /// Zero on the live counters; filled by [`World::stats_snapshot`].
+    pub trace_capacity: u64,
 }
 
 impl WorldStats {
@@ -154,11 +171,17 @@ pub struct World<A: Actor> {
     /// them through the `Arc` (copy-on-write via [`World::set_label`]).
     labels: Arc<Vec<String>>,
     inboxes: Vec<SmallVec<Envelope<A::Msg>, 2>>,
-    in_flight: BTreeMap<MsgId, Flight<A::Msg>>,
-    queue: std::collections::BinaryHeap<QueuedEvent<A::Msg>>,
+    /// Messages in transit, in a generation-indexed slab (flat storage,
+    /// O(1) insert/remove, stale-event detection via generations). All
+    /// observable iteration over it is `MsgId`-sorted — the order of the
+    /// `BTreeMap` it replaced.
+    in_flight: FlightSlab<Flight<A::Msg>>,
+    /// Pending events in a bucketed calendar queue whose pop order is
+    /// exactly a `(time, seq)` min-heap's.
+    queue: CalendarQueue<QueuedEvent<A::Msg>>,
     /// Messages whose Deliver event fired while their link was held; they
     /// wait here until the link is released.
-    frozen: BTreeMap<Link, SmallVec<MsgId, 2>>,
+    frozen: BTreeMap<Link, SmallVec<(MsgId, SlotRef), 2>>,
     /// With [`SimConfig::fifo_links`]: the latest scheduled arrival per
     /// directed link, so later sends never overtake earlier ones.
     last_arrival: BTreeMap<Link, Time>,
@@ -175,6 +198,10 @@ pub struct World<A: Actor> {
     pub trace: Trace<A::Msg>,
     config: SimConfig,
     stats: WorldStats,
+    /// Recycled outbox/timer buffers for [`Ctx`]: cleared after every
+    /// step and handed to the next one, so steps stop allocating.
+    scratch_outbox: Vec<(ProcessId, A::Msg)>,
+    scratch_timers: Vec<(Time, A::Msg)>,
 }
 
 impl<A: Actor> World<A> {
@@ -187,8 +214,8 @@ impl<A: Actor> World<A> {
             actors,
             labels: Arc::new((0..n).map(|i| format!("P{i}")).collect()),
             inboxes: (0..n).map(|_| SmallVec::new()).collect(),
-            in_flight: BTreeMap::new(),
-            queue: std::collections::BinaryHeap::new(),
+            in_flight: FlightSlab::new(),
+            queue: CalendarQueue::new(),
             frozen: BTreeMap::new(),
             last_arrival: BTreeMap::new(),
             held: BTreeSet::new(),
@@ -197,12 +224,15 @@ impl<A: Actor> World<A> {
             next_msg: 0,
             next_seq: 0,
             latency,
-            trace: Trace::new(config.record_trace),
+            trace: Trace::with_capacity(config.record_trace, config.trace_capacity_hint),
             config,
             stats: WorldStats {
                 events: 0,
                 per_process: vec![ProcStats::default(); n],
+                ..WorldStats::default()
             },
+            scratch_outbox: Vec::new(),
+            scratch_timers: Vec::new(),
         };
         // Expand the fault plan's scheduled events into the queue before
         // anything runs, so they interleave deterministically with
@@ -320,6 +350,16 @@ impl<A: Actor> World<A> {
         &self.stats
     }
 
+    /// A copy of the counters with the trace's length and allocated
+    /// capacity filled in (the live [`World::stats`] keeps those at
+    /// zero; the trace owns the authoritative numbers).
+    pub fn stats_snapshot(&self) -> WorldStats {
+        let mut s = self.stats.clone();
+        s.trace_events = self.trace.len() as u64;
+        s.trace_capacity = self.trace.capacity() as u64;
+        s
+    }
+
     // ------------------------------------------------------------------
     // Internal mechanics
     // ------------------------------------------------------------------
@@ -347,14 +387,21 @@ impl<A: Actor> World<A> {
                 );
             }
         }
-        let Ctx { outbox, timers, .. } = ctx;
-        for (to, msg) in outbox {
+        let Ctx {
+            mut outbox,
+            mut timers,
+            ..
+        } = ctx;
+        for (to, msg) in outbox.drain(..) {
             self.send_from(pid, to, msg);
         }
-        for (delay, msg) in timers {
+        for (delay, msg) in timers.drain(..) {
             let at = self.now + delay;
             self.push_event(at, EvKind::Timer(pid, msg));
         }
+        // Hand the (now empty) buffers back for the next step.
+        self.scratch_outbox = outbox;
+        self.scratch_timers = timers;
     }
 
     /// Sample a latency, insert the flight, and queue its delivery.
@@ -368,7 +415,7 @@ impl<A: Actor> World<A> {
             arrival = arrival.max(floor.saturating_add(1));
             self.last_arrival.insert(link, arrival);
         }
-        self.in_flight.insert(
+        let slot = self.in_flight.insert(
             id,
             Flight {
                 from,
@@ -377,7 +424,7 @@ impl<A: Actor> World<A> {
                 sent_at: self.now,
             },
         );
-        self.push_event(arrival, EvKind::Deliver(id));
+        self.push_event(arrival, EvKind::Deliver(id, slot));
     }
 
     fn send_from(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
@@ -420,9 +467,9 @@ impl<A: Actor> World<A> {
 
     /// Move an in-flight message into its destination's income buffer.
     /// Returns the destination, or `None` if the message was already
-    /// delivered (stale event).
-    fn do_deliver(&mut self, id: MsgId) -> Option<ProcessId> {
-        let flight = self.in_flight.remove(&id)?;
+    /// delivered (stale slot reference).
+    fn do_deliver(&mut self, id: MsgId, slot: SlotRef) -> Option<ProcessId> {
+        let flight = self.in_flight.remove(slot, id)?;
         self.trace.push(TraceEvent::Deliver {
             at: self.now,
             id,
@@ -438,9 +485,22 @@ impl<A: Actor> World<A> {
         Some(flight.to)
     }
 
+    /// [`World::do_deliver`] for callers that only know the id (the
+    /// adversary APIs): resolves the slot with a scan first.
+    fn do_deliver_by_id(&mut self, id: MsgId) -> Option<ProcessId> {
+        let slot = self.in_flight.find(id)?;
+        self.do_deliver(id, slot)
+    }
+
     fn do_step(&mut self, pid: ProcessId) {
         let inbox = self.inboxes[pid.index()].take().into_vec();
-        let mut ctx = Ctx::new(pid, self.now, inbox);
+        let mut ctx = Ctx::recycled(
+            pid,
+            self.now,
+            inbox,
+            std::mem::take(&mut self.scratch_outbox),
+            std::mem::take(&mut self.scratch_timers),
+        );
         self.trace.push(TraceEvent::Step { at: self.now, pid });
         self.stats.per_process[pid.index()].steps += 1;
         // Split-borrow: take the actor out so `self` stays usable.
@@ -503,7 +563,10 @@ impl<A: Actor> World<A> {
 
     /// All messages currently in transit, in send order.
     pub fn in_flight(&self) -> impl Iterator<Item = (MsgId, &Flight<A::Msg>)> {
-        self.in_flight.iter().map(|(k, v)| (*k, v))
+        self.in_flight
+            .iter_sorted()
+            .into_iter()
+            .map(|(id, _, f)| (id, f))
     }
 
     /// Number of messages sent but neither delivered nor dropped. A
@@ -521,21 +584,22 @@ impl<A: Actor> World<A> {
     /// run ended?"
     pub fn drain_undelivered(&mut self) -> Vec<(MsgId, Flight<A::Msg>)> {
         self.frozen.clear();
-        std::mem::take(&mut self.in_flight).into_iter().collect()
+        self.in_flight.drain_sorted()
     }
 
     /// In-transit messages on the directed link `src → dst`.
     pub fn in_flight_on(&self, src: ProcessId, dst: ProcessId) -> Vec<MsgId> {
         self.in_flight
-            .iter()
-            .filter(|(_, f)| f.from == src && f.to == dst)
-            .map(|(k, _)| *k)
+            .iter_sorted()
+            .into_iter()
+            .filter(|(_, _, f)| f.from == src && f.to == dst)
+            .map(|(id, _, _)| id)
             .collect()
     }
 
     /// Inspect one in-flight message.
     pub fn peek(&self, id: MsgId) -> Option<&Flight<A::Msg>> {
-        self.in_flight.get(&id)
+        self.in_flight.get_by_id(id)
     }
 
     /// Adversary: deliver a specific in-flight message *now*, ignoring its
@@ -543,7 +607,7 @@ impl<A: Actor> World<A> {
     /// destination — pair with [`World::step_now`]. Returns the
     /// destination process.
     pub fn deliver_now(&mut self, id: MsgId) -> Option<ProcessId> {
-        self.do_deliver(id)
+        self.do_deliver_by_id(id)
     }
 
     /// Adversary: make `pid` take one computation step now.
@@ -575,9 +639,9 @@ impl<A: Actor> World<A> {
         let link = Link::new(src, dst);
         self.held.remove(&link);
         if let Some(ids) = self.frozen.remove(&link) {
-            for id in ids {
+            for (id, slot) in ids {
                 let at = self.now;
-                self.push_event(at, EvKind::Deliver(id));
+                self.push_event(at, EvKind::Deliver(id, slot));
             }
         }
     }
@@ -674,20 +738,20 @@ impl<A: Actor> World<A> {
             processed += 1;
             self.stats.events += 1;
             match ev.kind {
-                EvKind::Deliver(id) => {
-                    let Some(flight) = self.in_flight.get(&id) else {
+                EvKind::Deliver(id, slot) => {
+                    let Some(flight) = self.in_flight.get(slot, id) else {
                         continue; // stale: adversary already delivered it
                     };
                     let link = Link::new(flight.from, flight.to);
                     if self.held.contains(&link) {
-                        self.frozen.entry(link).or_default().push(id);
+                        self.frozen.entry(link).or_default().push((id, slot));
                         continue;
                     }
                     if self.crashed.contains_key(&flight.to) {
                         // Arrived at a dark process: lost.
                         self.now = self.now.max(ev.time);
                         let (from, to) = (flight.from, flight.to);
-                        self.in_flight.remove(&id);
+                        self.in_flight.remove(slot, id);
                         self.trace.push(TraceEvent::Drop {
                             at: self.now,
                             id,
@@ -702,7 +766,7 @@ impl<A: Actor> World<A> {
                         continue;
                     }
                     self.now = self.now.max(ev.time);
-                    if let Some(dst) = self.do_deliver(id) {
+                    if let Some(dst) = self.do_deliver(id, slot) {
                         self.do_step(dst);
                     }
                 }
@@ -830,10 +894,10 @@ impl<A: Actor> World<A> {
         // chaotic adversary dispatches them at will.
         let mut timers: Vec<(Time, ProcessId, A::Msg)> = Vec::new();
         let mut due: Vec<(Time, ProcessId)> = Vec::new();
-        let drained: Vec<_> = std::mem::take(&mut self.queue).into_vec();
+        let drained: Vec<_> = self.queue.drain_sorted();
         for ev in drained {
             match ev.kind {
-                EvKind::Deliver(_) => {} // represented by in_flight
+                EvKind::Deliver(..) => {} // represented by in_flight
                 EvKind::Timer(p, m) => timers.push((ev.time, p, m)),
                 EvKind::StepDue(p) => due.push((ev.time, p)),
                 // The chaotic adversary is its own nemesis: scheduled
@@ -845,11 +909,12 @@ impl<A: Actor> World<A> {
             // Enabled actions. 0..d: deliver in-flight message i (held
             // links excluded); d..d+t: fire timer; d+t..d+t+s: due step;
             // then: step process with mail.
-            let deliverable: Vec<MsgId> = self
+            let deliverable: Vec<(MsgId, SlotRef)> = self
                 .in_flight
-                .iter()
-                .filter(|(_, f)| !self.held.contains(&Link::new(f.from, f.to)))
-                .map(|(id, _)| *id)
+                .iter_sorted()
+                .into_iter()
+                .filter(|(_, _, f)| !self.held.contains(&Link::new(f.from, f.to)))
+                .map(|(id, slot, _)| (id, slot))
                 .collect();
             let mailful: Vec<ProcessId> = (0..self.actors.len())
                 .map(|i| ProcessId(i as u32))
@@ -864,9 +929,9 @@ impl<A: Actor> World<A> {
             let pick = rng.gen_range(0..total);
             self.stats.events += 1;
             if pick < deliverable.len() {
-                let id = deliverable[pick];
+                let (id, slot) = deliverable[pick];
                 self.now += 1;
-                if let Some(dst) = self.do_deliver(id) {
+                if let Some(dst) = self.do_deliver(id, slot) {
                     self.do_step(dst);
                 }
             } else if pick < deliverable.len() + timers.len() {
@@ -877,10 +942,10 @@ impl<A: Actor> World<A> {
                 self.inboxes[pid.index()].push(Envelope { from: pid, id, msg });
                 self.do_step(pid);
                 // Steps may set new timers; absorb them from the queue.
-                let drained: Vec<_> = std::mem::take(&mut self.queue).into_vec();
+                let drained: Vec<_> = self.queue.drain_sorted();
                 for ev in drained {
                     match ev.kind {
-                        EvKind::Deliver(_) => {}
+                        EvKind::Deliver(..) => {}
                         EvKind::Timer(p, m) => timers.push((ev.time, p, m)),
                         EvKind::StepDue(p) => due.push((ev.time, p)),
                         EvKind::Fault(f) => self.push_event(ev.time, EvKind::Fault(f)),
@@ -896,10 +961,10 @@ impl<A: Actor> World<A> {
                 self.do_step(pid);
             }
             // Absorb any timers/step-dues generated by this action.
-            let drained: Vec<_> = std::mem::take(&mut self.queue).into_vec();
+            let drained: Vec<_> = self.queue.drain_sorted();
             for ev in drained {
                 match ev.kind {
-                    EvKind::Deliver(_) => {}
+                    EvKind::Deliver(..) => {}
                     EvKind::Timer(p, m) => timers.push((ev.time, p, m)),
                     EvKind::StepDue(p) => due.push((ev.time, p)),
                     EvKind::Fault(f) => self.push_event(ev.time, EvKind::Fault(f)),
@@ -1492,6 +1557,50 @@ mod tests {
         assert_eq!(drained.len(), 1);
         assert_eq!(drained[0].1.to, ProcessId(1));
         assert_eq!(w.undelivered_count(), 0);
+    }
+
+    /// Satellite: the trace-capacity workload hint is allocation-only —
+    /// same schedule, same digest — while actually pre-sizing the tail.
+    #[test]
+    fn trace_capacity_hint_never_changes_the_digest() {
+        let digest_with_hint = |hint: usize| {
+            let mut w = World::new(
+                vec![
+                    Node::Server { count: 0 },
+                    Node::Client {
+                        server: ProcessId(0),
+                        got: vec![],
+                    },
+                ],
+                LatencyModel::new(LatencyKind::Uniform { lo: 10, hi: 500 }, 9),
+                SimConfig {
+                    trace_capacity_hint: hint,
+                    ..SimConfig::default()
+                },
+            );
+            for i in 0..20 {
+                w.inject(ProcessId(1), Msg::Ping(i));
+            }
+            w.run_until_quiescent();
+            (w.trace.digest(), w.trace.capacity())
+        };
+        let (d0, _) = digest_with_hint(0);
+        let (d1, cap1) = digest_with_hint(300);
+        assert_eq!(d0, d1, "hint must be invisible to the schedule");
+        assert!(cap1 >= 300, "hint should pre-size the tail, got {cap1}");
+    }
+
+    #[test]
+    fn stats_snapshot_reports_trace_len_and_capacity() {
+        let mut w = two_node_world();
+        w.inject(ProcessId(1), Msg::Ping(1));
+        w.run_until_quiescent();
+        assert_eq!(w.stats().trace_events, 0, "live counters stay zero");
+        let snap = w.stats_snapshot();
+        assert_eq!(snap.trace_events, w.trace.len() as u64);
+        assert!(snap.trace_capacity >= snap.trace_events);
+        assert_eq!(snap.events, w.stats().events);
+        assert_eq!(snap.total_sent(), 2);
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub const RULE_CLOCK: &str = "wall-clock";
 pub const RULE_THREAD: &str = "ad-hoc-threads";
 /// Rule name: `unsafe` outside the vetted smallvec file.
 pub const RULE_UNSAFE: &str = "unsafe-block";
+/// Rule name: scheduler-core files missing their `#![deny(unsafe_code)]`.
+pub const RULE_GUARD: &str = "missing-unsafe-guard";
 
 /// The crates whose behaviour must be a pure function of the seed.
 const DETERMINISTIC_CRATES: &[&str] = &["crates/model/", "crates/core/", "crates/sim/"];
@@ -37,11 +39,42 @@ const UNSAFE_ALLOWED_FILE: &str = "crates/sim/src/smallvec.rs";
 /// The one crate allowed to create threads.
 const THREAD_ALLOWED_CRATE: &str = "crates/par/";
 
+/// Scheduler-core modules that promise safety in their docs: the slab
+/// flight table and the calendar event queue replaced std collections
+/// with index arithmetic, exactly the terrain where `unsafe` creeps in,
+/// so each must carry its own `#![deny(unsafe_code)]` even though the
+/// crate root is already the lexer's concern.
+const GUARDED_FILES: &[&str] = &["crates/sim/src/slab.rs", "crates/sim/src/calendar.rs"];
+
 /// Run every determinism rule over one lexed file. `path` is
 /// workspace-relative with `/` separators.
 pub fn check(path: &str, lx: &Lexed, out: &mut Vec<Finding>) {
     let in_deterministic_crate = DETERMINISTIC_CRATES.iter().any(|p| path.starts_with(p));
     let toks = &lx.tokens;
+
+    if GUARDED_FILES.contains(&path) {
+        let has_guard = toks.iter().enumerate().any(|(i, t)| {
+            t.is_ident("deny")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("unsafe_code"))
+        });
+        if !has_guard {
+            out.push(
+                Finding::error(
+                    RULE_GUARD,
+                    path,
+                    1,
+                    1,
+                    "scheduler-core module without `#![deny(unsafe_code)]`: the \
+                     slab and calendar queue trade std collections for index \
+                     arithmetic and must stay provably safe"
+                        .to_string(),
+                )
+                .with_help("restore the inner attribute at the top of the module".to_string()),
+            );
+        }
+    }
+
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
             continue;
@@ -194,6 +227,20 @@ mod tests {
         // scoped spawns inside par's primitive shape are fine elsewhere
         // only when not thread::spawn.
         assert!(run("crates/bench/src/lib.rs", "scope.spawn(|| {});").is_empty());
+    }
+
+    #[test]
+    fn scheduler_modules_must_keep_their_guard() {
+        let guarded = "#![deny(unsafe_code)]\nstruct FlightSlab;";
+        let bare = "struct FlightSlab;";
+        assert!(run("crates/sim/src/slab.rs", guarded).is_empty());
+        assert!(run("crates/sim/src/calendar.rs", guarded).is_empty());
+        let out = run("crates/sim/src/slab.rs", bare);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, RULE_GUARD);
+        assert_eq!((out[0].line, out[0].col), (1, 1));
+        // Other files carry the guard at crate level; no per-file demand.
+        assert!(run("crates/sim/src/world.rs", bare).is_empty());
     }
 
     #[test]

@@ -86,6 +86,56 @@ fn bad_checker_is_clean_outside_deterministic_crates_except_global_rules() {
 }
 
 #[test]
+fn bad_slab_fails_the_guard_and_determinism_rules() {
+    // The slab/calendar modules are new scheduler core (PR 4): a clone
+    // that drops its `#![deny(unsafe_code)]` guard and reaches for
+    // HashMap/Instant/unsafe must light up every applicable rule.
+    let src = fixture("bad_slab.rs");
+    let path = "crates/sim/src/slab.rs";
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&src), &mut out);
+
+    expect(&out, determinism::RULE_GUARD, path, 1);
+    expect(
+        &out,
+        determinism::RULE_HASH,
+        path,
+        line_of(&src, "// line: hash"),
+    );
+    expect(
+        &out,
+        determinism::RULE_HASH,
+        path,
+        line_of(&src, "// line: hash-field"),
+    );
+    expect(
+        &out,
+        determinism::RULE_CLOCK,
+        path,
+        line_of(&src, "// line: clock"),
+    );
+    expect(
+        &out,
+        determinism::RULE_UNSAFE,
+        path,
+        line_of(&src, "// line: unsafe"),
+    );
+    assert_eq!(
+        out.len(),
+        5,
+        "exactly the five violations:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+
+    // Restoring the guard silences only the guard rule.
+    let fixed = format!("#![deny(unsafe_code)]\n{src}");
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&fixed), &mut out);
+    assert!(out.iter().all(|f| f.rule != determinism::RULE_GUARD));
+    assert_eq!(out.len(), 4);
+}
+
+#[test]
 fn bad_cops_snow_clone_fails_the_property_rules() {
     let src = fixture("bad_cops_snow.rs");
     let path = "crates/protocols/src/bad_cops_snow.rs";
