@@ -13,7 +13,8 @@
 use cbf_bench::chaos::{chaos_table, render_chaos_table, ChaosRow};
 use cbf_bench::json::ToJson;
 use cbf_bench::{
-    latency_table, perfbench, render_latency_table, render_table1, table1_rows, LatencyRow,
+    baseline, latency_tables, perfbench, render_latency_table, render_table1, table1_rows,
+    LatencyRow,
 };
 use snowbound::prelude::*;
 use snowbound::theorem::{
@@ -393,13 +394,15 @@ fn limits() -> Result<(), String> {
 
 fn latency() -> Result<(), String> {
     println!("LATENCY — virtual-time ROT latency across the design space\n");
-    let mut all: Vec<LatencyRow> = Vec::new();
-    for (mix, name) in [
+    let mixes = [
         (Mix::ycsb_c(), "YCSB-C (100% read)"),
         (Mix::ycsb_b(), "YCSB-B (95% read)"),
         (Mix::ycsb_a(), "YCSB-A (50% read)"),
-    ] {
-        let rows = latency_table(mix, name, 120, 42);
+    ];
+    // All 30 (protocol, mix) cells fan out at once; see latency_tables.
+    let tables = latency_tables(&mixes, 120, 42);
+    let mut all: Vec<LatencyRow> = Vec::new();
+    for ((_, name), rows) in mixes.iter().zip(tables) {
         print!("{}", render_latency_table(name, &rows));
         all.extend(rows);
         println!();
@@ -614,12 +617,14 @@ fn scale() -> Result<(), String> {
         Some(arg) => cbf_bench::scale::parse_tier(&arg)?,
         None => 1_000_000,
     };
-    println!("SCALE — checker and simulator throughput (tiers up to {cap} events)");
+    println!("SCALE — checker, simulator and pipeline throughput (tiers up to {cap} events)");
     println!("Checker: incremental CausalChecker vs the legacy dense-closure oracle");
-    println!("(legacy measured at the smallest tier only — it is cubic — so the");
-    println!("quoted speedups above that tier are underestimates). Simulator: an");
-    println!("8-process ring through the slab flight table and calendar queue,");
-    println!("trace digests pinned against the committed fixture.\n");
+    println!("(legacy measured at a small anchor tier only — it is cubic — so the");
+    println!("quoted speedups are underestimates). Simulator: an 8-process ring");
+    println!("through the slab flight table and calendar queue. Pipeline: the");
+    println!("simulation overlapped with sharded incremental checking, sealed");
+    println!("trace segments recycled mid-run. All digests are pinned against");
+    println!("committed fixtures.\n");
 
     let report = cbf_bench::scale::scale_report(cap)?;
     print!("{}", cbf_bench::scale::render_scale(&report));
@@ -644,7 +649,41 @@ fn scale() -> Result<(), String> {
             return Err(format!("scale: tier {} verdict not consistent", r.tier));
         }
     }
-    println!("All world-tier digests matched the committed fixture.");
+    for r in &report.pipeline {
+        if !r.verdict_ok {
+            return Err(format!(
+                "scale: pipeline tier {} verdict not consistent",
+                r.tier
+            ));
+        }
+    }
+    if let Some(r) = report.pipeline.last() {
+        println!(
+            "Pipeline at {} txs: {:.0} ms wall (sim {:.0} ms ∥ check {:.0} ms, \
+             overlap {:.2}), {} of {} trace segments recycled, peak {} resident.",
+            r.tier,
+            r.wall_ms,
+            r.sim_span_ms,
+            r.check_span_ms,
+            r.overlap_ratio,
+            r.recycled_segments,
+            r.recycled_segments + r.peak_segments_resident,
+            r.peak_segments_resident
+        );
+    }
+    println!("All world- and pipeline-tier digests matched the committed fixtures;");
+    println!("the streaming path replayed bit-identical to its offline twin.\n");
+
+    // Throughput regression gate, tier by tier, against the committed
+    // baseline snapshot (same machinery as the perfbench gate).
+    let args: Vec<String> = std::env::args().collect();
+    match baseline::load("BENCH_scale.json") {
+        Some(base) => baseline::enforce(
+            &baseline::gate_scale(&base, &report),
+            baseline::report_only(&args),
+        )?,
+        None => println!("regression gate: no baseline committed — skipped"),
+    }
     Ok(())
 }
 
@@ -667,16 +706,14 @@ fn run_perfbench() -> Result<(), String> {
     let spec: &[Exhibit] = &[
         ("table1", || render_table1(&table1_rows())),
         ("latency", || {
-            let mut out = String::new();
-            for (mix, name) in [
+            let mixes = [
                 (Mix::ycsb_c(), "YCSB-C (100% read)"),
                 (Mix::ycsb_b(), "YCSB-B (95% read)"),
                 (Mix::ycsb_a(), "YCSB-A (50% read)"),
-            ] {
-                out.push_str(&render_latency_table(
-                    name,
-                    &latency_table(mix, name, 120, 42),
-                ));
+            ];
+            let mut out = String::new();
+            for ((_, name), rows) in mixes.iter().zip(latency_tables(&mixes, 120, 42)) {
+                out.push_str(&render_latency_table(name, &rows));
             }
             out
         }),
@@ -716,7 +753,20 @@ fn run_perfbench() -> Result<(), String> {
     };
     let path = "results/BENCH_harness.json";
     std::fs::write(path, report.to_json(0)).map_err(|e| format!("cannot write {path}: {e}"))?;
-    println!("\n  [written {path}]");
+    println!("\n  [written {path}]\n");
+
+    // The regression gate: fail (non-zero exit) if any exhibit's
+    // speedup fell more than the tolerance below the committed
+    // baseline. `--report-only` / SNOWBOUND_GATE=report demote to a
+    // warning on noisy runners.
+    let args: Vec<String> = std::env::args().collect();
+    match baseline::load("BENCH_harness.json") {
+        Some(base) => baseline::enforce(
+            &baseline::gate_perfbench(&base, &report),
+            baseline::report_only(&args),
+        )?,
+        None => println!("regression gate: no baseline committed — skipped"),
+    }
     Ok(())
 }
 

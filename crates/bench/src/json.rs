@@ -186,12 +186,44 @@ impl ToJson for crate::scale::WorldScaleRow {
     }
 }
 
+impl ToJson for crate::scale::PipelineScaleRow {
+    fn to_json(&self, indent: usize) -> String {
+        let shard_tps = format!(
+            "[{}]",
+            self.shard_tps
+                .iter()
+                .map(|t| format!("{t:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        Obj::new()
+            .u64("tier", self.tier)
+            .f64("wall_ms", self.wall_ms)
+            .f64("sim_span_ms", self.sim_span_ms)
+            .f64("check_span_ms", self.check_span_ms)
+            // 0 = sequential, →1 = producer and consumer fully
+            // overlapped; serial runs report 0 by construction.
+            .f64("overlap_ratio", self.overlap_ratio)
+            .f64("tx_per_sec", self.tx_per_sec)
+            .raw("shard_tx_per_sec", shard_tps)
+            .u64("events", self.events)
+            .u64("trace_events", self.trace_events)
+            .u64("peak_segments_resident", self.peak_segments_resident)
+            .u64("recycled_segments", self.recycled_segments)
+            .str("digest", &format!("{:016x}", self.digest))
+            .bool("verdict_ok", self.verdict_ok)
+            .render(indent)
+    }
+}
+
 impl ToJson for crate::scale::ScaleReport {
     fn to_json(&self, indent: usize) -> String {
         Obj::new()
-            .str("schema", "snowbound-scale-v1")
+            // v2 adds the streaming-pipeline tier array.
+            .str("schema", "snowbound-scale-v2")
             .raw("checker", self.checker.to_json(indent + 1))
             .raw("world", self.world.to_json(indent + 1))
+            .raw("pipeline", self.pipeline.to_json(indent + 1))
             .render(indent)
     }
 }

@@ -17,9 +17,11 @@
 use snowbound::prelude::*;
 use snowbound::theorem;
 
+pub mod baseline;
 pub mod chaos;
 pub mod json;
 pub mod perfbench;
+pub mod pipeline;
 pub mod scale;
 
 /// Latency landmark of one protocol under one mix: mean / p50 / p99 of
@@ -78,19 +80,65 @@ pub fn latency_row<N: ProtocolNode>(mix: Mix, mix_name: &str, ops: usize, seed: 
 /// pure function of `(mix, ops, seed)`, so the table is bit-identical
 /// to the serial loop (`SNOWBOUND_THREADS=1` *is* the serial loop).
 pub fn latency_table(mix: Mix, mix_name: &str, ops: usize, seed: u64) -> Vec<LatencyRow> {
-    let jobs: Vec<Box<dyn Fn() -> LatencyRow + Send + '_>> = vec![
-        Box::new(move || latency_row::<CopsSnowNode>(mix, mix_name, ops, seed)),
-        Box::new(move || latency_row::<CopsNode>(mix, mix_name, ops, seed)),
-        Box::new(move || latency_row::<RampNode>(mix, mix_name, ops, seed)),
-        Box::new(move || latency_row::<EigerNode>(mix, mix_name, ops, seed)),
-        Box::new(move || latency_row::<ContrarianNode>(mix, mix_name, ops, seed)),
-        Box::new(move || latency_row::<WrenNode>(mix, mix_name, ops, seed)),
-        Box::new(move || latency_row::<GentleRainNode>(mix, mix_name, ops, seed)),
-        Box::new(move || latency_row::<CopsRwNode>(mix, mix_name, ops, seed)),
-        Box::new(move || latency_row::<CalvinNode>(mix, mix_name, ops, seed)),
-        Box::new(move || latency_row::<SpannerNode>(mix, mix_name, ops, seed)),
-    ];
-    cbf_par::parallel_map(jobs, |job| job())
+    latency_tables(&[(mix, mix_name)], ops, seed)
+        .pop()
+        .expect("one mix in, one table out")
+}
+
+/// Protocols per mix in [`latency_table`] / [`latency_tables`].
+const LATENCY_PROTOCOLS: usize = 10;
+
+/// Every (protocol, mix) latency cell of the design space, in one flat
+/// fan-out.
+///
+/// The old shape ran one `parallel_map` per mix — sequential 10-job
+/// barriers, each ending in a join that idles most workers while the
+/// slowest protocol finishes. Flattened, all cells are independent
+/// units of work in a single fan-out, so the thread pool stays busy end
+/// to end. Returns one table per input mix, in input order, each in the
+/// same fixed protocol order as [`latency_table`]; every cell is a pure
+/// function of `(mix, ops, seed)`, so the result is bit-identical to
+/// calling [`latency_table`] once per mix (and to the serial loop).
+pub fn latency_tables<'a>(mixes: &[(Mix, &'a str)], ops: usize, seed: u64) -> Vec<Vec<LatencyRow>> {
+    let mut jobs: Vec<Box<dyn Fn() -> LatencyRow + Send + 'a>> = Vec::new();
+    for &(mix, name) in mixes {
+        jobs.push(Box::new(move || {
+            latency_row::<CopsSnowNode>(mix, name, ops, seed)
+        }));
+        jobs.push(Box::new(move || {
+            latency_row::<CopsNode>(mix, name, ops, seed)
+        }));
+        jobs.push(Box::new(move || {
+            latency_row::<RampNode>(mix, name, ops, seed)
+        }));
+        jobs.push(Box::new(move || {
+            latency_row::<EigerNode>(mix, name, ops, seed)
+        }));
+        jobs.push(Box::new(move || {
+            latency_row::<ContrarianNode>(mix, name, ops, seed)
+        }));
+        jobs.push(Box::new(move || {
+            latency_row::<WrenNode>(mix, name, ops, seed)
+        }));
+        jobs.push(Box::new(move || {
+            latency_row::<GentleRainNode>(mix, name, ops, seed)
+        }));
+        jobs.push(Box::new(move || {
+            latency_row::<CopsRwNode>(mix, name, ops, seed)
+        }));
+        jobs.push(Box::new(move || {
+            latency_row::<CalvinNode>(mix, name, ops, seed)
+        }));
+        jobs.push(Box::new(move || {
+            latency_row::<SpannerNode>(mix, name, ops, seed)
+        }));
+    }
+    debug_assert_eq!(jobs.len(), mixes.len() * LATENCY_PROTOCOLS);
+    let mut cells = cbf_par::parallel_map(jobs, |job| job()).into_iter();
+    mixes
+        .iter()
+        .map(|_| cells.by_ref().take(LATENCY_PROTOCOLS).collect())
+        .collect()
 }
 
 /// Render one mix's latency table as the `repro latency` text block.

@@ -1,7 +1,7 @@
 //! The `repro scale` exhibit: verification-pipeline throughput at
 //! 10k / 100k / 1M transactions (checker) and events (simulator).
 //!
-//! Two product claims are measured here, wall-clock, on every run:
+//! Three product claims are measured here, wall-clock, on every run:
 //!
 //! * **Checker scaling** — [`CausalChecker`] ingests a single-writer-
 //!   per-key workload one transaction at a time and renders one verdict
@@ -19,6 +19,13 @@
 //!   trace length and the pre-sized capacity, so a scheduler change
 //!   that perturbs event order fails `repro scale` — and the fixture
 //!   unit test — before it reaches any protocol suite.
+//! * **Streaming pipeline** — [`crate::pipeline::run_pipeline`] drives a
+//!   key-value world and checks it *while it runs*: committed
+//!   transactions flow through a channel into a sharded incremental
+//!   checker, and sealed trace segments are recycled as soon as they are
+//!   folded into the running digest. The gates assert the digest against
+//!   its own committed fixture, the O(batch) resident-segment bound, and
+//!   bit-identity with the full-retention offline twin at the cheap tier.
 //!
 //! Everything here is deterministic: the workload is seeded, the worlds
 //! are virtual-time, and only the wall-clock fields vary run to run.
@@ -37,14 +44,33 @@ pub const CHECKER_TIERS: &[usize] = &[10_000, 100_000, 1_000_000];
 /// Hop-count tiers for the simulator measurement.
 pub const WORLD_TIERS: &[u32] = &[10_000, 100_000, 1_000_000];
 
-/// The legacy oracle is measured at this tier only (cubic closure: at
-/// 100k transactions it would run for hours and allocate two ~1.2 GB
-/// bit matrices).
-pub const LEGACY_TIER: usize = 10_000;
+/// Operation-count tiers for the streaming pipeline measurement, with
+/// the key-space width each runs over (≥ one key per server, divisible
+/// by the server count — see [`crate::pipeline::run_pipeline`]).
+pub const PIPELINE_TIERS: &[(usize, u32)] = &[(10_000, 256), (100_000, 1_024), (1_000_000, 4_096)];
+
+/// The streaming path must agree with its offline twin bit for bit;
+/// asserting that at every tier would double the run, so the scale gate
+/// replays both paths at this (cheap) tier only. The full 32-seed sweep
+/// lives in the differential test suite.
+pub const PIPELINE_DIFF_TIER: usize = 10_000;
+
+/// The legacy oracle is measured at this tier only (cubic closure: a
+/// few thousand transactions already cost tens of milliseconds, 10k
+/// costs seconds, and 100k would run for hours and allocate two ~1.2 GB
+/// bit matrices). Every other exhibit cell stays above the `cbf_par`
+/// work floor; this one tier is the deliberate exception that anchors
+/// the speedup columns.
+pub const LEGACY_TIER: usize = 2_000;
 
 /// Committed trace digests per world tier; regenerate by running
 /// `repro scale` and copying the printed digests.
 const DIGEST_FIXTURE: &str = include_str!("../fixtures/scale_digests.txt");
+
+/// Committed trace digests per pipeline tier (same format); the
+/// streaming path recycles segments as it goes, so a digest match here
+/// proves the running-fold bookkeeping, not just the schedule.
+const PIPELINE_DIGEST_FIXTURE: &str = include_str!("../fixtures/pipeline_digests.txt");
 
 /// One checker tier: incremental wall-clock vs the small-tier legacy
 /// baseline.
@@ -88,6 +114,40 @@ pub struct WorldScaleRow {
     pub digest: u64,
 }
 
+/// One streaming-pipeline tier: simulation overlapped with sharded
+/// checking, segment recycling on.
+#[derive(Clone, Debug)]
+pub struct PipelineScaleRow {
+    /// Operations driven through the world (= transactions checked).
+    pub tier: u64,
+    /// End-to-end wall-clock of the overlapped run, milliseconds.
+    pub wall_ms: f64,
+    /// Producer (simulate + drain) busy span, milliseconds.
+    pub sim_span_ms: f64,
+    /// Consumer (ingest + verdict) busy span, milliseconds.
+    pub check_span_ms: f64,
+    /// `(sim + check) / wall − 1` clamped to `[0, 1]`: 0 = sequential,
+    /// →1 = fully overlapped. Serial mode reports 0 by construction.
+    pub overlap_ratio: f64,
+    /// Checked transactions per second of wall-clock.
+    pub tx_per_sec: f64,
+    /// Transactions per second per checker shard, shard order.
+    pub shard_tps: Vec<f64>,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Trace events recorded (recycled ones included).
+    pub trace_events: u64,
+    /// Peak sealed segments resident at any drain point — the streaming
+    /// memory bound (O(batch), not O(trace)).
+    pub peak_segments_resident: u64,
+    /// Segments recycled through the sink over the run.
+    pub recycled_segments: u64,
+    /// Trace digest (running fold over recycled + resident events).
+    pub digest: u64,
+    /// The merged sharded verdict came back consistent.
+    pub verdict_ok: bool,
+}
+
 /// The whole scale report.
 #[derive(Clone, Debug)]
 pub struct ScaleReport {
@@ -95,6 +155,8 @@ pub struct ScaleReport {
     pub checker: Vec<CheckerScaleRow>,
     /// Simulator tiers actually run.
     pub world: Vec<WorldScaleRow>,
+    /// Streaming-pipeline tiers actually run.
+    pub pipeline: Vec<PipelineScaleRow>,
 }
 
 /// A consistent single-writer-per-key workload: key `k` is owned by
@@ -157,6 +219,20 @@ pub fn checker_scale(max_tier: u64) -> Vec<CheckerScaleRow> {
     let legacy_ms = t0.elapsed().as_secs_f64() * 1e3;
     let legacy_tps = LEGACY_TIER as f64 / (legacy_ms / 1e3);
     assert!(legacy.is_ok(), "scale workload must be consistent");
+    {
+        // The differential claim, re-asserted on the exact workload the
+        // legacy columns come from (the measured tiers sit above the
+        // legacy tier, so they cannot carry this check themselves).
+        let mut ck = CausalChecker::new();
+        for t in h.transactions() {
+            ck.ingest(t.clone());
+        }
+        assert_eq!(
+            ck.verdict(),
+            legacy,
+            "incremental verdict diverged from legacy at the anchor tier"
+        );
+    }
 
     CHECKER_TIERS
         .iter()
@@ -171,9 +247,6 @@ pub fn checker_scale(max_tier: u64) -> Vec<CheckerScaleRow> {
             let v = ck.verdict();
             let incr_ms = t0.elapsed().as_secs_f64() * 1e3;
             let incr_tps = n as f64 / (incr_ms / 1e3);
-            if n == LEGACY_TIER {
-                assert_eq!(v, legacy, "incremental verdict diverged from legacy");
-            }
             CheckerScaleRow {
                 tier: n as u64,
                 incr_ms,
@@ -252,9 +325,53 @@ pub fn world_scale(max_tier: u64) -> Vec<WorldScaleRow> {
         .collect()
 }
 
+/// Measure the streaming-pipeline tiers up to `max_tier` operations.
+pub fn pipeline_scale(max_tier: u64) -> Vec<PipelineScaleRow> {
+    PIPELINE_TIERS
+        .iter()
+        .filter(|&&(ops, _)| ops as u64 <= max_tier)
+        .map(|&(ops, keys)| {
+            let out = crate::pipeline::run_pipeline(ops, keys, 42);
+            let check_s = (out.check_span_ms / 1e3).max(1e-9);
+            PipelineScaleRow {
+                tier: out.txs,
+                wall_ms: out.wall_ms,
+                sim_span_ms: out.sim_span_ms,
+                check_span_ms: out.check_span_ms,
+                overlap_ratio: out.overlap_ratio,
+                tx_per_sec: out.txs as f64 / (out.wall_ms / 1e3).max(1e-9),
+                shard_tps: out.shard_txs.iter().map(|&n| n as f64 / check_s).collect(),
+                events: out.events,
+                trace_events: out.trace_events,
+                peak_segments_resident: out.peak_segments_resident,
+                recycled_segments: out.recycled_segments,
+                digest: out.digest,
+                verdict_ok: out.verdict.is_ok(),
+            }
+        })
+        .collect()
+}
+
+/// The streaming pipeline may hold at most this many sealed segments
+/// resident: the events of one inject batch (~4 per operation) plus the
+/// boundary segment on either side. Independent of run length — that is
+/// the streaming claim.
+pub fn pipeline_segment_bound() -> u64 {
+    (4 * crate::pipeline::BATCH_OPS / cbf_sim::SEAL_CAP) as u64 + 2
+}
+
 /// The committed digest for a world tier, if the fixture pins one.
 pub fn expected_digest(tier: u64) -> Option<u64> {
-    DIGEST_FIXTURE.lines().find_map(|line| {
+    fixture_digest(DIGEST_FIXTURE, tier)
+}
+
+/// The committed digest for a pipeline tier, if the fixture pins one.
+pub fn expected_pipeline_digest(tier: u64) -> Option<u64> {
+    fixture_digest(PIPELINE_DIGEST_FIXTURE, tier)
+}
+
+fn fixture_digest(fixture: &str, tier: u64) -> Option<u64> {
+    fixture.lines().find_map(|line| {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             return None;
@@ -273,6 +390,7 @@ pub fn scale_report(max_tier: u64) -> Result<ScaleReport, String> {
     let report = ScaleReport {
         checker: checker_scale(max_tier),
         world: world_scale(max_tier),
+        pipeline: pipeline_scale(max_tier),
     };
     for row in &report.world {
         if let Some(want) = expected_digest(row.tier) {
@@ -283,6 +401,51 @@ pub fn scale_report(max_tier: u64) -> Result<ScaleReport, String> {
                     row.tier, row.digest, want
                 ));
             }
+        }
+    }
+    let seg_bound = pipeline_segment_bound();
+    for row in &report.pipeline {
+        if let Some(want) = expected_pipeline_digest(row.tier) {
+            if row.digest != want {
+                return Err(format!(
+                    "scale: pipeline tier {} digest {:016x} != committed fixture {:016x} \
+                     — the streaming schedule or the recycling fold changed",
+                    row.tier, row.digest, want
+                ));
+            }
+        }
+        if row.peak_segments_resident > seg_bound {
+            return Err(format!(
+                "scale: pipeline tier {} held {} sealed segments resident (bound {}) \
+                 — recycling is no longer keeping memory O(batch)",
+                row.tier, row.peak_segments_resident, seg_bound
+            ));
+        }
+    }
+    // The bit-identity gate: replay the cheapest tier through both the
+    // streaming path and its full-retention offline twin.
+    if PIPELINE_DIFF_TIER as u64 <= max_tier {
+        let (ops, keys) = *PIPELINE_TIERS
+            .iter()
+            .find(|&&(ops, _)| ops == PIPELINE_DIFF_TIER)
+            .expect("diff tier must be a pipeline tier");
+        let streamed = crate::pipeline::run_pipeline(ops, keys, 42);
+        let offline = crate::pipeline::run_offline(ops, keys, 42);
+        if streamed.digest != offline.digest
+            || streamed.verdict != offline.verdict
+            || streamed.shard_txs != offline.shard_txs
+        {
+            return Err(format!(
+                "scale: streaming pipeline diverged from the offline path at {ops} ops: \
+                 digest {:016x} vs {:016x}, verdicts {}equal",
+                streamed.digest,
+                offline.digest,
+                if streamed.verdict == offline.verdict {
+                    ""
+                } else {
+                    "not "
+                }
+            ));
         }
     }
     Ok(report)
@@ -318,6 +481,27 @@ pub fn render_scale(report: &ScaleReport) -> String {
             r.events_per_sec,
             r.trace_events,
             r.trace_capacity,
+            r.digest
+        ));
+    }
+    out.push_str(
+        "\n-- streaming pipeline (sim overlapped with sharded check, segments recycled)\n",
+    );
+    out.push_str(&format!(
+        "   {:>9} {:>9} {:>9} {:>9} {:>8} {:>12} {:>9} {:>8}  digest\n",
+        "txs", "wall ms", "sim ms", "check ms", "overlap", "tx/s", "trace", "peak seg"
+    ));
+    for r in &report.pipeline {
+        out.push_str(&format!(
+            "   {:>9} {:>9.1} {:>9.1} {:>9.1} {:>8.2} {:>12.0} {:>9} {:>8}  {:016x}\n",
+            r.tier,
+            r.wall_ms,
+            r.sim_span_ms,
+            r.check_span_ms,
+            r.overlap_ratio,
+            r.tx_per_sec,
+            r.trace_events,
+            r.peak_segments_resident,
             r.digest
         ));
     }
@@ -385,6 +569,29 @@ mod tests {
             row.trace_capacity >= row.trace_events,
             "pre-sizing must cover the recorded trace"
         );
+    }
+
+    #[test]
+    fn pipeline_tier_digest_matches_committed_fixture() {
+        // Same gate as the world fixture, for the streaming path: the
+        // smallest pipeline tier must replay bit-identically, running
+        // digest fold and all.
+        let rows = pipeline_scale(PIPELINE_DIFF_TIER as u64);
+        let row = &rows[0];
+        let want = expected_pipeline_digest(row.tier).expect("fixture must pin the smallest tier");
+        assert_eq!(
+            row.digest, want,
+            "pipeline trace digest {:016x} != fixture {:016x}",
+            row.digest, want
+        );
+        assert!(row.verdict_ok);
+        assert!(
+            row.peak_segments_resident <= pipeline_segment_bound(),
+            "peak resident segments {} exceeded the O(batch) bound {}",
+            row.peak_segments_resident,
+            pipeline_segment_bound()
+        );
+        assert!(row.recycled_segments > 0, "nothing was recycled");
     }
 
     #[test]

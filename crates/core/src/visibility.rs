@@ -75,7 +75,12 @@ pub fn schedule_family(topo: &cbf_protocols::Topology) -> Vec<ProbeSchedule> {
 /// is a pure function of the (immutable) configuration and its schedule.
 pub fn is_visible<N: ProtocolNode>(setup: &TheoremSetup<N>, key: Key, expect: Value) -> bool {
     let family = schedule_family(&setup.cluster.topo);
-    cbf_par::parallel_map(family, |s| {
+    // A probe forks a small cluster and runs it to the read's
+    // completion — tens of microseconds. The family is a handful of
+    // schedules, so the fan-out stays serial under the default work
+    // floor; `is_visible` is itself called from inside the parallel
+    // table-1 rows, where nested spawning costs more than it saves.
+    cbf_par::parallel_map_costed(family, 50_000, |s| {
         match probe_reads(&setup.cluster, setup.probe, &setup.keys, s) {
             Some(reads) => reads.iter().any(|&(k, v)| k == key && v == expect),
             // An incomplete probe cannot have returned `expect`.

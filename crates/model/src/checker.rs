@@ -224,7 +224,13 @@ pub fn check_causal_legacy(h: &History) -> Verdict {
     // and the verdicts are folded back in client order, reproducing the
     // serial loop's violation order exactly.
     let clients = h.clients();
-    for (client, ok) in cbf_par::parallel_map(clients, |client| {
+    // The per-client fixpoint is roughly quadratic in history length;
+    // the n²/100 ns estimate keeps the tiny histories of the drive
+    // tests and latency cells serial while the legacy-oracle tiers
+    // still fan out.
+    let n = h.len() as u64;
+    let per_client = n.saturating_mul(n) / 100;
+    for (client, ok) in cbf_par::parallel_map_costed(clients, per_client, |client| {
         (client, client_serializable(h, &co, client))
     }) {
         if !ok {

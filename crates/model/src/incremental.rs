@@ -94,7 +94,7 @@ struct SessionScan {
 /// ck.ingest(tx(1, 1, &[(0, 1)], &[]));
 /// assert!(ck.verdict().is_ok());
 /// ```
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct CausalChecker {
     history: History,
     state: IngestState,
@@ -147,7 +147,7 @@ pub fn check_causal_incremental(h: &History) -> Verdict {
 
 /// The derived per-transaction state, separated from the owned history so
 /// [`check_causal_incremental`] can run over a borrowed one.
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 struct IngestState {
     n: usize,
     /// Per transaction: dense session index of its client.
@@ -155,15 +155,34 @@ struct IngestState {
     /// Per transaction: its index within its client's sequence.
     pos: Vec<u32>,
     /// Per transaction: the vector-clock frontier (length = sessions
-    /// discovered at ingest time; missing entries read as 0).
-    clocks: Vec<Vec<u32>>,
+    /// discovered at ingest time; missing entries read as 0). Frontiers
+    /// are append-only once written, so they live as slices of one flat
+    /// arena — `clock_off[t] .. clock_off[t] + clock_len[t]` — instead
+    /// of one heap `Vec` per transaction, which would put two or three
+    /// small allocations on every ingest (the streaming pipeline's hot
+    /// path).
+    clock_off: Vec<usize>,
+    /// Per transaction: frontier width (see `clock_off`).
+    clock_len: Vec<u32>,
+    /// Backing storage for all frontiers, in ingest order.
+    clock_arena: Vec<u32>,
+    /// Scratch the next frontier is assembled in; reused across ingests.
+    scratch: Vec<u32>,
     /// Client → dense session index, in sorted-client order.
     sessions: BTreeMap<ClientId, u32>,
     /// Dense session index → transaction indices, in program order.
     txs_of_session: Vec<Vec<usize>>,
-    /// `(key, value)` → writer transaction. Injective once
-    /// `values_distinct` holds, which `duplicate` tracks.
-    writer_of: BTreeMap<(Key, Value), usize>,
+    /// Value-indexed writer ledger for values below [`DENSE_VALUES`]:
+    /// `writer_slots[v] = (key, writer + 1)`, `0` meaning empty. One
+    /// indexed load per write/read instead of an ordered-map walk — the
+    /// streaming pipeline pays this on every transaction. Injective
+    /// once `values_distinct` holds, which `duplicate` tracks; when a
+    /// value *is* written under two keys the slot keeps the latest
+    /// writer, which is observationally identical because the verdict
+    /// short-circuits to `DuplicateValues` before any edge is reported.
+    writer_slots: Vec<(u32, u32)>,
+    /// Writers of values at or above [`DENSE_VALUES`].
+    writer_spill: BTreeMap<(Key, Value), usize>,
     /// Version chains: key → session → writing transactions in program
     /// order (each transaction at most once per key).
     chains: BTreeMap<Key, BTreeMap<u32, Vec<usize>>>,
@@ -177,7 +196,10 @@ struct IngestState {
     pending_keys: BTreeSet<(Key, Value)>,
     /// `(transaction, key)` for every `⊥`-read, in read order.
     bottom_reads: Vec<(usize, Key)>,
-    seen_values: BTreeSet<Value>,
+    /// Seen-value bitset for values below [`DENSE_VALUES`].
+    seen_bits: Vec<u64>,
+    /// Seen values at or above [`DENSE_VALUES`].
+    seen_spill: BTreeSet<Value>,
     /// Some value was written twice: verdict short-circuits exactly like
     /// the legacy precondition check.
     duplicate: bool,
@@ -186,7 +208,56 @@ struct IngestState {
     forward_edge: bool,
 }
 
+/// Values below this bound live in dense, value-indexed ledgers (the
+/// seen-bitset and the writer slots); larger ones spill to ordered maps.
+/// Harness-allocated values are small sequential integers, so the dense
+/// path covers essentially every transaction while the cap bounds the
+/// ledgers at 512 KiB (bits) + 32 MiB (slots) even for adversarial
+/// values just under it.
+const DENSE_VALUES: u64 = 1 << 22;
+
 impl IngestState {
+    /// Record `v` as written; true if it was never seen before.
+    fn see_value(&mut self, v: Value) -> bool {
+        if v.0 < DENSE_VALUES {
+            let word = (v.0 / 64) as usize;
+            let bit = 1u64 << (v.0 % 64);
+            if self.seen_bits.len() <= word {
+                self.seen_bits.resize(word + 1, 0);
+            }
+            let fresh = self.seen_bits[word] & bit == 0;
+            self.seen_bits[word] |= bit;
+            fresh
+        } else {
+            self.seen_spill.insert(v)
+        }
+    }
+
+    /// Record `idx` as the writer of `(k, v)`.
+    fn set_writer(&mut self, k: Key, v: Value, idx: usize) {
+        if v.0 < DENSE_VALUES {
+            let slot = v.0 as usize;
+            if self.writer_slots.len() <= slot {
+                self.writer_slots.resize(slot + 1, (0, 0));
+            }
+            self.writer_slots[slot] = (k.0, idx as u32 + 1);
+        } else {
+            self.writer_spill.insert((k, v), idx);
+        }
+    }
+
+    /// The transaction that wrote `(k, v)`, if any.
+    fn writer_of(&self, k: Key, v: Value) -> Option<usize> {
+        if v.0 < DENSE_VALUES {
+            match self.writer_slots.get(v.0 as usize) {
+                Some(&(wk, w1)) if w1 != 0 && wk == k.0 => Some(w1 as usize - 1),
+                _ => None,
+            }
+        } else {
+            self.writer_spill.get(&(k, v)).copied()
+        }
+    }
+
     fn session(&mut self, c: ClientId) -> u32 {
         if let Some(&s) = self.sessions.get(&c) {
             return s;
@@ -199,7 +270,11 @@ impl IngestState {
 
     /// `clock(t)[s]`, with absent entries reading 0.
     fn clk(&self, t: usize, s: u32) -> u32 {
-        self.clocks[t].get(s as usize).copied().unwrap_or(0)
+        if s < self.clock_len[t] {
+            self.clock_arena[self.clock_off[t] + s as usize]
+        } else {
+            0
+        }
     }
 
     /// `a <c b` under the frontier encoding (requires `a ≠ b`).
@@ -214,22 +289,25 @@ impl IngestState {
         let pos = self.txs_of_session[s as usize].len() as u32;
 
         // Frontier: start from the same client's previous transaction.
-        let mut clock: Vec<u32> = match self.txs_of_session[s as usize].last() {
-            Some(&prev) => self.clocks[prev].clone(),
-            None => Vec::new(),
-        };
+        let mut clock = std::mem::take(&mut self.scratch);
+        clock.clear();
+        if let Some(&prev) = self.txs_of_session[s as usize].last() {
+            let off = self.clock_off[prev];
+            let len = self.clock_len[prev] as usize;
+            clock.extend_from_slice(&self.clock_arena[off..off + len]);
+        }
 
         // Writes first: the legacy writer map covers the whole history,
         // so a transaction's own writes are visible to its reads (and
         // resolve them to "unknown" — reads observe the pre-state).
         for &(k, v) in &t.writes {
-            if !self.seen_values.insert(v) {
+            if !self.see_value(v) {
                 self.duplicate = true;
             }
             if self.pending_keys.contains(&(k, v)) {
                 self.forward_edge = true;
             }
-            self.writer_of.insert((k, v), idx);
+            self.set_writer(k, v, idx);
             let chain = self.chains.entry(k).or_default().entry(s).or_default();
             if chain.last() != Some(&idx) {
                 chain.push(idx);
@@ -241,8 +319,8 @@ impl IngestState {
                 self.bottom_reads.push((idx, k));
                 continue;
             }
-            match self.writer_of.get(&(k, v)) {
-                Some(&w) if w != idx => {
+            match self.writer_of(k, v) {
+                Some(w) if w != idx => {
                     self.reads_from.push(ReadsFrom {
                         reader: idx,
                         writer: w,
@@ -250,11 +328,13 @@ impl IngestState {
                         value: v,
                     });
                     // Join the writer's frontier into ours.
-                    let wc = self.clocks[w].clone();
-                    if clock.len() < wc.len() {
-                        clock.resize(wc.len(), 0);
+                    let off = self.clock_off[w];
+                    let len = self.clock_len[w] as usize;
+                    if clock.len() < len {
+                        clock.resize(len, 0);
                     }
-                    for (mine, theirs) in clock.iter_mut().zip(&wc) {
+                    let wc = &self.clock_arena[off..off + len];
+                    for (mine, theirs) in clock.iter_mut().zip(wc) {
                         *mine = (*mine).max(*theirs);
                     }
                 }
@@ -282,7 +362,10 @@ impl IngestState {
             clock.resize(s as usize + 1, 0);
         }
         clock[s as usize] = pos + 1;
-        self.clocks.push(clock);
+        self.clock_off.push(self.clock_arena.len());
+        self.clock_len.push(clock.len() as u32);
+        self.clock_arena.extend_from_slice(&clock);
+        self.scratch = clock;
         self.pos.push(pos);
         self.session_of.push(s);
         self.txs_of_session[s as usize].push(idx);
@@ -323,7 +406,14 @@ impl IngestState {
         }
 
         let jobs: Vec<(ClientId, u32)> = self.sessions.iter().map(|(&c, &s)| (c, s)).collect();
-        let scans = cbf_par::parallel_map(jobs, |(client, s)| {
+        // Each session scan walks its reads-from edges and bottom reads
+        // (binary search + a chain window per edge, ~200 ns each), so
+        // small histories — every latency cell, every drive test — stay
+        // on the calling thread instead of paying the spawn tax inside
+        // an already-parallel outer exhibit.
+        let per_session = (self.reads_from.len() + self.bottom_reads.len()) as u64 * 200
+            / jobs.len().max(1) as u64;
+        let scans = cbf_par::parallel_map_costed(jobs, per_session, |(client, s)| {
             self.scan_session(
                 client,
                 s,

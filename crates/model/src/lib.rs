@@ -43,6 +43,7 @@ pub mod history;
 pub mod incremental;
 pub mod relations;
 pub mod session;
+pub mod streaming;
 pub mod types;
 
 pub use audit::{ConsistencyLevel, PropertyProfile, RotAudit, WtxAudit};
@@ -55,4 +56,5 @@ pub use relations::{CausalOrder, ReadsFrom, Relation};
 pub use session::{
     check_monotonic_reads, check_read_atomicity, check_read_your_writes, SessionViolation,
 };
+pub use streaming::ShardedChecker;
 pub use types::{ClientId, Key, TxId, Value};

@@ -46,6 +46,7 @@ mod actor;
 mod calendar;
 mod fault;
 mod latency;
+mod sink;
 mod slab;
 mod smallvec;
 mod trace;
@@ -55,6 +56,7 @@ mod world;
 pub use actor::{Actor, Ctx, Envelope};
 pub use fault::{Crash, FaultPlan, Partition};
 pub use latency::{LatencyKind, LatencyModel};
+pub use sink::{CountingSink, FnSink, SegmentSink};
 pub use smallvec::SmallVec;
 pub use trace::{Trace, TraceEvent, TraceView, SEAL_CAP};
 pub use types::{Link, MsgId, ProcessId, RunOutcome, SimConfig, Time, MICROS, MILLIS, SECONDS};

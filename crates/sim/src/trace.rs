@@ -25,6 +25,7 @@
 //! it (the common "what did this sub-execution do" audit) and
 //! materializes a copy only when the range crosses sealed segments.
 
+use crate::sink::SegmentSink;
 use crate::types::{MsgId, ProcessId, Time};
 use std::fmt;
 use std::ops::Deref;
@@ -33,6 +34,35 @@ use std::sync::Arc;
 /// Events per sealed segment. Every sealed segment holds exactly this
 /// many events, which is what makes [`Trace::event_at`] O(1).
 pub const SEAL_CAP: usize = 512;
+
+/// FNV-1a offset basis (the digest's initial state).
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Fold one event into an FNV-1a state, over its `Debug` rendering —
+/// the same byte stream [`Trace::digest`] has always hashed, factored
+/// out so the recycled prefix and the resident suffix use one code
+/// path.
+fn fold_event<M: fmt::Debug>(h: &mut u64, ev: &TraceEvent<M>) {
+    use fmt::Write as _;
+    // Streaming adapter: hashes the formatter's output as it is
+    // produced instead of materializing a `String` per event — the
+    // digest fold runs once per trace event, so the allocation would be
+    // the hot path's dominant cost. The byte stream (and therefore
+    // every digest) is unchanged.
+    struct Fnv<'a>(&'a mut u64);
+    impl fmt::Write for Fnv<'_> {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            for b in s.bytes() {
+                *self.0 ^= b as u64;
+                *self.0 = self.0.wrapping_mul(FNV_PRIME);
+            }
+            Ok(())
+        }
+    }
+    let _ = write!(Fnv(h), "{ev:?}");
+}
 
 /// One recorded event.
 #[derive(Clone, Debug, PartialEq)]
@@ -153,6 +183,13 @@ pub struct Trace<M> {
     /// Events not yet sealed; always shorter than [`SEAL_CAP`].
     tail: Vec<TraceEvent<M>>,
     enabled: bool,
+    /// Events recycled through a [`SegmentSink`] and freed. Always a
+    /// prefix of the logical event sequence; indices below this are no
+    /// longer addressable.
+    recycled: usize,
+    /// Running FNV-1a state over the recycled prefix, so
+    /// [`Trace::digest`] stays bit-identical to full retention.
+    recycled_digest: u64,
 }
 
 impl<M: Clone + fmt::Debug> Trace<M> {
@@ -162,6 +199,8 @@ impl<M: Clone + fmt::Debug> Trace<M> {
             segments: Vec::new(),
             tail: Vec::new(),
             enabled,
+            recycled: 0,
+            recycled_digest: FNV_OFFSET,
         }
     }
 
@@ -186,10 +225,11 @@ impl<M: Clone + fmt::Debug> Trace<M> {
         self.sealed_len() + self.tail.capacity()
     }
 
-    /// Number of events in sealed segments.
+    /// Number of events logically before the tail: recycled events plus
+    /// events in resident sealed segments.
     #[inline]
     fn sealed_len(&self) -> usize {
-        self.segments.len() * SEAL_CAP
+        self.recycled + self.segments.len() * SEAL_CAP
     }
 
     #[inline]
@@ -204,15 +244,21 @@ impl<M: Clone + fmt::Debug> Trace<M> {
         }
     }
 
-    /// The event at index `i` (panics when out of bounds). O(1): sealed
-    /// segments have fixed size, so this is index arithmetic.
+    /// The event at index `i` (panics when out of bounds *or recycled*).
+    /// O(1): sealed segments have fixed size, so this is index
+    /// arithmetic. Indices below [`Trace::recycled_events`] were handed
+    /// to a sink and freed; streaming runs must not index behind the
+    /// recycle frontier.
     #[inline]
     pub fn event_at(&self, i: usize) -> &TraceEvent<M> {
-        let sealed = self.sealed_len();
-        if i < sealed {
-            &self.segments[i / SEAL_CAP][i % SEAL_CAP]
+        let rel = i
+            .checked_sub(self.recycled)
+            .expect("event was recycled through a SegmentSink");
+        let resident_sealed = self.segments.len() * SEAL_CAP;
+        if rel < resident_sealed {
+            &self.segments[rel / SEAL_CAP][rel % SEAL_CAP]
         } else {
-            &self.tail[i - sealed]
+            &self.tail[rel - resident_sealed]
         }
     }
 
@@ -227,7 +273,9 @@ impl<M: Clone + fmt::Debug> Trace<M> {
         }
     }
 
-    /// Iterate all events in order without copying.
+    /// Iterate all *resident* events in order without copying. Before
+    /// any recycling this is every event; after recycling the freed
+    /// prefix is gone and iteration starts at the recycle frontier.
     pub fn iter(&self) -> impl Iterator<Item = &TraceEvent<M>> {
         self.segments
             .iter()
@@ -254,14 +302,73 @@ impl<M: Clone + fmt::Debug> Trace<M> {
         if mark >= sealed {
             TraceView::Borrowed(&self.tail[mark - sealed..])
         } else {
-            TraceView::Owned(self.iter().skip(mark).cloned().collect())
+            // `iter` starts at the recycle frontier; a mark behind it
+            // can only return what is still resident.
+            TraceView::Owned(
+                self.iter()
+                    .skip(mark.saturating_sub(self.recycled))
+                    .cloned()
+                    .collect(),
+            )
         }
     }
 
-    /// Drop all recorded events (keeps the enabled flag).
+    /// Drop all recorded events (keeps the enabled flag) and reset the
+    /// recycle frontier and its digest state.
     pub fn clear(&mut self) {
         self.segments.clear();
         self.tail.clear();
+        self.recycled = 0;
+        self.recycled_digest = FNV_OFFSET;
+    }
+
+    /// Hand every *resident sealed* segment to `sink`, fold it into the
+    /// running digest, and free it. Returns the number of segments
+    /// drained. The tail (still mutable, shorter than [`SEAL_CAP`])
+    /// stays put — call this periodically during a streaming run, then
+    /// [`Trace::drain_rest`] once at the end.
+    pub fn drain_sealed<S: SegmentSink<M> + ?Sized>(&mut self, sink: &mut S) -> usize {
+        let n = self.segments.len();
+        for seg in self.segments.drain(..) {
+            sink.consume(&seg);
+            for ev in seg.iter() {
+                fold_event(&mut self.recycled_digest, ev);
+            }
+            self.recycled += seg.len();
+        }
+        n
+    }
+
+    /// End-of-run flush: drain remaining sealed segments, then the tail
+    /// (the one segment allowed to be shorter than [`SEAL_CAP`]).
+    /// Returns segments handed to the sink. After this every recorded
+    /// event has passed through exactly one `consume` call and
+    /// [`Trace::digest`] equals the full-retention digest.
+    pub fn drain_rest<S: SegmentSink<M> + ?Sized>(&mut self, sink: &mut S) -> usize {
+        let mut n = self.drain_sealed(sink);
+        if !self.tail.is_empty() {
+            let tail = std::mem::take(&mut self.tail);
+            sink.consume(&tail);
+            for ev in &tail {
+                fold_event(&mut self.recycled_digest, ev);
+            }
+            self.recycled += tail.len();
+            n += 1;
+        }
+        n
+    }
+
+    /// Events recycled through a sink so far (the recycle frontier).
+    #[inline]
+    pub fn recycled_events(&self) -> usize {
+        self.recycled
+    }
+
+    /// Sealed segments currently resident in memory — the quantity the
+    /// streaming pipeline bounds (peak resident ≪ total segments).
+    #[inline]
+    pub fn resident_segments(&self) -> usize {
+        self.segments.len()
     }
 
     /// A 64-bit FNV-1a digest of the whole trace (over each event's
@@ -269,14 +376,12 @@ impl<M: Clone + fmt::Debug> Trace<M> {
     /// schedule; the determinism sweeps compare these, and a chaos
     /// failure is replayed by matching its digest from the same seed.
     pub fn digest(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf29ce484222325;
-        const PRIME: u64 = 0x100000001b3;
-        let mut h = OFFSET;
+        // FNV-1a is sequential over the event stream, so the state
+        // folded in at recycle time continues seamlessly over the
+        // resident suffix: recycling never changes the digest.
+        let mut h = self.recycled_digest;
         for ev in self.iter() {
-            for b in format!("{ev:?}").bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
+            fold_event(&mut h, ev);
         }
         h
     }
@@ -284,7 +389,7 @@ impl<M: Clone + fmt::Debug> Trace<M> {
     /// All `Send` events from `from` to `to` after index `mark`.
     pub fn sends_between(&self, from: ProcessId, to: ProcessId, mark: usize) -> Vec<TraceEvent<M>> {
         self.iter()
-            .skip(mark)
+            .skip(mark.saturating_sub(self.recycled))
             .filter(
                 |e| matches!(e, TraceEvent::Send { from: f, to: t, .. } if *f == from && *t == to),
             )
@@ -636,6 +741,72 @@ mod tests {
         // Shared history intact in both.
         assert_eq!(a.event_at(17).at(), 17);
         assert_eq!(b.event_at(17).at(), 17);
+    }
+
+    #[test]
+    fn recycling_preserves_digest_and_counts() {
+        use crate::sink::CountingSink;
+        let n = 5 * SEAL_CAP + 123;
+        let full = long_trace(n);
+        let want = full.digest();
+
+        // Stream the same events, draining sealed segments as they
+        // appear (as the pipeline does), then flush the tail.
+        let mut t: Trace<u32> = Trace::new(true);
+        let mut sink = CountingSink::default();
+        for i in 0..n {
+            t.push(TraceEvent::Step {
+                at: i as Time,
+                pid: ProcessId((i % 3) as u32),
+            });
+            if i % (2 * SEAL_CAP) == 0 {
+                t.drain_sealed(&mut sink);
+                assert!(t.resident_segments() <= 2);
+            }
+        }
+        t.drain_rest(&mut sink);
+        assert_eq!(t.len(), n, "recycling must not change the logical length");
+        assert_eq!(t.recycled_events(), n);
+        assert_eq!(sink.events, n, "every event reaches the sink exactly once");
+        assert_eq!(
+            t.digest(),
+            want,
+            "recycled digest must equal full retention"
+        );
+    }
+
+    #[test]
+    fn drain_midway_keeps_digest_and_tail_indexing() {
+        let n = 3 * SEAL_CAP + 7;
+        let mut t = long_trace(n);
+        let want = long_trace(n).digest();
+        let mut sink = crate::sink::CountingSink::default();
+        assert_eq!(t.drain_sealed(&mut sink), 3);
+        assert_eq!(t.digest(), want);
+        // Resident tail events stay addressable at their global index.
+        assert_eq!(t.event_at(n - 1).at(), (n - 1) as Time);
+        assert_eq!(t.since(3 * SEAL_CAP).len(), 7);
+        // Pushes keep working after a drain; the digest keeps matching
+        // a never-recycled twin.
+        t.push(TraceEvent::Step {
+            at: 9999,
+            pid: ProcessId(0),
+        });
+        let mut twin = long_trace(n);
+        twin.push(TraceEvent::Step {
+            at: 9999,
+            pid: ProcessId(0),
+        });
+        assert_eq!(t.digest(), twin.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "recycled")]
+    fn indexing_behind_the_recycle_frontier_panics() {
+        let mut t = long_trace(2 * SEAL_CAP);
+        let mut sink = crate::sink::CountingSink::default();
+        t.drain_sealed(&mut sink);
+        let _ = t.event_at(0);
     }
 
     #[test]

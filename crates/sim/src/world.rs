@@ -166,7 +166,12 @@ impl WorldStats {
 /// A complete configuration of the simulated system. See module docs.
 #[derive(Clone)]
 pub struct World<A: Actor> {
-    actors: Vec<A>,
+    /// Actor state machines. `Option` so [`World::do_step`] can *move* the
+    /// actor out for the duration of its step (a split borrow against the
+    /// rest of the world) instead of cloning it — a per-step `clone()`
+    /// is O(actor state) and dominates runs whose actors carry stores or
+    /// commit logs. A slot is only ever `None` inside `do_step`.
+    actors: Vec<Option<A>>,
     /// Display labels; immutable per run in practice, so forks share
     /// them through the `Arc` (copy-on-write via [`World::set_label`]).
     labels: Arc<Vec<String>>,
@@ -211,7 +216,7 @@ impl<A: Actor> World<A> {
     pub fn new(actors: Vec<A>, latency: LatencyModel, config: SimConfig) -> Self {
         let n = actors.len();
         let mut w = World {
-            actors,
+            actors: actors.into_iter().map(Some).collect(),
             labels: Arc::new((0..n).map(|i| format!("P{i}")).collect()),
             inboxes: (0..n).map(|_| SmallVec::new()).collect(),
             in_flight: FlightSlab::new(),
@@ -264,7 +269,10 @@ impl<A: Actor> World<A> {
         for i in 0..n {
             let pid = ProcessId(i as u32);
             let mut ctx = Ctx::new(pid, 0, Vec::new());
-            w.actors[i].on_start(&mut ctx);
+            w.actors[i]
+                .as_mut()
+                .expect("actors are all home before the first step")
+                .on_start(&mut ctx);
             w.flush_ctx(pid, ctx);
         }
         w
@@ -334,7 +342,9 @@ impl<A: Actor> World<A> {
     /// Immutable access to a process's state machine.
     #[inline]
     pub fn actor(&self, pid: ProcessId) -> &A {
-        &self.actors[pid.index()]
+        self.actors[pid.index()]
+            .as_ref()
+            .expect("actor is mid-step; World::actor is not reentrant")
     }
 
     /// Mutable access to a process's state machine. Intended for harness
@@ -342,7 +352,9 @@ impl<A: Actor> World<A> {
     /// protocol state directly from a test invalidates the experiment.
     #[inline]
     pub fn actor_mut(&mut self, pid: ProcessId) -> &mut A {
-        &mut self.actors[pid.index()]
+        self.actors[pid.index()]
+            .as_mut()
+            .expect("actor is mid-step; World::actor_mut is not reentrant")
     }
 
     /// Counters.
@@ -503,10 +515,16 @@ impl<A: Actor> World<A> {
         );
         self.trace.push(TraceEvent::Step { at: self.now, pid });
         self.stats.per_process[pid.index()].steps += 1;
-        // Split-borrow: take the actor out so `self` stays usable.
-        let mut actor = self.actors[pid.index()].clone();
+        // Split-borrow: *move* the actor out so `self` stays usable.
+        // Taking (not cloning) keeps a step O(work done), independent of
+        // how much state the actor carries; the slot is restored below,
+        // so it is `None` only while `step` runs (a panicking step leaves
+        // it empty, but the panic unwinds the whole run with it).
+        let mut actor = self.actors[pid.index()]
+            .take()
+            .expect("actor is mid-step; steps do not nest");
         actor.step(&mut ctx);
-        self.actors[pid.index()] = actor;
+        self.actors[pid.index()] = Some(actor);
         self.flush_ctx(pid, ctx);
     }
 
@@ -542,7 +560,10 @@ impl<A: Actor> World<A> {
                 // process; in-flight messages die on arrival instead.
                 let _ = self.inboxes[pid.index()].take();
                 if lose_volatile {
-                    self.actors[pid.index()].on_crash();
+                    self.actors[pid.index()]
+                        .as_mut()
+                        .expect("actor is mid-step during a crash fault")
+                        .on_crash();
                 }
             }
             FaultEv::Recover { pid } => {
@@ -672,8 +693,17 @@ impl<A: Actor> World<A> {
         self.push_event(self.now, EvKind::StepDue(pid));
     }
 
+    /// Schedule a computation step for `pid` at the current virtual time.
+    /// Pairs with [`World::inject_no_step`] for batched driving: inject a
+    /// whole batch without steps, then kick each target once — the step
+    /// drains the full income buffer, so the run processes the same
+    /// messages with O(processes) scheduler events instead of O(batch).
+    pub fn kick(&mut self, pid: ProcessId) {
+        self.push_event(self.now, EvKind::StepDue(pid));
+    }
+
     /// Like [`World::inject`] but without scheduling a step — the
-    /// adversary decides when the process runs.
+    /// adversary decides when the process runs (see [`World::kick`]).
     pub fn inject_no_step(&mut self, pid: ProcessId, msg: A::Msg) {
         self.trace.push(TraceEvent::Inject {
             at: self.now,

@@ -1,0 +1,28 @@
+//! Known-bad clone of the streaming pipeline harness: drops the
+//! module's `#![deny(unsafe_code)]` guard and commits the sins the
+//! producer/consumer split makes tempting — ad-hoc threads instead of
+//! the audited channel wiring, wall-clock spans feeding scheduling
+//! decisions, and an unsafe shortcut across the thread boundary. Lexed
+//! by the fixture tests under the path `crates/bench/src/pipeline.rs`
+//! (and `crates/model/src/streaming.rs` for the hash rule); never
+//! compiled.
+
+use std::collections::HashMap; // line: hash
+use std::time::Instant;
+
+pub struct BadPipeline {
+    shard_of: HashMap<u32, usize>, // line: hash-field
+    started: u64,
+}
+
+impl BadPipeline {
+    pub fn run(&mut self) {
+        self.started = Instant::now().elapsed().as_nanos() as u64; // line: clock
+        let handle = std::thread::spawn(move || 0u64); // line: thread
+        let _ = handle.join();
+    }
+
+    pub fn peek(&self, shard: usize) -> Option<&u64> {
+        unsafe { Some(&*(&self.started as *const u64).add(shard)) } // line: unsafe
+    }
+}

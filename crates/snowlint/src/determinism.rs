@@ -39,12 +39,21 @@ const UNSAFE_ALLOWED_FILE: &str = "crates/sim/src/smallvec.rs";
 /// The one crate allowed to create threads.
 const THREAD_ALLOWED_CRATE: &str = "crates/par/";
 
-/// Scheduler-core modules that promise safety in their docs: the slab
-/// flight table and the calendar event queue replaced std collections
-/// with index arithmetic, exactly the terrain where `unsafe` creeps in,
-/// so each must carry its own `#![deny(unsafe_code)]` even though the
-/// crate root is already the lexer's concern.
-const GUARDED_FILES: &[&str] = &["crates/sim/src/slab.rs", "crates/sim/src/calendar.rs"];
+/// Modules that promise safety in their docs and must carry their own
+/// `#![deny(unsafe_code)]` even though the crate root is already the
+/// lexer's concern. Two families: the scheduler core (the slab flight
+/// table and the calendar queue traded std collections for index
+/// arithmetic, exactly the terrain where `unsafe` creeps in) and the
+/// streaming pipeline (the sink, the sharded checker and the pipeline
+/// harness move trace segments and transactions across a thread
+/// boundary, where `unsafe` shortcuts would be just as tempting).
+const GUARDED_FILES: &[&str] = &[
+    "crates/sim/src/slab.rs",
+    "crates/sim/src/calendar.rs",
+    "crates/sim/src/sink.rs",
+    "crates/model/src/streaming.rs",
+    "crates/bench/src/pipeline.rs",
+];
 
 /// Run every determinism rule over one lexed file. `path` is
 /// workspace-relative with `/` separators.
@@ -65,9 +74,9 @@ pub fn check(path: &str, lx: &Lexed, out: &mut Vec<Finding>) {
                     path,
                     1,
                     1,
-                    "scheduler-core module without `#![deny(unsafe_code)]`: the \
-                     slab and calendar queue trade std collections for index \
-                     arithmetic and must stay provably safe"
+                    "guarded module without `#![deny(unsafe_code)]`: the \
+                     scheduler core and the streaming pipeline must stay \
+                     provably safe — see GUARDED_FILES in snowlint"
                         .to_string(),
                 )
                 .with_help("restore the inner attribute at the top of the module".to_string()),
@@ -230,15 +239,16 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_modules_must_keep_their_guard() {
+    fn guarded_modules_must_keep_their_guard() {
         let guarded = "#![deny(unsafe_code)]\nstruct FlightSlab;";
         let bare = "struct FlightSlab;";
-        assert!(run("crates/sim/src/slab.rs", guarded).is_empty());
-        assert!(run("crates/sim/src/calendar.rs", guarded).is_empty());
-        let out = run("crates/sim/src/slab.rs", bare);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].rule, RULE_GUARD);
-        assert_eq!((out[0].line, out[0].col), (1, 1));
+        for path in GUARDED_FILES {
+            assert!(run(path, guarded).is_empty(), "{path} with guard");
+            let out = run(path, bare);
+            assert_eq!(out.len(), 1, "{path} without guard");
+            assert_eq!(out[0].rule, RULE_GUARD);
+            assert_eq!((out[0].line, out[0].col), (1, 1));
+        }
         // Other files carry the guard at crate level; no per-file demand.
         assert!(run("crates/sim/src/world.rs", bare).is_empty());
     }

@@ -136,6 +136,77 @@ fn bad_slab_fails_the_guard_and_determinism_rules() {
 }
 
 #[test]
+fn bad_pipeline_fails_the_guard_and_determinism_rules() {
+    // The streaming-pipeline modules (PR 5) get the slab/calendar
+    // treatment: a clone that drops its `#![deny(unsafe_code)]` guard
+    // and reaches for threads/Instant/unsafe must light up every
+    // applicable rule at the exact file and line.
+    let src = fixture("bad_pipeline.rs");
+    let path = "crates/bench/src/pipeline.rs";
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&src), &mut out);
+
+    expect(&out, determinism::RULE_GUARD, path, 1);
+    expect(
+        &out,
+        determinism::RULE_CLOCK,
+        path,
+        line_of(&src, "// line: clock"),
+    );
+    expect(
+        &out,
+        determinism::RULE_THREAD,
+        path,
+        line_of(&src, "// line: thread"),
+    );
+    expect(
+        &out,
+        determinism::RULE_UNSAFE,
+        path,
+        line_of(&src, "// line: unsafe"),
+    );
+    // bench may use HashMap, so exactly the four violations above.
+    assert_eq!(
+        out.len(),
+        4,
+        "exactly the four violations:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+
+    // The same source under the sharded checker's path is inside a
+    // deterministic crate: the hash rule joins in at its marked lines.
+    let path = "crates/model/src/streaming.rs";
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&src), &mut out);
+    expect(&out, determinism::RULE_GUARD, path, 1);
+    expect(
+        &out,
+        determinism::RULE_HASH,
+        path,
+        line_of(&src, "// line: hash"),
+    );
+    expect(
+        &out,
+        determinism::RULE_HASH,
+        path,
+        line_of(&src, "// line: hash-field"),
+    );
+    assert_eq!(
+        out.len(),
+        6,
+        "guard + 2 hash + clock + thread + unsafe:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+
+    // Restoring the guard silences only the guard rule.
+    let fixed = format!("#![deny(unsafe_code)]\n{src}");
+    let mut out = Vec::new();
+    determinism::check("crates/bench/src/pipeline.rs", &lex(&fixed), &mut out);
+    assert!(out.iter().all(|f| f.rule != determinism::RULE_GUARD));
+    assert_eq!(out.len(), 3);
+}
+
+#[test]
 fn bad_cops_snow_clone_fails_the_property_rules() {
     let src = fixture("bad_cops_snow.rs");
     let path = "crates/protocols/src/bad_cops_snow.rs";
