@@ -354,6 +354,7 @@ impl ProtocolNode for CopsRwNode {
 
     fn msg_values(msg: &Msg) -> u32 {
         match msg {
+            // snowflow: values(unbounded): fat replies ship whole dependency records, so versions-per-object grows with the write history
             Msg::FatReadResp { items, .. } => {
                 crate::common::max_values_per_object(items.iter().flat_map(|it| {
                     it.record

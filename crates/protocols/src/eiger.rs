@@ -796,6 +796,7 @@ impl ProtocolNode for EigerNode {
                     .filter(|(_, v, _)| !v.is_bottom())
                     .map(|&(k, _, _)| k),
             ),
+            // snowflow: values(1): round two pins one version per key; `pendings` carries write intentions, not extra committed versions
             Msg::Read2Resp {
                 items, pendings, ..
             } => crate::common::max_values_per_object(

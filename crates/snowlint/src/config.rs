@@ -12,6 +12,10 @@ pub struct AllowEntry {
     pub path: String,
     /// Why the suppression is sound. Mandatory.
     pub justification: String,
+    /// PR number the justification was last audited in. Entries age:
+    /// once `current_pr - since >= 5` the entry must be re-justified
+    /// (bump `since`) or removed.
+    pub since: Option<u32>,
     /// Line in `snowlint.toml` (for diagnostics).
     pub line: u32,
 }
@@ -52,6 +56,7 @@ impl Config {
                     rule: String::new(),
                     path: String::new(),
                     justification: String::new(),
+                    since: None,
                     line: line_no,
                 });
                 continue;
@@ -82,6 +87,12 @@ impl Config {
                 "rule" => entry.rule = value.to_string(),
                 "path" => entry.path = value.to_string(),
                 "justification" => entry.justification = value.to_string(),
+                "since" => match value.parse::<u32>() {
+                    Ok(pr) => entry.since = Some(pr),
+                    Err(_) => cfg
+                        .problems
+                        .push((line_no, format!("since: expected a PR number, got {value}"))),
+                },
                 other => cfg.problems.push((line_no, format!("unknown key {other}"))),
             }
         }
@@ -121,6 +132,7 @@ mod tests {
              rule = \"wall-clock\"\n\
              path = \"crates/bench/src/perfbench.rs\"\n\
              justification = \"measures real time\"\n\
+             since = \"2\"\n\
              [[allow]]\n\
              rule = \"x\"\n\
              path = \"y\"\n",
@@ -128,7 +140,23 @@ mod tests {
         assert_eq!(cfg.allows.len(), 1);
         assert!(cfg.allows[0].covers("wall-clock", "crates/bench/src/perfbench.rs"));
         assert!(!cfg.allows[0].covers("wall-clock", "crates/bench/src/lib.rs"));
+        assert_eq!(cfg.allows[0].since, Some(2));
         assert_eq!(cfg.problems.len(), 1, "missing justification flagged");
+    }
+
+    #[test]
+    fn bad_since_is_a_problem() {
+        let cfg = Config::parse(
+            "[[allow]]\n\
+             rule = \"r\"\n\
+             path = \"p\"\n\
+             justification = \"j\"\n\
+             since = \"soon\"\n",
+        );
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].since, None);
+        assert_eq!(cfg.problems.len(), 1);
+        assert!(cfg.problems[0].1.contains("since"));
     }
 
     #[test]
@@ -137,6 +165,7 @@ mod tests {
             rule: "r".into(),
             path: "crates/sim/".into(),
             justification: "j".into(),
+            since: None,
             line: 1,
         };
         assert!(e.covers("r", "crates/sim/src/world.rs"));

@@ -63,6 +63,24 @@ pub struct Annotation {
     pub line: u32,
 }
 
+/// An inference hint for the snowflow message-flow analysis:
+/// `// snowflow: key(value): note`. Hints cover their own line and the
+/// line directly below, like [`Annotation`]s. Recognised keys are
+/// `role` (handler role when the fn name is ambiguous), `dest` (send
+/// destination class) and `values` (versions-per-object weight of an
+/// ambiguous `msg_values` arm).
+#[derive(Clone, Debug)]
+pub struct Hint {
+    /// The hint key inside `snowflow: key(...)`.
+    pub key: String,
+    /// The value inside the parentheses.
+    pub value: String,
+    /// Free-text note after the closing parenthesis.
+    pub note: String,
+    /// 1-based line the hint appears on.
+    pub line: u32,
+}
+
 /// The result of lexing one file.
 #[derive(Clone, Debug, Default)]
 pub struct Lexed {
@@ -70,6 +88,8 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Inline `snowlint: allow` annotations found in comments.
     pub allows: Vec<Annotation>,
+    /// Inline `snowflow:` hints found in comments.
+    pub hints: Vec<Hint>,
 }
 
 /// Tokenize `src`. Never fails: unrecognized bytes become punctuation.
@@ -109,6 +129,9 @@ pub fn lex(src: &str) -> Lexed {
             let text: String = b[start..i].iter().collect();
             if let Some(a) = parse_annotation(&text, tline) {
                 out.allows.push(a);
+            }
+            if let Some(h) = parse_hint(&text, tline) {
+                out.hints.push(h);
             }
             continue;
         }
@@ -392,6 +415,28 @@ fn parse_annotation(comment: &str, line: u32) -> Option<Annotation> {
     })
 }
 
+/// Parse `snowflow: key(value): note` out of one line comment.
+fn parse_hint(comment: &str, line: u32) -> Option<Hint> {
+    let text = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    let rest = text.strip_prefix("snowflow:")?.trim();
+    let open = rest.find('(')?;
+    let key = rest[..open].trim().to_string();
+    let rest = &rest[open + 1..];
+    let close = rest.find(')')?;
+    let value = rest[..close].trim().to_string();
+    let mut note = rest[close + 1..].trim();
+    note = note.strip_prefix(':').unwrap_or(note).trim();
+    Some(Hint {
+        key,
+        value,
+        note: note.to_string(),
+        line,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +486,26 @@ mod tests {
         let lx = lex("1..=3");
         assert_eq!(lx.tokens[0].text, "1");
         assert_eq!(lx.tokens.last().unwrap().text, "3");
+    }
+
+    #[test]
+    fn hints_are_collected() {
+        let lx = lex(
+            "// snowflow: values(unbounded): whole dependency records ride along\n\
+             // snowflow: role(client)\n\
+             fn step() {}",
+        );
+        assert_eq!(lx.hints.len(), 2);
+        assert_eq!(lx.hints[0].key, "values");
+        assert_eq!(lx.hints[0].value, "unbounded");
+        assert!(lx.hints[0].note.contains("dependency records"));
+        assert_eq!(lx.hints[1].key, "role");
+        assert_eq!(lx.hints[1].value, "client");
+        assert_eq!(lx.hints[1].line, 2);
+        // A snowlint allow is not a hint, and vice versa.
+        let lx = lex("// snowlint: allow(wall-clock): bench");
+        assert!(lx.hints.is_empty());
+        assert_eq!(lx.allows.len(), 1);
     }
 
     #[test]

@@ -13,14 +13,23 @@
 //! - **Robustness** ([`robustness`]): no panicking `.unwrap()` /
 //!   `.expect()` in protocol modules — the fault injector makes the
 //!   "impossible" arms reachable.
+//! - **Message flow** ([`flow`]): snowflow re-derives each protocol's
+//!   `(R, V, N)` tuple from what its handlers *do* — a per-module
+//!   handler graph ([`graph`]) walked for rounds, value accumulation,
+//!   deferrable responses, dead arms and nondeterminism taint — and
+//!   cross-checks it against the declaration and `paper_table1()`.
 //!
 //! Suppressions are always justified: inline
 //! `// snowlint: allow(rule): why` (covers its own and the next line)
 //! or a `[[allow]]` entry in the workspace `snowlint.toml`. Unused
-//! suppressions are warnings, so the allowlist cannot rot.
+//! suppressions are warnings, so the allowlist cannot rot — and entries
+//! age: one that is ≥5 PRs older than the current PR (counted from
+//! CHANGES.md) without a bumped `since` is an error.
 //!
-//! Run as `cargo run -p snowlint` (writes `results/LINT_report.json`)
-//! or via the `workspace_passes_snowlint` test every crate carries.
+//! Run as `cargo run -p snowlint` (writes `results/LINT_report.json`
+//! and `results/FLOW_graph.dot`) or via the `workspace_passes_snowlint`
+//! test every crate carries. Scanning fans out over [`cbf_par`] and
+//! respects the `SNOWBOUND_MIN_WORK` serial-path floor.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,14 +37,22 @@
 
 pub mod config;
 pub mod determinism;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
 pub mod properties;
 pub mod report;
 pub mod robustness;
+pub mod syntax;
 
 use config::Config;
+use graph::HandlerGraph;
 use report::{Finding, Report, Severity, Suppressed};
 use std::path::{Path, PathBuf};
+
+/// How many PRs an allowlist entry may ride on one justification
+/// before it must be re-audited.
+const ALLOW_MAX_AGE: u32 = 5;
 
 /// Directories never scanned (build output, vendored deps, artifacts,
 /// the lint's own deliberately-bad fixtures).
@@ -108,8 +125,41 @@ fn collect_rs_files(root: &Path) -> Vec<String> {
     out
 }
 
+/// Count the PRs recorded in CHANGES.md; the PR being built is the
+/// next one. Drives allowlist-entry aging.
+pub fn current_pr(root: &Path) -> u32 {
+    let landed = std::fs::read_to_string(root.join("CHANGES.md"))
+        .map(|s| s.lines().filter(|l| !l.trim().is_empty()).count() as u32)
+        .unwrap_or(0);
+    landed + 1
+}
+
+/// Knobs for [`check_workspace_with`].
+#[derive(Clone, Debug, Default)]
+pub struct CheckOptions {
+    /// Scan only these workspace-relative files (from
+    /// `git diff --name-only`). When set, unused-suppression hygiene is
+    /// skipped — an entry's user may simply not be in the changed set.
+    pub only_files: Option<Vec<String>>,
+}
+
 /// Run the whole pass over the workspace at `root`.
 pub fn check_workspace(root: &Path) -> Report {
+    check_workspace_with(root, &CheckOptions::default())
+}
+
+/// What scanning one file produces; folded into the report in path
+/// order so the parallel fan-out stays deterministic.
+struct FileScan {
+    rel: String,
+    findings: Vec<Finding>,
+    allows: Vec<lexer::Annotation>,
+    flow: Option<HandlerGraph>,
+    is_protocol: bool,
+}
+
+/// Run the whole pass over the workspace at `root` with options.
+pub fn check_workspace_with(root: &Path, opts: &CheckOptions) -> Report {
     let mut report = Report::default();
     let mut raw: Vec<Finding> = Vec::new();
 
@@ -131,24 +181,51 @@ pub fn check_workspace(root: &Path) -> Report {
         .map(|src| properties::parse_paper_table(&lexer::lex(&src)))
         .unwrap_or_default();
 
-    // Scan.
-    let mut annos: Vec<(String, lexer::Annotation, bool)> = Vec::new();
-    for rel in collect_rs_files(root) {
+    // Scan, fanning per-file work out over cbf-par. Lex + rules run at
+    // roughly 100µs/file; the SNOWBOUND_MIN_WORK floor keeps tiny
+    // changed-only sets on the serial path.
+    let mut files = collect_rs_files(root);
+    if let Some(only) = &opts.only_files {
+        files.retain(|rel| only.iter().any(|o| o == rel));
+    }
+    let scans: Vec<FileScan> = cbf_par::parallel_map_costed(files, 100_000, |rel| {
+        let mut findings = Vec::new();
+        let mut scan = FileScan {
+            rel: rel.clone(),
+            findings: Vec::new(),
+            allows: Vec::new(),
+            flow: None,
+            is_protocol: false,
+        };
         let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
-            continue;
+            return scan;
         };
         let lx = lexer::lex(&src);
-        report.files_scanned += 1;
-        determinism::check(&rel, &lx, &mut raw);
+        determinism::check(&rel, &lx, &mut findings);
         if is_protocol_module(&rel) {
-            properties::check_protocol(&rel, &lx, &paper, &mut raw);
-            robustness::check_protocol(&rel, &lx, &mut raw);
+            properties::check_protocol(&rel, &lx, &paper, &mut findings);
+            robustness::check_protocol(&rel, &lx, &mut findings);
+            scan.flow = flow::check_protocol(&rel, &lx, &paper, &mut findings);
+            scan.is_protocol = true;
+        }
+        scan.findings = findings;
+        scan.allows = lx.allows;
+        scan
+    });
+
+    let mut annos: Vec<(String, lexer::Annotation, bool)> = Vec::new();
+    for scan in scans {
+        report.files_scanned += 1;
+        if scan.is_protocol {
             report.protocols_checked += 1;
         }
-        for a in lx.allows {
-            annos.push((rel.clone(), a, false));
+        raw.extend(scan.findings);
+        report.flows.extend(scan.flow);
+        for a in scan.allows {
+            annos.push((scan.rel.clone(), a, false));
         }
     }
+    report.flows.sort_by(|a, b| a.system.cmp(&b.system));
 
     // Apply suppressions: inline annotations first (own line + next
     // line), then allowlist entries.
@@ -181,9 +258,12 @@ pub fn check_workspace(root: &Path) -> Report {
         report.errors.push(f);
     }
 
-    // A suppression nobody needs is a warning: the allowlist must not rot.
+    // A suppression nobody needs is a warning: the allowlist must not
+    // rot. Skipped under --changed-only, where "nobody needs" may just
+    // mean "its user was not in the changed set".
+    let full_scan = opts.only_files.is_none();
     for (path, a, used) in &annos {
-        if !used {
+        if !used && full_scan {
             report.warnings.push(Finding {
                 severity: Severity::Warning,
                 ..Finding::error(
@@ -197,7 +277,7 @@ pub fn check_workspace(root: &Path) -> Report {
                     ),
                 )
             });
-        } else if a.justification.is_empty() {
+        } else if *used && a.justification.is_empty() {
             report.warnings.push(Finding {
                 severity: Severity::Warning,
                 ..Finding::error(
@@ -210,8 +290,9 @@ pub fn check_workspace(root: &Path) -> Report {
             });
         }
     }
+    let pr = current_pr(root);
     for (idx, e) in cfg.allows.iter().enumerate() {
-        if !cfg_used[idx] {
+        if !cfg_used[idx] && full_scan {
             report.warnings.push(Finding {
                 severity: Severity::Warning,
                 ..Finding::error(
@@ -222,6 +303,46 @@ pub fn check_workspace(root: &Path) -> Report {
                     format!("unused [[allow]] for {} on {} — remove it", e.rule, e.path),
                 )
             });
+        }
+        // Aging: a justification is an audit, not a grant in perpetuity.
+        match e.since {
+            None => report.warnings.push(Finding {
+                severity: Severity::Warning,
+                ..Finding::error(
+                    "allowlist",
+                    "snowlint.toml",
+                    e.line,
+                    1,
+                    format!(
+                        "[[allow]] for {} on {} has no since field — add the PR \
+                         number its justification was audited in",
+                        e.rule, e.path
+                    ),
+                )
+            }),
+            Some(since) if pr.saturating_sub(since) >= ALLOW_MAX_AGE => {
+                report.errors.push(
+                    Finding::error(
+                        "allowlist",
+                        "snowlint.toml",
+                        e.line,
+                        1,
+                        format!(
+                            "[[allow]] for {} on {} is {} PRs old (since PR {since}, \
+                             now PR {pr})",
+                            e.rule,
+                            e.path,
+                            pr - since
+                        ),
+                    )
+                    .with_help(
+                        "re-audit the suppression: bump since after confirming the \
+                         justification still holds, or remove the entry"
+                            .into(),
+                    ),
+                );
+            }
+            Some(_) => {}
         }
     }
 

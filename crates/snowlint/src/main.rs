@@ -1,5 +1,6 @@
 //! The `snowlint` binary: lint the workspace, print rustc-style
-//! diagnostics, write `results/LINT_report.json`.
+//! diagnostics, write `results/LINT_report.json` (schema v2) and the
+//! snowflow handler graphs as `results/FLOW_graph.dot`.
 //!
 //! Exit codes: 0 clean, 1 findings (errors, or warnings under
 //! `--deny-warnings`), 2 usage or I/O failure.
@@ -8,24 +9,51 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use std::path::PathBuf;
+use snowlint::CheckOptions;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: snowlint [--deny-warnings] [--no-report] [--root <dir>]
+const USAGE: &str =
+    "usage: snowlint [--deny-warnings] [--no-report] [--changed-only] [--root <dir>]
 
   --deny-warnings   treat warnings (allowlist hygiene) as failures
-  --no-report       do not write results/LINT_report.json
+  --no-report       do not write results/LINT_report.json + FLOW_graph.dot
+  --changed-only    lint only files from `git diff --name-only HEAD`
+                    (skips unused-suppression hygiene and artifacts)
   --root <dir>      lint this workspace instead of the enclosing one";
+
+/// The changed `.rs` files according to git, workspace-relative.
+fn changed_files(root: &Path) -> Result<Vec<String>, String> {
+    let out = std::process::Command::new("git")
+        .args(["diff", "--name-only", "HEAD"])
+        .current_dir(root)
+        .output()
+        .map_err(|e| format!("cannot run git diff: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git diff --name-only HEAD failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.ends_with(".rs"))
+        .map(str::to_string)
+        .collect())
+}
 
 fn main() -> ExitCode {
     let mut deny_warnings = false;
     let mut write_report = true;
+    let mut changed_only = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => deny_warnings = true,
             "--no-report" => write_report = false,
+            "--changed-only" => changed_only = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -55,7 +83,26 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = snowlint::check_workspace(&root);
+    let mut opts = CheckOptions::default();
+    if changed_only {
+        match changed_files(&root) {
+            Ok(files) => {
+                if files.is_empty() {
+                    println!("snowlint: no changed .rs files, nothing to lint");
+                    return ExitCode::SUCCESS;
+                }
+                opts.only_files = Some(files);
+            }
+            Err(e) => {
+                eprintln!("snowlint: error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        // A partial scan would produce partial artifacts.
+        write_report = false;
+    }
+
+    let report = snowlint::check_workspace_with(&root, &opts);
     print!("{}", report.render());
 
     if write_report {
@@ -64,10 +111,18 @@ fn main() -> ExitCode {
             eprintln!("snowlint: error: cannot create {}: {e}", results.display());
             return ExitCode::from(2);
         }
-        let out = results.join("LINT_report.json");
-        if let Err(e) = std::fs::write(&out, report.to_json()) {
-            eprintln!("snowlint: error: cannot write {}: {e}", out.display());
-            return ExitCode::from(2);
+        for (name, content) in [
+            ("LINT_report.json", report.to_json()),
+            (
+                "FLOW_graph.dot",
+                snowlint::graph::HandlerGraph::render_dot(&report.flows),
+            ),
+        ] {
+            let out = results.join(name);
+            if let Err(e) = std::fs::write(&out, content) {
+                eprintln!("snowlint: error: cannot write {}: {e}", out.display());
+                return ExitCode::from(2);
+            }
         }
     }
 

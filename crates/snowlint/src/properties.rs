@@ -13,6 +13,7 @@
 
 use crate::lexer::{Lexed, TokKind, Token};
 use crate::report::Finding;
+use crate::syntax::{block_end, fn_body, match_arms};
 use std::collections::BTreeSet;
 
 /// Rule: protocol module without a `snow_properties!` declaration.
@@ -146,27 +147,6 @@ pub struct Extraction {
     pub const_write: Vec<bool>,
     /// Variant names of `const CONSISTENCY`.
     pub const_consistency: Vec<String>,
-}
-
-/// Index of the token closing the block opened at `open` (which must be
-/// a `{`, `[` or `(`), or None if unbalanced.
-fn block_end(toks: &[Token], open: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    for (i, t) in toks.iter().enumerate().skip(open) {
-        if t.kind == TokKind::Punct {
-            match t.text.as_str() {
-                "{" | "[" | "(" => depth += 1,
-                "}" | "]" | ")" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return Some(i);
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    None
 }
 
 /// Parse every `snow_properties! { .. }` invocation in the file.
@@ -449,88 +429,6 @@ pub fn extract(lx: &Lexed) -> Extraction {
     ex
 }
 
-/// Locate the `{..}` body of the fn starting at token `fn_i`; returns
-/// ((body_start, body_end_exclusive), index_after_body).
-fn fn_body(toks: &[Token], fn_i: usize) -> Option<((usize, usize), usize)> {
-    let mut j = fn_i;
-    // The first `{` after the signature opens the body (signatures here
-    // never contain braces).
-    while j < toks.len() && !toks[j].is_punct("{") {
-        j += 1;
-    }
-    let end = block_end(toks, j)?;
-    Some(((j + 1, end), end))
-}
-
-/// Split the first `match` block inside `[start, end)` into
-/// `(pattern, body)` token-slices per arm.
-fn match_arms(toks: &[Token], start: usize, end: usize) -> Vec<(&[Token], &[Token])> {
-    let mut arms = Vec::new();
-    let mut i = start;
-    while i < end && !toks[i].is_ident("match") {
-        i += 1;
-    }
-    while i < end && !toks[i].is_punct("{") {
-        i += 1;
-    }
-    let Some(mend) = block_end(toks, i) else {
-        return arms;
-    };
-    let mut j = i + 1;
-    while j < mend {
-        // Pattern until a depth-0 `=>`.
-        let pstart = j;
-        let mut depth = 0i32;
-        while j < mend {
-            let t = &toks[j];
-            if t.kind == TokKind::Punct {
-                match t.text.as_str() {
-                    "{" | "(" | "[" => depth += 1,
-                    "}" | ")" | "]" => depth -= 1,
-                    "=>" if depth == 0 => break,
-                    _ => {}
-                }
-            }
-            j += 1;
-        }
-        if j >= mend {
-            break;
-        }
-        let pattern = &toks[pstart..j];
-        j += 1; // skip `=>`
-        let bstart = j;
-        let body;
-        if j < mend && toks[j].is_punct("{") {
-            let bend = block_end(toks, j).unwrap_or(mend).min(mend);
-            body = &toks[bstart..=bend.min(mend.saturating_sub(1))];
-            j = bend + 1;
-            if j < mend && toks[j].is_punct(",") {
-                j += 1;
-            }
-        } else {
-            let mut depth = 0i32;
-            while j < mend {
-                let t = &toks[j];
-                if t.kind == TokKind::Punct {
-                    match t.text.as_str() {
-                        "{" | "(" | "[" => depth += 1,
-                        "}" | ")" | "]" => depth -= 1,
-                        "," if depth == 0 => break,
-                        _ => {}
-                    }
-                }
-                j += 1;
-            }
-            body = &toks[bstart..j];
-            if j < mend {
-                j += 1; // skip `,`
-            }
-        }
-        arms.push((pattern, body));
-    }
-    arms
-}
-
 /// A Table 1 printed bound.
 enum Bound {
     Exact(u32),
@@ -550,7 +448,7 @@ fn parse_bound(s: &str) -> Option<Bound> {
 }
 
 /// Is a declared bound (None = unbounded) consistent with the paper's?
-fn bound_ok(declared: Option<u32>, paper: &str) -> bool {
+pub(crate) fn bound_ok(declared: Option<u32>, paper: &str) -> bool {
     match parse_bound(paper) {
         Some(Bound::Exact(n)) => declared == Some(n),
         Some(Bound::AtMost(n)) => matches!(declared, Some(d) if (1..=n).contains(&d)),
@@ -575,7 +473,7 @@ fn consistency_display(variant: &str) -> Option<&'static str> {
 }
 
 /// Does the variant imply causal consistency (the theorem's scope)?
-fn implies_causal(variant: &str) -> bool {
+pub(crate) fn implies_causal(variant: &str) -> bool {
     matches!(
         variant,
         "Causal"

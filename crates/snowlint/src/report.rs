@@ -1,6 +1,49 @@
 //! Findings, rustc-style rendering, and the `LINT_report.json` artifact.
 
+use crate::graph::HandlerGraph;
 use std::fmt::Write as _;
+
+/// Stable rule-ID registry for the v2 report schema. Codes are
+/// append-only: a rule may be retired but its code is never reused, so
+/// downstream tooling can key on `code` across releases even if a rule
+/// is renamed.
+pub const RULE_CODES: &[(&str, &str)] = &[
+    ("hash-collections", "SL001"),
+    ("wall-clock", "SL002"),
+    ("ad-hoc-threads", "SL003"),
+    ("unsafe-block", "SL004"),
+    ("missing-unsafe-guard", "SL005"),
+    ("handler-unwrap", "SL010"),
+    ("missing-snow-decl", "SL020"),
+    ("duplicate-snow-decl", "SL021"),
+    ("malformed-snow-decl", "SL022"),
+    ("unknown-msg-variant", "SL023"),
+    ("request-set-mismatch", "SL024"),
+    ("value-reply-mismatch", "SL025"),
+    ("decl-const-mismatch", "SL026"),
+    ("unknown-paper-row", "SL027"),
+    ("paper-mismatch", "SL028"),
+    ("impossible-claim", "SL029"),
+    ("flow-rounds", "SL030"),
+    ("flow-values", "SL031"),
+    ("flow-blocking", "SL032"),
+    ("flow-paper", "SL033"),
+    ("flow-impossible", "SL034"),
+    ("flow-dead-arm", "SL035"),
+    ("flow-taint", "SL036"),
+    ("flow-hint", "SL037"),
+    ("allowlist", "SL090"),
+];
+
+/// The stable code for a rule name (`SL999` for rules not in the
+/// registry — which the registry test treats as a bug).
+pub fn rule_code(rule: &str) -> &'static str {
+    RULE_CODES
+        .iter()
+        .find(|(r, _)| *r == rule)
+        .map(|(_, c)| *c)
+        .unwrap_or("SL999")
+}
 
 /// How bad a finding is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,6 +137,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Number of protocol modules whose SNOW declaration was checked.
     pub protocols_checked: usize,
+    /// Handler graphs the flow pass derived, one per protocol module.
+    pub flows: Vec<HandlerGraph>,
 }
 
 impl Report {
@@ -111,10 +156,12 @@ impl Report {
         }
         let _ = writeln!(
             out,
-            "snowlint: {} files, {} protocol declarations checked: \
+            "snowlint: {} files, {} protocol declarations checked, \
+             {} handler graph(s) derived: \
              {} error(s), {} warning(s), {} suppressed",
             self.files_scanned,
             self.protocols_checked,
+            self.flows.len(),
             self.errors.len(),
             self.warnings.len(),
             self.suppressed.len()
@@ -122,13 +169,21 @@ impl Report {
         out
     }
 
-    /// The `results/LINT_report.json` artifact (schema documented in
-    /// EXPERIMENTS.md).
+    /// The `results/LINT_report.json` artifact, schema v2 (documented
+    /// in EXPERIMENTS.md): stable `code` IDs on every finding plus the
+    /// per-protocol derived SNOW tuples under `protocols`.
     pub fn to_json(&self) -> String {
         fn finding_json(f: &Finding, extra: Option<&str>) -> String {
+            let sev = match f.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
             let mut s = format!(
-                "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}",
+                "{{\"code\":{},\"rule\":{},\"severity\":{},\"path\":{},\
+                 \"line\":{},\"col\":{},\"message\":{}",
+                json_str(rule_code(&f.rule)),
                 json_str(&f.rule),
+                json_str(sev),
                 json_str(&f.path),
                 f.line,
                 f.col,
@@ -154,15 +209,19 @@ impl Report {
             .iter()
             .map(|s| finding_json(&s.finding, Some(&s.justification)))
             .collect();
+        let protocols: Vec<String> = self.flows.iter().map(|g| g.to_json()).collect();
         format!(
-            "{{\n  \"schema\": \"snowlint/1\",\n  \"files_scanned\": {},\n  \
+            "{{\n  \"schema\": \"snowlint/2\",\n  \"schema_version\": 2,\n  \
+             \"files_scanned\": {},\n  \
              \"protocols_checked\": {},\n  \"errors\": [{}],\n  \
-             \"warnings\": [{}],\n  \"suppressed\": [{}]\n}}\n",
+             \"warnings\": [{}],\n  \"suppressed\": [{}],\n  \
+             \"protocols\": [{}]\n}}\n",
             self.files_scanned,
             self.protocols_checked,
             errors.join(","),
             warnings.join(","),
-            suppressed.join(",")
+            suppressed.join(","),
+            protocols.join(",")
         )
     }
 }
@@ -216,9 +275,24 @@ mod tests {
     #[test]
     fn report_json_parses_shape() {
         let mut rep = Report::default();
-        rep.errors.push(Finding::error("r", "p", 1, 1, "m".into()));
+        rep.errors
+            .push(Finding::error("flow-rounds", "p", 1, 1, "m".into()));
         let j = rep.to_json();
-        assert!(j.contains("\"schema\": \"snowlint/1\""));
-        assert!(j.contains("\"rule\":\"r\""));
+        assert!(j.contains("\"schema\": \"snowlint/2\""));
+        assert!(j.contains("\"schema_version\": 2"));
+        assert!(j.contains("\"rule\":\"flow-rounds\""));
+        assert!(j.contains("\"code\":\"SL030\""));
+        assert!(j.contains("\"severity\":\"error\""));
+        assert!(j.contains("\"protocols\": []"));
+    }
+
+    #[test]
+    fn rule_codes_are_unique_and_resolve() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (rule, code) in RULE_CODES {
+            assert!(seen.insert(code), "duplicate code {code}");
+            assert_eq!(rule_code(rule), *code);
+        }
+        assert_eq!(rule_code("no-such-rule"), "SL999");
     }
 }

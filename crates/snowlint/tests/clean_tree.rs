@@ -1,5 +1,29 @@
 //! The committed tree must lint clean: zero errors, zero warnings
-//! (warnings mean allowlist rot), all protocol declarations checked.
+//! (warnings mean allowlist rot), all protocol declarations checked,
+//! and the snowflow derivation agreeing with every declaration.
+
+/// (system prefix, rounds, values, nonblocking, write_tx).
+type ExpectedTuple = (&'static str, Option<u32>, Option<u32>, bool, bool);
+
+/// The SNOW tuples snowflow must derive from the handler graphs —
+/// `None` bounds mean unbounded. Keyed by declared system name prefix
+/// so exhibit suffixes ("(§3.4)", "-like") stay out of the table.
+const EXPECTED: &[ExpectedTuple] = &[
+    ("COPS-RW", Some(1), None, true, true),
+    ("COPS-SNOW", Some(1), Some(1), true, false),
+    ("COPS", Some(2), Some(2), true, false),
+    ("Calvin", Some(2), Some(1), false, true),
+    ("Contrarian", Some(2), Some(1), true, false),
+    ("Cure", Some(2), Some(1), false, true),
+    ("Eiger", Some(3), Some(2), true, true),
+    ("GentleRain", Some(2), Some(1), false, false),
+    ("Occult", None, None, true, true),
+    ("RAMP", Some(2), Some(2), true, true),
+    ("Spanner", Some(1), Some(1), false, true),
+    ("Wren", Some(2), Some(1), true, true),
+    ("naive", Some(1), Some(1), true, true),
+    ("pinned", Some(1), Some(1), true, true),
+];
 
 #[test]
 fn head_is_clean_and_fully_covered() {
@@ -24,7 +48,8 @@ fn head_is_clean_and_fully_covered() {
         "the scan saw the whole workspace, not a subtree ({} files)",
         report.files_scanned
     );
-    // The one sanctioned suppression: perfbench's real-time measurement.
+    // The sanctioned suppressions: the wall-clock benches and the two
+    // Theorem-1 exhibits whose derived tuples hit the documented hatch.
     assert!(
         report
             .suppressed
@@ -32,4 +57,51 @@ fn head_is_clean_and_fully_covered() {
             .any(|s| s.finding.path == "crates/bench/src/perfbench.rs"),
         "perfbench wall-clock suppression active"
     );
+    for exhibit in ["naive.rs", "pinned.rs"] {
+        assert!(
+            report
+                .suppressed
+                .iter()
+                .any(|s| s.finding.rule == "flow-impossible" && s.finding.path.ends_with(exhibit)),
+            "{exhibit} derives a Theorem-1-impossible tuple through the toml hatch"
+        );
+    }
+}
+
+#[test]
+fn snowflow_derivations_match_the_declared_tuples() {
+    let root = snowlint::find_workspace_root().expect("workspace root");
+    let report = snowlint::check_workspace(&root);
+    assert_eq!(
+        report.flows.len(),
+        14,
+        "one handler graph per protocol module"
+    );
+    for (prefix, rounds, values, nonblocking, write_tx) in EXPECTED {
+        let g = report
+            .flows
+            .iter()
+            .find(|g| {
+                g.system.starts_with(prefix)
+                    && !(*prefix == "COPS" && g.system.starts_with("COPS-"))
+            })
+            .unwrap_or_else(|| panic!("no handler graph for {prefix}"));
+        let d = &g.derived;
+        assert_eq!(
+            (d.rounds, d.values, d.nonblocking, d.write_tx),
+            (*rounds, *values, *nonblocking, *write_tx),
+            "derived SNOW tuple for {} ({})",
+            g.system,
+            g.path
+        );
+        assert!(!g.arms.is_empty(), "{} has handler arms", g.system);
+    }
+    // The artifacts render from the same graphs the report carries.
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"snowlint/2\""));
+    assert!(json.contains("\"schema_version\": 2"));
+    assert!(json.contains("\"system\":\"Eiger\""));
+    let dot = snowlint::graph::HandlerGraph::render_dot(&report.flows);
+    assert!(dot.contains("digraph snowflow"));
+    assert_eq!(dot.matches("subgraph cluster_").count(), 14);
 }

@@ -5,7 +5,7 @@
 
 use snowlint::lexer::lex;
 use snowlint::report::Finding;
-use snowlint::{determinism, properties};
+use snowlint::{determinism, flow, properties};
 use std::path::PathBuf;
 
 fn fixture(name: &str) -> String {
@@ -237,6 +237,135 @@ fn bad_cops_snow_clone_fails_the_property_rules() {
         out.len(),
         4,
         "{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+}
+
+#[test]
+fn bad_flow_rounds_fires_on_the_extra_round_send() {
+    let src = fixture("bad_flow_rounds.rs");
+    let path = "crates/protocols/src/bad_flow_rounds.rs";
+    let mut out = Vec::new();
+    let g = flow::check_protocol(path, &lex(&src), &[], &mut out).expect("graph");
+
+    // The finding points at the second server-bound hop — the first
+    // send beyond the declared one-round budget — not the declaration.
+    expect(
+        &out,
+        flow::RULE_FLOW_ROUNDS,
+        path,
+        line_of(&src, "// line: extra-round"),
+    );
+    assert_eq!(g.derived.rounds, Some(2));
+    assert_eq!(
+        out.len(),
+        1,
+        "exactly the marked violation:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+
+    // Declaring what the handlers actually do silences the rule: the
+    // finding is about the declaration/derivation gap, not the hops.
+    let honest = src.replace("rounds: 1", "rounds: 2");
+    let mut out = Vec::new();
+    flow::check_protocol(path, &lex(&honest), &[], &mut out).expect("graph");
+    assert!(
+        out.is_empty(),
+        "{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+}
+
+#[test]
+fn bad_flow_values_fires_on_the_second_version_reply() {
+    let src = fixture("bad_flow_values.rs");
+    let path = "crates/protocols/src/bad_flow_values.rs";
+    let mut out = Vec::new();
+    let g = flow::check_protocol(path, &lex(&src), &[], &mut out).expect("graph");
+
+    expect(
+        &out,
+        flow::RULE_FLOW_VALUES,
+        path,
+        line_of(&src, "// line: second-version"),
+    );
+    assert_eq!(g.derived.values, Some(2));
+    assert_eq!(
+        out.len(),
+        1,
+        "exactly the marked violation:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+}
+
+#[test]
+fn bad_flow_blocking_fires_on_the_deferred_reply() {
+    let src = fixture("bad_flow_blocking.rs");
+    let path = "crates/protocols/src/bad_flow_blocking.rs";
+    let mut out = Vec::new();
+    let g = flow::check_protocol(path, &lex(&src), &[], &mut out).expect("graph");
+
+    // The reply reached through the drain helper goes to a *stored*
+    // client pid; the finding lands on that send, not the stash site.
+    expect(
+        &out,
+        flow::RULE_FLOW_BLOCKING,
+        path,
+        line_of(&src, "// line: deferred-reply"),
+    );
+    assert!(!g.derived.nonblocking);
+    assert_eq!(g.derived.rounds, Some(1), "the stash itself is one round");
+    assert_eq!(
+        out.len(),
+        1,
+        "exactly the marked violation:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+}
+
+#[test]
+fn bad_flow_taint_fires_on_the_source_with_its_call_chain() {
+    let src = fixture("bad_flow_taint.rs");
+    let path = "crates/protocols/src/bad_flow_taint.rs";
+    let mut out = Vec::new();
+    flow::check_protocol(path, &lex(&src), &[], &mut out).expect("graph");
+
+    let line = line_of(&src, "// line: taint-source");
+    expect(&out, flow::RULE_FLOW_TAINT, path, line);
+    let f = out
+        .iter()
+        .find(|f| f.rule == flow::RULE_FLOW_TAINT)
+        .unwrap();
+    assert!(
+        f.message.contains("backoff_jitter") && f.message.contains("seed_from_os"),
+        "the finding names the call chain: {}",
+        f.message
+    );
+    assert_eq!(
+        out.len(),
+        1,
+        "exactly the marked violation:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+}
+
+#[test]
+fn bad_flow_dead_arm_fires_on_the_unreachable_arm() {
+    let src = fixture("bad_flow_dead_arm.rs");
+    let path = "crates/protocols/src/bad_flow_dead_arm.rs";
+    let mut out = Vec::new();
+    flow::check_protocol(path, &lex(&src), &[], &mut out).expect("graph");
+
+    expect(
+        &out,
+        flow::RULE_FLOW_DEAD_ARM,
+        path,
+        line_of(&src, "// line: dead-arm"),
+    );
+    assert_eq!(
+        out.len(),
+        1,
+        "exactly the marked violation:\n{}",
         out.iter().map(|f| f.render()).collect::<String>()
     );
 }

@@ -1,0 +1,30 @@
+//! The linter holds itself to its own rules — and to a stricter bar
+//! than the rest of the tree: nothing under `crates/snowlint/` may
+//! even *need* a suppression. A lint crate that excuses itself is the
+//! first thing a reader stops trusting.
+
+#[test]
+fn snowlint_lints_itself_with_zero_findings_and_zero_suppressions() {
+    let root = snowlint::find_workspace_root().expect("workspace root");
+    let report = snowlint::check_workspace(&root);
+    let own = |path: &str| path.starts_with("crates/snowlint/");
+    let offenders: Vec<String> = report
+        .errors
+        .iter()
+        .chain(&report.warnings)
+        .filter(|f| own(&f.path))
+        .map(|f| f.render())
+        .chain(
+            report
+                .suppressed
+                .iter()
+                .filter(|s| own(&s.finding.path))
+                .map(|s| s.finding.render()),
+        )
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "snowlint does not pass its own lint:\n{}",
+        offenders.concat()
+    );
+}
