@@ -55,6 +55,7 @@ fn run(what: &str) -> Result<(), String> {
         "freshness" => freshness(),
         "chaos" => chaos(),
         "scale" => scale(),
+        "soak" => soak(),
         "perfbench" => run_perfbench(),
         "all" => {
             for f in [
@@ -79,7 +80,7 @@ fn run(what: &str) -> Result<(), String> {
         }
         other => {
             eprintln!("unknown exhibit: {other}");
-            eprintln!("known: table1 table2 fig1 fig2 fig3 theorem1 theorem2 limits latency ablations daggers freshness chaos scale perfbench all");
+            eprintln!("known: table1 table2 fig1 fig2 fig3 theorem1 theorem2 limits latency ablations daggers freshness chaos scale soak perfbench all");
             std::process::exit(2);
         }
     }
@@ -571,7 +572,12 @@ fn chaos() -> Result<(), String> {
 
     let rows: Vec<ChaosRow> = chaos_table(7);
     print!("{}", render_chaos_table(&rows));
-    save_json("BENCH_chaos", &rows)?;
+    let report = cbf_bench::chaos::ChaosReport {
+        rows,
+        memory: cbf_bench::memstats::MemStats::sample(),
+    };
+    save_json("BENCH_chaos", &report)?;
+    let rows = report.rows;
 
     let bad: Vec<&ChaosRow> = rows
         .iter()
@@ -688,6 +694,74 @@ fn scale() -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------
+// Soak — the bounded-memory forever-run
+// ---------------------------------------------------------------------
+
+/// Parse a soak event target: `100m`, `500k`, `2m`, or a plain integer.
+fn parse_events(arg: &str) -> Result<u64, String> {
+    let s = arg.to_ascii_lowercase();
+    let (num, mult) = match (s.strip_suffix('m'), s.strip_suffix('k')) {
+        (Some(n), _) => (n, 1_000_000u64),
+        (None, Some(n)) => (n, 1_000),
+        (None, None) => (s.as_str(), 1),
+    };
+    num.parse::<u64>().map(|n| n * mult).map_err(|_| {
+        format!("bad event target {arg:?}: use e.g. 100m, 2m, 500k or a plain integer")
+    })
+}
+
+fn soak() -> Result<(), String> {
+    // `repro soak [events]`: the forever-run tier. Defaults to the full
+    // 100M-event soak; CI runs `repro soak 2m` on shared runners.
+    let target = match std::env::args().nth(2) {
+        Some(arg) => parse_events(&arg)?,
+        None => 100_000_000,
+    };
+    println!("SOAK — bounded-memory forever-run under the rolling nemesis");
+    println!("World: the 8-server pipeline workload, ops injected one network");
+    println!("hop from their owner; nemesis: 1% drops + 1% dups, a server");
+    println!("crash/recover every 5 virtual ms (cycling), ring partitions every");
+    println!("23 ms. Checker: sharded online causal checking with frontier GC");
+    println!("every 8 batches. Asserted: continuous causal verdicts AND a flat");
+    println!(
+        "RSS plateau (final ≤ {}x the 10%-progress sample).\n",
+        cbf_bench::soak::PLATEAU_HEADROOM
+    );
+
+    let report = cbf_bench::soak::run_soak(target, 7);
+    print!("{}", cbf_bench::soak::render_soak(&report));
+    save_json("BENCH_soak", &report)?;
+
+    if !report.causal_ok {
+        return Err("soak: a causal violation surfaced under the nemesis".to_string());
+    }
+    if report.gc_blocked_passes > 0 {
+        return Err(format!(
+            "soak: {} GC passes fell back to window mode — the frontier is pinned",
+            report.gc_blocked_passes
+        ));
+    }
+    if !report.plateau_ok {
+        return Err(format!(
+            "soak: memory did not plateau — {} kB at 10% progress vs {} kB at the end (x{:.3} > x{})",
+            report.plateau_baseline_rss_kb,
+            report.plateau_final_rss_kb,
+            report.plateau_ratio,
+            cbf_bench::soak::PLATEAU_HEADROOM
+        ));
+    }
+    println!(
+        "\nThe run sustained {} events with a flat memory plateau, continuous",
+        report.events
+    );
+    println!(
+        "causal verdicts, and {} transactions retired behind the frontier.",
+        report.retired
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Perfbench — the harness measuring itself
 // ---------------------------------------------------------------------
 
@@ -746,9 +820,11 @@ fn run_perfbench() -> Result<(), String> {
         exhibits.push(perf);
     }
 
+    let mem = cbf_bench::memstats::MemStats::sample();
     let report = perfbench::PerfReport {
         threads: cbf_par::thread_budget(),
-        peak_rss_kb: perfbench::peak_rss_kb(),
+        peak_rss_kb: mem.peak_rss_kb,
+        current_rss_kb: mem.current_rss_kb,
         exhibits,
     };
     let path = "results/BENCH_harness.json";

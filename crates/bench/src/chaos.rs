@@ -32,6 +32,13 @@ pub struct ChaosRow {
     pub causal_ok: bool,
     /// FNV-1a digest of the full trace: the replay fingerprint.
     pub digest: u64,
+    /// Checker transactions resident after one GC pass over the cell's
+    /// history — the bounded-memory evidence at the chaos tier.
+    pub checker_resident_txs: u64,
+    /// Transactions that GC pass retired (0 when the history's shape
+    /// pins the frontier, e.g. an unresolved read or a pending rule-4
+    /// fixpoint).
+    pub checker_retired: u64,
 }
 
 /// The drop/duplicate rate grid of the sweep, in per mille.
@@ -80,6 +87,22 @@ pub fn chaos_row<N: ProtocolNode>(drop_pm: u16, dup_pm: u16, crash: bool, seed: 
             }
         }
     }
+    let offline = cluster.check();
+    // The same history through the online checker, garbage-collected:
+    // GC must be invisible (bit-identical verdict) on every chaos cell,
+    // and the resident count after it is the cell's bounded-memory
+    // evidence.
+    let mut online = cbf_model::CausalChecker::new();
+    for t in cluster.history().transactions() {
+        online.ingest(t.clone());
+    }
+    let gc = online.gc();
+    assert_eq!(
+        online.verdict(),
+        offline,
+        "{}: GC'd online verdict diverged from check_causal",
+        N::NAME
+    );
     ChaosRow {
         protocol: N::NAME.to_string(),
         drop_pm,
@@ -88,9 +111,23 @@ pub fn chaos_row<N: ProtocolNode>(drop_pm: u16, dup_pm: u16, crash: bool, seed: 
         seed,
         completed,
         total,
-        causal_ok: cluster.check().is_ok(),
+        causal_ok: offline.is_ok(),
         digest: cluster.world.trace.digest(),
+        checker_resident_txs: gc.resident as u64,
+        checker_retired: gc.retired as u64,
     }
+}
+
+/// The chaos artifact: the sweep rows plus the process memory sample
+/// every bench JSON now carries (see [`crate::memstats`]).
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// The sweep, in fixed cell order.
+    pub rows: Vec<ChaosRow>,
+    /// Peak/current RSS sampled after the sweep. The only
+    /// run-to-run-varying fields of the artifact — replay comparisons
+    /// must filter them out.
+    pub memory: crate::memstats::MemStats,
 }
 
 /// The full sweep: every rate × crash cell for each retry-hardened

@@ -151,6 +151,19 @@ impl ToJson for crate::chaos::ChaosRow {
             // Hex keeps the 64-bit fingerprint exact in JSON consumers
             // that parse numbers as doubles.
             .str("digest", &format!("{:016x}", self.digest))
+            .u64("checker_resident_txs", self.checker_resident_txs)
+            .u64("checker_retired", self.checker_retired)
+            .render(indent)
+    }
+}
+
+impl ToJson for crate::chaos::ChaosReport {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            // v2 wraps the row array with the shared memory sample.
+            .str("schema", "snowbound-chaos-v2")
+            .raw("memory", self.memory.to_json(indent + 1))
+            .raw("rows", self.rows.to_json(indent + 1))
             .render(indent)
     }
 }
@@ -168,6 +181,8 @@ impl ToJson for crate::scale::CheckerScaleRow {
             .u64("legacy_measured_at", self.legacy_measured_at)
             .f64("speedup_vs_legacy", self.speedup_vs_legacy)
             .bool("verdict_ok", self.verdict_ok)
+            .u64("resident_txs", self.resident_txs)
+            .u64("resident_chain_entries", self.resident_chain_entries)
             .render(indent)
     }
 }
@@ -212,6 +227,7 @@ impl ToJson for crate::scale::PipelineScaleRow {
             .u64("recycled_segments", self.recycled_segments)
             .str("digest", &format!("{:016x}", self.digest))
             .bool("verdict_ok", self.verdict_ok)
+            .u64("checker_resident_txs", self.checker_resident_txs)
             .render(indent)
     }
 }
@@ -219,11 +235,59 @@ impl ToJson for crate::scale::PipelineScaleRow {
 impl ToJson for crate::scale::ScaleReport {
     fn to_json(&self, indent: usize) -> String {
         Obj::new()
-            // v2 adds the streaming-pipeline tier array.
-            .str("schema", "snowbound-scale-v2")
+            // v2 added the streaming-pipeline tier array; v3 the shared
+            // memory sample and per-row checker resident sizes.
+            .str("schema", "snowbound-scale-v3")
+            .raw("memory", self.memory.to_json(indent + 1))
             .raw("checker", self.checker.to_json(indent + 1))
             .raw("world", self.world.to_json(indent + 1))
             .raw("pipeline", self.pipeline.to_json(indent + 1))
+            .render(indent)
+    }
+}
+
+impl ToJson for crate::soak::SoakSample {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .u64("batch", self.batch)
+            .u64("events", self.events)
+            .u64("txs", self.txs)
+            .u64("resident_txs", self.resident_txs)
+            .u64("resident_chain_entries", self.resident_chain_entries)
+            .u64("retired", self.retired)
+            .u64("current_rss_kb", self.current_rss_kb)
+            .bool("causal_ok", self.causal_ok)
+            .render(indent)
+    }
+}
+
+impl ToJson for crate::soak::SoakReport {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .str("schema", "snowbound-soak-v1")
+            .u64("target_events", self.target_events)
+            .u64("events", self.events)
+            .u64("ops", self.ops)
+            .u64("batches", self.batches)
+            .u64("txs", self.txs)
+            .u64("retired", self.retired)
+            .u64("gc_blocked_passes", self.gc_blocked_passes)
+            .u64("dups_absorbed", self.dups_absorbed)
+            .u64("reads_skipped", self.reads_skipped)
+            .bool("causal_ok", self.causal_ok)
+            .str("digest", &format!("{:016x}", self.digest))
+            .raw(
+                "resident",
+                crate::memstats::resident_json(&self.resident, indent + 1),
+            )
+            .raw("memory", self.memory.to_json(indent + 1))
+            .u64("plateau_baseline_rss_kb", self.plateau_baseline_rss_kb)
+            .u64("plateau_final_rss_kb", self.plateau_final_rss_kb)
+            .f64("plateau_ratio", self.plateau_ratio)
+            .bool("plateau_ok", self.plateau_ok)
+            .f64("wall_ms", self.wall_ms)
+            .f64("events_per_sec", self.events_per_sec)
+            .raw("samples", self.samples.to_json(indent + 1))
             .render(indent)
     }
 }

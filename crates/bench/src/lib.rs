@@ -20,9 +20,11 @@ use snowbound::theorem;
 pub mod baseline;
 pub mod chaos;
 pub mod json;
+pub mod memstats;
 pub mod perfbench;
 pub mod pipeline;
 pub mod scale;
+pub mod soak;
 
 /// Latency landmark of one protocol under one mix: mean / p50 / p99 of
 /// ROT latency in virtual microseconds, plus write latency and message

@@ -54,6 +54,8 @@ pub struct PerfReport {
     /// Peak resident set size (kB) after all runs — a proxy, since it is
     /// a high-water mark over the process lifetime.
     pub peak_rss_kb: u64,
+    /// Current resident set size (kB) after all runs.
+    pub current_rss_kb: u64,
     /// Per-exhibit measurements.
     pub exhibits: Vec<ExhibitPerf>,
 }
@@ -64,28 +66,16 @@ impl ToJson for PerfReport {
             .str("schema", "snowbound-perfbench-v1")
             .u64("threads", self.threads as u64)
             .u64("peak_rss_kb", self.peak_rss_kb)
+            .u64("current_rss_kb", self.current_rss_kb)
             .raw("exhibits", self.exhibits.to_json(indent + 1))
             .render(indent)
     }
 }
 
-/// Peak resident set size in kB, read from `/proc/self/status` (`VmHWM`).
-/// Returns 0 where procfs is unavailable (non-Linux).
+/// Peak resident set size in kB (`VmHWM`); see [`crate::memstats`],
+/// which owns the `/proc/self/status` reader all reports share.
 pub fn peak_rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            return rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-        }
-    }
-    0
+    crate::memstats::peak_rss_kb()
 }
 
 /// Time one run of `f`, returning its output, elapsed milliseconds, and
@@ -167,6 +157,7 @@ mod tests {
         let report = PerfReport {
             threads: 4,
             peak_rss_kb: 1234,
+            current_rss_kb: 1000,
             exhibits: vec![ExhibitPerf {
                 exhibit: "table1".into(),
                 serial_ms: 10.0,

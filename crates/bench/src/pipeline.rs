@@ -39,7 +39,7 @@ use std::time::Instant;
 
 use cbf_model::checker::Verdict;
 use cbf_model::history::TxRecord;
-use cbf_model::{ClientId, Key, ShardedChecker, TxId, Value};
+use cbf_model::{ClientId, Key, ResidentStats, ShardedChecker, TxId, Value};
 use cbf_sim::{Actor, CountingSink, Ctx, LatencyModel, ProcessId, SimConfig, Time, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -54,13 +54,57 @@ pub const BATCH_OPS: usize = 4_096;
 /// Bounded-channel depth (in batches) for the parallel mode.
 const CHANNEL_BATCHES: usize = 8;
 
-/// One client operation, precomputed so the producer's injection loop
-/// is allocation-free and a pure function of `(ops, keys, seed)`.
-#[derive(Clone, Copy, Debug)]
-struct OpSpec {
-    key: u32,
-    /// `Some(value)` = write (driver-allocated, globally unique).
-    write: Option<u64>,
+/// Ids covered by each server's duplicate-filter window. Batches are
+/// injected in id order and the world runs to quiescence between them,
+/// so every delivery (duplicates included — a dup samples its own
+/// latency but still lands inside its batch's quiescent run) carries an
+/// id from the current batch; one batch of slack on top is paranoia,
+/// not necessity. Ids below the window are *settled history*: nothing
+/// in flight can carry them, so treating them as duplicates is sound
+/// and the filter stays O(window), not O(run).
+pub const DEDUP_WINDOW_IDS: u64 = 2 * BATCH_OPS as u64;
+
+/// A sliding-window duplicate filter over the driver's monotone op ids:
+/// the frontier-keyed bound that keeps per-server dedup state constant
+/// over unbounded runs (1 KiB of bits, regardless of run length).
+#[derive(Clone, Debug)]
+struct OpWindow {
+    /// First id the bitmap covers; ids below are settled history.
+    base: u64,
+    /// One bit per id in `[base, base + DEDUP_WINDOW_IDS)`.
+    bits: Vec<u64>,
+}
+
+impl OpWindow {
+    fn new() -> Self {
+        OpWindow {
+            base: 0,
+            bits: vec![0; (DEDUP_WINDOW_IDS / 64) as usize],
+        }
+    }
+
+    /// True the first time `id` is seen; false for duplicates and for
+    /// ids that fell below the window (settled — see
+    /// [`DEDUP_WINDOW_IDS`] for why none of those can be first
+    /// sightings).
+    fn first_sighting(&mut self, id: u64) -> bool {
+        if id < self.base {
+            return false;
+        }
+        // Slide forward one word at a time, retiring settled ids.
+        // Amortized O(1): ids only move forward, one batch per slide.
+        while id >= self.base + DEDUP_WINDOW_IDS {
+            self.bits.rotate_left(1);
+            let last = self.bits.last_mut().expect("window is never empty");
+            *last = 0;
+            self.base += 64;
+        }
+        let off = (id - self.base) as usize;
+        let (word, bit) = (off / 64, off % 64);
+        let seen = self.bits[word] & (1 << bit) != 0;
+        self.bits[word] |= 1 << bit;
+        !seen
+    }
 }
 
 /// Wire format between the driver and a server.
@@ -105,22 +149,36 @@ pub struct KvServer {
     shadow: Vec<Option<u64>>,
     writes_seen: u64,
     log: Vec<TxRecord>,
+    seen: OpWindow,
+    dups_absorbed: u64,
+    reads_skipped: u64,
 }
 
 impl KvServer {
-    fn new(me: u32, keys: u32) -> Self {
+    /// A server owning the keys `≡ me (mod SERVERS)` of a `keys`-key space.
+    pub fn new(me: u32, keys: u32) -> Self {
         KvServer {
             me,
             store: vec![None; keys as usize],
             shadow: vec![None; keys as usize],
             writes_seen: 0,
             log: Vec::new(),
+            seen: OpWindow::new(),
+            dups_absorbed: 0,
+            reads_skipped: 0,
         }
     }
 
     /// Drain the commit log (the producer calls this after each batch).
     pub fn take_log(&mut self) -> Vec<TxRecord> {
         std::mem::take(&mut self.log)
+    }
+
+    /// Nemesis-absorption counters: `(duplicate ops absorbed, reads of
+    /// never-written keys skipped)`. Both stay 0 on fault-free runs —
+    /// the fixture digests pin that.
+    pub fn absorb_stats(&self) -> (u64, u64) {
+        (self.dups_absorbed, self.reads_skipped)
     }
 
     fn record(
@@ -149,6 +207,24 @@ impl Actor for KvServer {
         for env in ctx.recv() {
             match env.msg {
                 KvMsg::Write { id, key, val } => {
+                    // Ops for keys homed elsewhere take one network hop
+                    // to their owner. The pipeline exhibits inject
+                    // straight at the owner (this arm is dead there and
+                    // their digests pin that); the soak injects at a
+                    // ring neighbour so client ops cross the network —
+                    // where the nemesis can drop, duplicate and crash
+                    // them.
+                    if key % SERVERS != self.me {
+                        ctx.send(ProcessId(key % SERVERS), KvMsg::Write { id, key, val });
+                        continue;
+                    }
+                    // A duplicated delivery must not log a second
+                    // TxRecord under the same TxId (the history would
+                    // claim one client committed twice).
+                    if !self.seen.first_sighting(id) {
+                        self.dups_absorbed += 1;
+                        continue;
+                    }
                     self.store[key as usize] = Some(val);
                     self.writes_seen += 1;
                     // Writer client homed on this server.
@@ -158,8 +234,21 @@ impl Actor for KvServer {
                     }
                 }
                 KvMsg::Read { id, key } => {
-                    let v = self.store[key as usize]
-                        .expect("pipeline workload initializes every key before reading");
+                    if key % SERVERS != self.me {
+                        ctx.send(ProcessId(key % SERVERS), KvMsg::Read { id, key });
+                        continue;
+                    }
+                    if !self.seen.first_sighting(id) {
+                        self.dups_absorbed += 1;
+                        continue;
+                    }
+                    // Under the nemesis the init-prefix write may have
+                    // been dropped; a read of a never-written key is
+                    // skipped (it has no value to report), not a crash.
+                    let Some(v) = self.store[key as usize] else {
+                        self.reads_skipped += 1;
+                        continue;
+                    };
                     // Reader client homed on this server.
                     self.record(
                         id,
@@ -180,35 +269,54 @@ impl Actor for KvServer {
     }
 }
 
-/// Deterministic op schedule: the first `keys` ops initialize every
+/// The deterministic op stream: the first `keys` ops initialize every
 /// key, then a seeded 50/50 read/write mix over random keys — the same
 /// shape as `scale_history`, but executed *through the simulator*.
-fn op_schedule(ops: usize, keys: u32, seed: u64) -> Vec<OpSpec> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut next_val = 1u64;
-    (0..ops)
-        .map(|i| {
-            let write = i < keys as usize || rng.gen_bool(0.5);
-            if write {
-                let key = if i < keys as usize {
-                    i as u32
-                } else {
-                    rng.gen_range(0..keys)
-                };
-                let val = next_val;
-                next_val += 1;
-                OpSpec {
-                    key,
-                    write: Some(val),
-                }
+///
+/// Generated lazily, one op at a time, so nothing ever materializes a
+/// schedule: the scale exhibits pull a few million ops, the soak pulls
+/// tens of millions, and both hold O(1) generator state. Ids are the
+/// global op index, allocated here, so every consumer agrees on them.
+pub struct OpGen {
+    rng: StdRng,
+    next_val: u64,
+    next_id: u64,
+    keys: u32,
+}
+
+impl OpGen {
+    /// A fresh stream over `keys` keys; same `(keys, seed)` ⇒ the same
+    /// op sequence, forever.
+    pub fn new(keys: u32, seed: u64) -> Self {
+        OpGen {
+            rng: StdRng::seed_from_u64(seed),
+            next_val: 1,
+            next_id: 0,
+            keys,
+        }
+    }
+
+    /// The next op, addressed to the server that homes its key.
+    pub fn next_op(&mut self) -> (ProcessId, KvMsg) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let init = id < self.keys as u64;
+        let write = init || self.rng.gen_bool(0.5);
+        let (key, msg) = if write {
+            let key = if init {
+                id as u32
             } else {
-                OpSpec {
-                    key: rng.gen_range(0..keys),
-                    write: None,
-                }
-            }
-        })
-        .collect()
+                self.rng.gen_range(0..self.keys)
+            };
+            let val = self.next_val;
+            self.next_val += 1;
+            (key, KvMsg::Write { id, key, val })
+        } else {
+            let key = self.rng.gen_range(0..self.keys);
+            (key, KvMsg::Read { id, key })
+        };
+        (ProcessId(key % SERVERS), msg)
+    }
 }
 
 /// What one pipeline run produced and proved.
@@ -241,6 +349,9 @@ pub struct PipelineOutcome {
     pub overlap_ratio: f64,
     /// The merged verdict.
     pub verdict: Verdict,
+    /// Checker resident-state sizes after the verdict (summed across
+    /// shards) — what the soak tier bounds and the scale rows report.
+    pub resident: ResidentStats,
 }
 
 /// Run the streaming pipeline: `ops` operations over `keys` keys,
@@ -252,7 +363,6 @@ pub fn run_pipeline(ops: usize, keys: u32, seed: u64) -> PipelineOutcome {
         keys.is_multiple_of(SERVERS),
         "key space must split evenly across servers for the init prefix"
     );
-    let schedule = op_schedule(ops, keys, seed);
 
     // Serial mode must buffer the whole run (producer finishes before
     // the consumer starts); parallel mode bounds the handoff so a slow
@@ -299,22 +409,13 @@ pub fn run_pipeline(ops: usize, keys: u32, seed: u64) -> PipelineOutcome {
         );
         let mut sink = CountingSink::default();
         let mut peak_segments = 0usize;
-        let mut next_id = 0u64;
-        for batch in schedule.chunks(BATCH_OPS) {
-            for op in batch {
-                let server = ProcessId(op.key % SERVERS);
-                let msg = match op.write {
-                    Some(val) => KvMsg::Write {
-                        id: next_id,
-                        key: op.key,
-                        val,
-                    },
-                    None => KvMsg::Read {
-                        id: next_id,
-                        key: op.key,
-                    },
-                };
-                next_id += 1;
+        let mut gen = OpGen::new(keys, seed);
+        let mut remaining = ops;
+        while remaining > 0 {
+            let batch = BATCH_OPS.min(remaining);
+            remaining -= batch;
+            for _ in 0..batch {
+                let (server, msg) = gen.next_op();
                 w.inject_no_step(server, msg);
             }
             for s in 0..SERVERS {
@@ -352,18 +453,20 @@ pub fn run_pipeline(ops: usize, keys: u32, seed: u64) -> PipelineOutcome {
             }
         }
         let verdict = checker.verdict();
+        let resident = checker.resident_stats();
         let shard_txs: Vec<u64> = checker.shard_lens().iter().map(|&n| n as u64).collect();
         (
             checker.len() as u64,
             shard_txs,
             verdict,
+            resident,
             t0.elapsed().as_secs_f64() * 1e3,
         )
     };
 
     let (
         (digest, events, trace_events, peak_segments, recycled_segments, sim_span_ms),
-        (txs, shard_txs, verdict, check_span_ms),
+        (txs, shard_txs, verdict, resident, check_span_ms),
     ) = cbf_par::overlap(producer, consumer);
     let wall_ms = wall0.elapsed().as_secs_f64() * 1e3;
 
@@ -380,6 +483,7 @@ pub fn run_pipeline(ops: usize, keys: u32, seed: u64) -> PipelineOutcome {
         wall_ms,
         overlap_ratio: ((sim_span_ms + check_span_ms) / wall_ms - 1.0).clamp(0.0, 1.0),
         verdict,
+        resident,
     }
 }
 
@@ -391,7 +495,6 @@ pub fn run_pipeline(ops: usize, keys: u32, seed: u64) -> PipelineOutcome {
 /// against.
 pub fn run_offline(ops: usize, keys: u32, seed: u64) -> PipelineOutcome {
     assert!(keys >= SERVERS && keys.is_multiple_of(SERVERS));
-    let schedule = op_schedule(ops, keys, seed);
     let t0 = Instant::now();
     let actors: Vec<KvServer> = (0..SERVERS).map(|s| KvServer::new(s, keys)).collect();
     let mut w = World::new(
@@ -405,22 +508,13 @@ pub fn run_offline(ops: usize, keys: u32, seed: u64) -> PipelineOutcome {
     );
     // Identical batch structure to the streaming producer — the trace
     // digest comparison is only meaningful over the same event schedule.
-    let mut next_id = 0u64;
-    for batch in schedule.chunks(BATCH_OPS) {
-        for op in batch {
-            let server = ProcessId(op.key % SERVERS);
-            let msg = match op.write {
-                Some(val) => KvMsg::Write {
-                    id: next_id,
-                    key: op.key,
-                    val,
-                },
-                None => KvMsg::Read {
-                    id: next_id,
-                    key: op.key,
-                },
-            };
-            next_id += 1;
+    let mut gen = OpGen::new(keys, seed);
+    let mut remaining = ops;
+    while remaining > 0 {
+        let batch = BATCH_OPS.min(remaining);
+        remaining -= batch;
+        for _ in 0..batch {
+            let (server, msg) = gen.next_op();
             w.inject_no_step(server, msg);
         }
         for s in 0..SERVERS {
@@ -438,6 +532,7 @@ pub fn run_offline(ops: usize, keys: u32, seed: u64) -> PipelineOutcome {
         }
     }
     let verdict = checker.verdict();
+    let resident = checker.resident_stats();
     let check_span_ms = t1.elapsed().as_secs_f64() * 1e3;
     let stats = w.stats_snapshot();
 
@@ -454,6 +549,7 @@ pub fn run_offline(ops: usize, keys: u32, seed: u64) -> PipelineOutcome {
         wall_ms: sim_span_ms + check_span_ms,
         overlap_ratio: 0.0,
         verdict,
+        resident,
     }
 }
 
@@ -492,6 +588,20 @@ mod tests {
             batch_segments
         );
         assert!(a.recycled_segments > 0, "nothing was recycled");
+    }
+
+    #[test]
+    fn op_window_filters_duplicates_and_settled_ids() {
+        let mut w = OpWindow::new();
+        assert!(w.first_sighting(0));
+        assert!(!w.first_sighting(0), "second sighting is a duplicate");
+        assert!(w.first_sighting(5));
+        // Slide far forward: everything below the new window is settled
+        // history and reads as duplicate, in-window ids still register.
+        assert!(w.first_sighting(DEDUP_WINDOW_IDS + 100));
+        assert!(!w.first_sighting(0), "settled id must not re-register");
+        assert!(!w.first_sighting(DEDUP_WINDOW_IDS + 100));
+        assert!(w.first_sighting(DEDUP_WINDOW_IDS + 99));
     }
 
     #[test]

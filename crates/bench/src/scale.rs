@@ -93,6 +93,11 @@ pub struct CheckerScaleRow {
     pub speedup_vs_legacy: f64,
     /// The verdict came back consistent (workload sanity).
     pub verdict_ok: bool,
+    /// Checker transactions resident after the verdict (= ingested:
+    /// this exhibit never GCs; the soak tier owns the bounded claim).
+    pub resident_txs: u64,
+    /// Version-chain entries resident after the verdict.
+    pub resident_chain_entries: u64,
 }
 
 /// One simulator tier: event throughput plus the digest/trace evidence.
@@ -146,6 +151,10 @@ pub struct PipelineScaleRow {
     pub digest: u64,
     /// The merged sharded verdict came back consistent.
     pub verdict_ok: bool,
+    /// Summed checker transactions resident across shards after the
+    /// verdict (this exhibit never GCs; the soak tier owns the bounded
+    /// claim).
+    pub checker_resident_txs: u64,
 }
 
 /// The whole scale report.
@@ -157,6 +166,10 @@ pub struct ScaleReport {
     pub world: Vec<WorldScaleRow>,
     /// Streaming-pipeline tiers actually run.
     pub pipeline: Vec<PipelineScaleRow>,
+    /// Peak/current RSS sampled after all tiers (see
+    /// [`crate::memstats`]); the only run-to-run-varying non-wall-clock
+    /// fields, so replay comparisons must filter them out.
+    pub memory: crate::memstats::MemStats,
 }
 
 /// A consistent single-writer-per-key workload: key `k` is owned by
@@ -247,6 +260,7 @@ pub fn checker_scale(max_tier: u64) -> Vec<CheckerScaleRow> {
             let v = ck.verdict();
             let incr_ms = t0.elapsed().as_secs_f64() * 1e3;
             let incr_tps = n as f64 / (incr_ms / 1e3);
+            let resident = ck.resident_stats();
             CheckerScaleRow {
                 tier: n as u64,
                 incr_ms,
@@ -256,6 +270,8 @@ pub fn checker_scale(max_tier: u64) -> Vec<CheckerScaleRow> {
                 legacy_measured_at: LEGACY_TIER as u64,
                 speedup_vs_legacy: incr_tps / legacy_tps,
                 verdict_ok: v.is_ok(),
+                resident_txs: resident.txs as u64,
+                resident_chain_entries: resident.chain_entries as u64,
             }
         })
         .collect()
@@ -347,6 +363,7 @@ pub fn pipeline_scale(max_tier: u64) -> Vec<PipelineScaleRow> {
                 recycled_segments: out.recycled_segments,
                 digest: out.digest,
                 verdict_ok: out.verdict.is_ok(),
+                checker_resident_txs: out.resident.txs as u64,
             }
         })
         .collect()
@@ -391,6 +408,7 @@ pub fn scale_report(max_tier: u64) -> Result<ScaleReport, String> {
         checker: checker_scale(max_tier),
         world: world_scale(max_tier),
         pipeline: pipeline_scale(max_tier),
+        memory: crate::memstats::MemStats::sample(),
     };
     for row in &report.world {
         if let Some(want) = expected_digest(row.tier) {

@@ -122,6 +122,13 @@ impl History {
         self.transactions.push(tx);
     }
 
+    /// Drop the first `n` transactions (checker-GC support). The
+    /// retained suffix keeps completion order; callers that retire a
+    /// prefix are responsible for translating their own indices.
+    pub fn retire_prefix(&mut self, n: usize) {
+        self.transactions.drain(..n);
+    }
+
     /// All transactions, in completion order.
     pub fn transactions(&self) -> &[TxRecord] {
         &self.transactions

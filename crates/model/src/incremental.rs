@@ -45,6 +45,8 @@
 //! order (reads-from list order for rule 3, transaction order for
 //! rule 3b, sorted client order for rule 4).
 
+#![deny(unsafe_code)]
+
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::checker::{check_causal_legacy, client_serializable, Verdict, Violation};
@@ -77,6 +79,8 @@ enum Rule4 {
 /// What one session's verdict-time scan produced.
 struct SessionScan {
     client: ClientId,
+    /// Dense session index of `client`.
+    s: u32,
     /// `(reads-from index, stale writers ascending)` per rule 3.
     stale: Vec<(usize, Vec<usize>)>,
     /// `(bottom-read index, causally-preceding writers ascending)`.
@@ -123,7 +127,9 @@ impl CausalChecker {
         self.state.n == 0
     }
 
-    /// The history as ingested (owned copy, used by the fallback paths).
+    /// The retained history (owned copy, used by the fallback paths).
+    /// Before any successful [`gc`](Self::gc) this is the history as
+    /// ingested; after one it is the suffix above the compaction cut.
     pub fn history(&self) -> &History {
         &self.history
     }
@@ -132,6 +138,70 @@ impl CausalChecker {
     /// to [`check_causal_legacy`] on the same history.
     pub fn verdict(&self) -> Verdict {
         self.state.verdict(&self.history)
+    }
+
+    /// Compact every transaction below the global minimum causal
+    /// frontier, under an explicit liveness contract:
+    ///
+    /// * `live` — the `(key, value)` pairs a future read may still
+    ///   return (for a store-backed workload: the current store
+    ///   contents). Every other already-written value is promised dead.
+    /// * `bottom_keys` — keys that may still be read as `⊥`; their
+    ///   version chains are retained in full.
+    /// * `value_floor` — no future write (and no future read of a
+    ///   non-`live` value) uses a value below this.
+    ///
+    /// GC is *invisible* under the contract: every later
+    /// [`verdict`](Self::verdict) is bit-identical to the unpruned
+    /// checker's. Open edges are settled into cached violations first —
+    /// their window scans are provably final at ingest time — then the
+    /// longest fully-dead history prefix is compacted out of the
+    /// per-transaction arrays, the clock arena, the version chains and
+    /// the value ledgers. States that still need the full history
+    /// (forward edges, unresolved reads, pending rule-4 fixpoints,
+    /// duplicate values) refuse to retire and report
+    /// [`GcStats::blocked`] instead of becoming lossy; a *broken*
+    /// promise after a successful GC (a write below the floor, a read of
+    /// a settled value, a `⊥`-read of a pruned key, a brand-new writer
+    /// client) panics loudly rather than weakening the verdict.
+    pub fn gc_with(
+        &mut self,
+        live: &BTreeSet<(Key, Value)>,
+        bottom_keys: &BTreeSet<Key>,
+        value_floor: u64,
+    ) -> GcStats {
+        self.state
+            .gc(&mut self.history, live, bottom_keys, value_floor)
+    }
+
+    /// Self-deriving [`gc_with`](Self::gc_with) for monotone streaming
+    /// workloads (the sim→check pipeline): the live set is each key's
+    /// most recent writer's value — exactly the store contents, because
+    /// the store and the version chains advance in lockstep — the floor
+    /// is one past the largest value seen, and no `⊥`-reads are expected.
+    pub fn gc(&mut self) -> GcStats {
+        let (live, floor) = self.state.derive_live(&self.history);
+        self.state
+            .gc(&mut self.history, &live, &BTreeSet::new(), floor)
+    }
+
+    /// Transactions compacted out by GC so far.
+    pub fn retired(&self) -> usize {
+        self.state.base
+    }
+
+    /// Diagnostic: true when some client's rule-4 decision currently
+    /// requires the legacy constraint-graph fixpoint. GC harnesses use
+    /// this on an *unpruned* shadow run to decide at which points a
+    /// pruned checker can stay exact (a fixpoint need arising after
+    /// compaction is a broken workload promise and panics).
+    pub fn rule4_fixpoint_pending(&self) -> bool {
+        self.state.fixpoint_pending()
+    }
+
+    /// Resident-state sizes, for soak-style memory sampling.
+    pub fn resident_stats(&self) -> ResidentStats {
+        self.state.resident()
     }
 }
 
@@ -206,22 +276,118 @@ struct IngestState {
     /// A read resolved to a later writer: clocks are not sound, fall
     /// back to the legacy checker wholesale.
     forward_edge: bool,
+
+    // --- GC state. Indices stay *global* (ingest order over the whole
+    // run); rows for indices `< base` have been compacted away. ---
+    /// Global transaction indices `< base` are retired: the per-tx
+    /// arrays and the owned history start at `base`.
+    base: usize,
+    /// First clock-arena slot still resident (`clock_off` is absolute).
+    arena_base: usize,
+    /// Retired (compacted-out) transactions per session: the retained
+    /// `txs_of_session[s]` suffix starts at this program-order position.
+    session_retired: Vec<u32>,
+    /// Values strictly below this floor were settled by GC: a write of
+    /// one is a broken caller promise (panic), and a read of one must
+    /// hit the live entries kept in `writer_spill` (else panic). `0`
+    /// until the first successful GC.
+    value_floor: u64,
+    /// `max written value + 1` — the self-derived floor for workloads
+    /// whose value allocation is monotone (the streaming pipeline).
+    next_floor: u64,
+    /// Lower edge of the dense-ledger window (see [`DENSE_VALUES`]):
+    /// slot/bit 0 is value `dense_base`. Always a multiple of 64 (so the
+    /// bitset words stay aligned) and at most `value_floor` — values
+    /// below the floor don't need dense slots, writes of them panic and
+    /// reads of them resolve through `writer_spill`. `0` until the first
+    /// successful GC.
+    dense_base: u64,
+    /// Keys whose chain prefix was pruned: a future `⊥`-read of one
+    /// would need windows the GC discarded — loud contract violation.
+    pruned_keys: BTreeSet<Key>,
+    /// True once any GC actually retired state (enables the
+    /// broken-promise panics; a refused GC changes nothing).
+    gc_engaged: bool,
+    /// Sessions first seen after a compacting GC: they may read (their
+    /// windows only look at retained or fresh writers) but a write from
+    /// one is a broken promise — see `ingest`.
+    born_post_gc: BTreeSet<u32>,
+    /// Settled (provably final) rule-1 violations, in pending order.
+    settled_unknown: Vec<Violation>,
+    /// Settled rule-3 violations, in reads-from order.
+    settled_stale: Vec<Violation>,
+    /// Settled rule-3b violations, in bottom-read order.
+    settled_bottom: Vec<Violation>,
+    /// Per-session sticky rule-4 verdicts: once a session has a stale or
+    /// bottom violation it is unserializable forever (constraint cycles
+    /// never dissolve), so GC folds that bit here and clears the edges.
+    session_violated: Vec<bool>,
 }
 
-/// Values below this bound live in dense, value-indexed ledgers (the
-/// seen-bitset and the writer slots); larger ones spill to ordered maps.
-/// Harness-allocated values are small sequential integers, so the dense
-/// path covers essentially every transaction while the cap bounds the
-/// ledgers at 512 KiB (bits) + 32 MiB (slots) even for adversarial
-/// values just under it.
+/// What one [`CausalChecker::gc`] call did (or why it did nothing).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Transactions compacted out by this call.
+    pub retired: usize,
+    /// Transactions still resident after this call.
+    pub resident: usize,
+    /// Reads-from edges settled into cached violations by this call.
+    pub settled_edges: usize,
+    /// Clock-arena slots freed by this call.
+    pub freed_clock_slots: usize,
+    /// `Some(reason)` when the checker refused to retire anything: a
+    /// legacy-fallback path (forward edge, pending rule-4 fixpoint,
+    /// duplicate values) or an unresolved read still needs the full
+    /// history, so GC keeps the whole window instead of becoming lossy.
+    pub blocked: Option<&'static str>,
+}
+
+/// Resident-state sizes of one checker, for soak-style memory sampling.
+#[derive(Clone, Debug, Default)]
+pub struct ResidentStats {
+    /// Transactions resident (ingested minus retired).
+    pub txs: usize,
+    /// Clock-arena slots resident.
+    pub clock_slots: usize,
+    /// Version-chain entries resident across all keys.
+    pub chain_entries: usize,
+    /// Unsettled reads-from edges + pending reads + bottom reads.
+    pub open_edges: usize,
+    /// Spill-ledger entries (writers + seen values) resident.
+    pub spill_entries: usize,
+    /// Violations settled by GC so far.
+    pub settled_violations: usize,
+}
+
+/// Width of the dense, value-indexed ledger window (the seen-bitset and
+/// the writer slots): values in `[dense_base, dense_base + DENSE_VALUES)`
+/// get an indexed slot, the rest spill to ordered maps. Harness-allocated
+/// values are small sequential integers, so the dense path covers
+/// essentially every transaction while the width bounds the ledgers at
+/// 512 KiB (bits) + 32 MiB (slots) even for adversarial values just
+/// under it. Without GC the window is pinned at `[0, DENSE_VALUES)`;
+/// each compacting GC slides `dense_base` up to the settled floor, so a
+/// monotone value stream (the soak) pays O(window) memory forever
+/// instead of O(values ever written).
 const DENSE_VALUES: u64 = 1 << 22;
 
 impl IngestState {
     /// Record `v` as written; true if it was never seen before.
     fn see_value(&mut self, v: Value) -> bool {
-        if v.0 < DENSE_VALUES {
-            let word = (v.0 / 64) as usize;
-            let bit = 1u64 << (v.0 % 64);
+        assert!(
+            v.0 >= self.value_floor,
+            "GC contract broken: write of value {} below the settled floor {} \
+             (the caller promised value allocation had moved past it)",
+            v.0,
+            self.value_floor
+        );
+        if v.0 != u64::MAX {
+            self.next_floor = self.next_floor.max(v.0 + 1);
+        }
+        if v.0 >= self.dense_base && v.0 - self.dense_base < DENSE_VALUES {
+            let off = v.0 - self.dense_base;
+            let word = (off / 64) as usize;
+            let bit = 1u64 << (off % 64);
             if self.seen_bits.len() <= word {
                 self.seen_bits.resize(word + 1, 0);
             }
@@ -235,8 +401,8 @@ impl IngestState {
 
     /// Record `idx` as the writer of `(k, v)`.
     fn set_writer(&mut self, k: Key, v: Value, idx: usize) {
-        if v.0 < DENSE_VALUES {
-            let slot = v.0 as usize;
+        if v.0 >= self.dense_base && v.0 - self.dense_base < DENSE_VALUES {
+            let slot = (v.0 - self.dense_base) as usize;
             if self.writer_slots.len() <= slot {
                 self.writer_slots.resize(slot + 1, (0, 0));
             }
@@ -248,8 +414,24 @@ impl IngestState {
 
     /// The transaction that wrote `(k, v)`, if any.
     fn writer_of(&self, k: Key, v: Value) -> Option<usize> {
-        if v.0 < DENSE_VALUES {
-            match self.writer_slots.get(v.0 as usize) {
+        if v.0 < self.value_floor {
+            // Below the floor only the live entries survive (GC moved
+            // them into the spill map); a miss is a read of a settled
+            // value — a broken caller promise, never a property of the
+            // data, so fail loudly instead of reporting UnknownValue.
+            let w = self.writer_spill.get(&(k, v)).copied();
+            assert!(
+                w.is_some(),
+                "GC contract broken: read of key {} value {} below the settled \
+                 floor {} (the caller promised it was no longer readable)",
+                k.0,
+                v.0,
+                self.value_floor
+            );
+            return w;
+        }
+        if v.0 >= self.dense_base && v.0 - self.dense_base < DENSE_VALUES {
+            match self.writer_slots.get((v.0 - self.dense_base) as usize) {
                 Some(&(wk, w1)) if w1 != 0 && wk == k.0 => Some(w1 as usize - 1),
                 _ => None,
             }
@@ -265,13 +447,36 @@ impl IngestState {
         let s = self.txs_of_session.len() as u32;
         self.sessions.insert(c, s);
         self.txs_of_session.push(Vec::new());
+        self.session_retired.push(0);
+        self.session_violated.push(false);
         s
+    }
+
+    /// Session of global transaction `t` (resident rows only).
+    #[inline]
+    fn sess_of(&self, t: usize) -> u32 {
+        self.session_of[t - self.base]
+    }
+
+    /// Program-order position of global transaction `t`.
+    #[inline]
+    fn pos_of(&self, t: usize) -> u32 {
+        self.pos[t - self.base]
+    }
+
+    /// The frontier slice of global transaction `t`.
+    #[inline]
+    fn clock_slice(&self, t: usize) -> &[u32] {
+        let off = self.clock_off[t - self.base] - self.arena_base;
+        let len = self.clock_len[t - self.base] as usize;
+        &self.clock_arena[off..off + len]
     }
 
     /// `clock(t)[s]`, with absent entries reading 0.
     fn clk(&self, t: usize, s: u32) -> u32 {
-        if s < self.clock_len[t] {
-            self.clock_arena[self.clock_off[t] + s as usize]
+        let i = t - self.base;
+        if s < self.clock_len[i] {
+            self.clock_arena[self.clock_off[i] - self.arena_base + s as usize]
         } else {
             0
         }
@@ -279,22 +484,38 @@ impl IngestState {
 
     /// `a <c b` under the frontier encoding (requires `a ≠ b`).
     fn before(&self, a: usize, b: usize) -> bool {
-        self.clk(b, self.session_of[a]) > self.pos[a]
+        self.clk(b, self.sess_of(a)) > self.pos_of(a)
     }
 
     fn ingest(&mut self, t: &TxRecord) {
         let idx = self.n;
         self.n += 1;
+        let fresh_session = !self.sessions.contains_key(&t.client);
         let s = self.session(t.client);
-        let pos = self.txs_of_session[s as usize].len() as u32;
+        if fresh_session && self.gc_engaged {
+            self.born_post_gc.insert(s);
+        }
+        if !t.writes.is_empty() && self.born_post_gc.contains(&s) {
+            // A writer client born after compaction has an unboundedly
+            // small frontier — the global minimum frontier the GC pruned
+            // below never accounted for it, so its writes' reads-from
+            // windows could reach into discarded chain prefixes. The GC
+            // contract promises the writer population is stable once GC
+            // starts.
+            panic!(
+                "GC contract broken: client {} writes but its session started \
+                 after history was compacted (the caller promised no new \
+                 writer clients)",
+                t.client.0
+            );
+        }
+        let pos = self.session_retired[s as usize] + self.txs_of_session[s as usize].len() as u32;
 
         // Frontier: start from the same client's previous transaction.
         let mut clock = std::mem::take(&mut self.scratch);
         clock.clear();
         if let Some(&prev) = self.txs_of_session[s as usize].last() {
-            let off = self.clock_off[prev];
-            let len = self.clock_len[prev] as usize;
-            clock.extend_from_slice(&self.clock_arena[off..off + len]);
+            clock.extend_from_slice(self.clock_slice(prev));
         }
 
         // Writes first: the legacy writer map covers the whole history,
@@ -316,6 +537,13 @@ impl IngestState {
 
         for &(k, v) in &t.reads {
             if v.is_bottom() {
+                assert!(
+                    !self.pruned_keys.contains(&k),
+                    "GC contract broken: ⊥-read of key {} whose version-chain \
+                     prefix was compacted (the caller promised no further \
+                     ⊥-reads of GC'd keys)",
+                    k.0
+                );
                 self.bottom_reads.push((idx, k));
                 continue;
             }
@@ -328,12 +556,10 @@ impl IngestState {
                         value: v,
                     });
                     // Join the writer's frontier into ours.
-                    let off = self.clock_off[w];
-                    let len = self.clock_len[w] as usize;
-                    if clock.len() < len {
-                        clock.resize(len, 0);
+                    let wc = self.clock_slice(w);
+                    if clock.len() < wc.len() {
+                        clock.resize(wc.len(), 0);
                     }
-                    let wc = &self.clock_arena[off..off + len];
                     for (mine, theirs) in clock.iter_mut().zip(wc) {
                         *mine = (*mine).max(*theirs);
                     }
@@ -362,7 +588,8 @@ impl IngestState {
             clock.resize(s as usize + 1, 0);
         }
         clock[s as usize] = pos + 1;
-        self.clock_off.push(self.clock_arena.len());
+        self.clock_off
+            .push(self.clock_arena.len() + self.arena_base);
         self.clock_len.push(clock.len() as u32);
         self.clock_arena.extend_from_slice(&clock);
         self.scratch = clock;
@@ -380,13 +607,23 @@ impl IngestState {
         if self.forward_edge {
             // A forward reads-from edge is the one shape that can close a
             // causality cycle; the frontiers are not sound for it.
+            assert!(
+                !self.gc_engaged,
+                "GC contract broken: a forward reads-from edge appeared after \
+                 history was compacted — the legacy fallback needs the full \
+                 history (the caller promised no pending value would be written)"
+            );
             return check_causal_legacy(h);
         }
         let txs = h.transactions();
+        let base = self.base;
 
+        // Rule 1: violations settled by GC first (they were earlier in
+        // pending order by construction), then the still-open reads.
+        v.violations.extend(self.settled_unknown.iter().cloned());
         for p in &self.pending {
             v.violations.push(Violation::UnknownValue {
-                reader: txs[p.tx].id,
+                reader: txs[p.tx - base].id,
                 key: p.key,
                 value: p.value,
             });
@@ -398,11 +635,11 @@ impl IngestState {
         // shared state; results are folded back in sorted-client order.
         let mut rf_of_session: Vec<Vec<usize>> = vec![Vec::new(); self.txs_of_session.len()];
         for (i, rf) in self.reads_from.iter().enumerate() {
-            rf_of_session[self.session_of[rf.reader] as usize].push(i);
+            rf_of_session[self.sess_of(rf.reader) as usize].push(i);
         }
         let mut bottoms_of_session: Vec<Vec<usize>> = vec![Vec::new(); self.txs_of_session.len()];
         for (i, &(tx, _)) in self.bottom_reads.iter().enumerate() {
-            bottoms_of_session[self.session_of[tx] as usize].push(i);
+            bottoms_of_session[self.sess_of(tx) as usize].push(i);
         }
 
         let jobs: Vec<(ClientId, u32)> = self.sessions.iter().map(|(&c, &s)| (c, s)).collect();
@@ -423,7 +660,10 @@ impl IngestState {
         });
 
         // Rule 3, in reads-from list order (each edge belongs to exactly
-        // one session; a global sort restores the legacy order).
+        // one session; a global sort restores the legacy order). Edges
+        // settled by GC were a strict prefix of the list, so emitting
+        // their cached violations first preserves the legacy order.
+        v.violations.extend(self.settled_stale.iter().cloned());
         let mut stale: Vec<(usize, Vec<usize>)> = scans
             .iter()
             .flat_map(|sc| sc.stale.iter().cloned())
@@ -433,15 +673,16 @@ impl IngestState {
             let rf = &self.reads_from[*rf_idx];
             for &j in writers {
                 v.violations.push(Violation::StaleRead {
-                    reader: txs[rf.reader].id,
+                    reader: txs[rf.reader - base].id,
                     key: rf.key,
-                    read_from: txs[rf.writer].id,
-                    overwritten_by: txs[j].id,
+                    read_from: txs[rf.writer - base].id,
+                    overwritten_by: txs[j - base].id,
                 });
             }
         }
 
-        // Rule 3b, in (transaction, read) order.
+        // Rule 3b, in (transaction, read) order; settled prefix first.
+        v.violations.extend(self.settled_bottom.iter().cloned());
         let mut bottoms: Vec<(usize, Vec<usize>)> = scans
             .iter()
             .flat_map(|sc| sc.bottoms.iter().cloned())
@@ -451,24 +692,38 @@ impl IngestState {
             let (reader, key) = self.bottom_reads[*b_idx];
             for &j in writers {
                 v.violations.push(Violation::BottomReadAfterWrite {
-                    reader: txs[reader].id,
+                    reader: txs[reader - base].id,
                     key,
-                    written_by: txs[j].id,
+                    written_by: txs[j - base].id,
                 });
             }
         }
 
-        // Rule 4, in sorted-client order. Clients that genuinely need the
+        // Rule 4, in sorted-client order. A sticky per-session verdict
+        // settled by GC short-circuits exactly like a fresh stale read
+        // (the legacy fixpoint is guaranteed false forever once any
+        // constraint cycle exists). Clients that genuinely need the
         // constraint saturation run the legacy fixpoint over a lazily
         // built CausalOrder (at most once per verdict).
         let mut legacy_order: Option<CausalOrder> = None;
         for scan in &scans {
-            let ok = match scan.rule4 {
-                Rule4::Serializable => true,
-                Rule4::Violated => false,
-                Rule4::NeedsFixpoint => {
-                    let co = legacy_order.get_or_insert_with(|| CausalOrder::build(h));
-                    client_serializable(h, co, scan.client)
+            let ok = if self.session_violated[scan.s as usize] {
+                false
+            } else {
+                match scan.rule4 {
+                    Rule4::Serializable => true,
+                    Rule4::Violated => false,
+                    Rule4::NeedsFixpoint => {
+                        assert!(
+                            !self.gc_engaged,
+                            "GC contract broken: client {} needs the rule-4 \
+                             constraint fixpoint after history was compacted — \
+                             the fixpoint needs the full history",
+                            scan.client.0
+                        );
+                        let co = legacy_order.get_or_insert_with(|| CausalOrder::build(h));
+                        client_serializable(h, co, scan.client)
+                    }
                 }
             };
             if !ok {
@@ -486,7 +741,7 @@ impl IngestState {
     fn scan_session(
         &self,
         client: ClientId,
-        _s: u32,
+        s: u32,
         rf_idxs: &[usize],
         bottom_idxs: &[usize],
     ) -> SessionScan {
@@ -510,9 +765,9 @@ impl IngestState {
                 if lo >= hi {
                     continue;
                 }
-                let from = chain.partition_point(|&j| self.pos[j] < lo);
+                let from = chain.partition_point(|&j| self.pos_of(j) < lo);
                 for &j in &chain[from..] {
-                    if self.pos[j] >= hi {
+                    if self.pos_of(j) >= hi {
                         break;
                     }
                     if j == w || j == r {
@@ -546,7 +801,7 @@ impl IngestState {
             for (&s2, chain) in per_session {
                 let hi = self.clk(reader, s2);
                 for &j in chain {
-                    if self.pos[j] >= hi {
+                    if self.pos_of(j) >= hi {
                         break;
                     }
                     if j != reader {
@@ -572,10 +827,378 @@ impl IngestState {
         };
         SessionScan {
             client,
+            s,
             stale,
             bottoms,
             rule4,
         }
+    }
+
+    /// Resident-state sizes, for memory sampling.
+    fn resident(&self) -> ResidentStats {
+        ResidentStats {
+            txs: self.n - self.base,
+            clock_slots: self.clock_arena.len(),
+            chain_entries: self
+                .chains
+                .values()
+                .flat_map(|per| per.values())
+                .map(Vec::len)
+                .sum(),
+            open_edges: self.reads_from.len() + self.pending.len() + self.bottom_reads.len(),
+            spill_entries: self.writer_spill.len() + self.seen_spill.len(),
+            settled_violations: self.settled_unknown.len()
+                + self.settled_stale.len()
+                + self.settled_bottom.len()
+                + self.session_violated.iter().filter(|&&b| b).count(),
+        }
+    }
+
+    /// Serial window scans for every session (the GC path and the
+    /// fixpoint diagnostic; `verdict` has its own `cbf_par` fan-out).
+    fn all_scans(&self) -> Vec<SessionScan> {
+        let nsess = self.txs_of_session.len();
+        let mut rf_of_session: Vec<Vec<usize>> = vec![Vec::new(); nsess];
+        for (i, rf) in self.reads_from.iter().enumerate() {
+            rf_of_session[self.sess_of(rf.reader) as usize].push(i);
+        }
+        let mut bottoms_of_session: Vec<Vec<usize>> = vec![Vec::new(); nsess];
+        for (i, &(tx, _)) in self.bottom_reads.iter().enumerate() {
+            bottoms_of_session[self.sess_of(tx) as usize].push(i);
+        }
+        self.sessions
+            .iter()
+            .map(|(&c, &s)| {
+                self.scan_session(
+                    c,
+                    s,
+                    &rf_of_session[s as usize],
+                    &bottoms_of_session[s as usize],
+                )
+            })
+            .collect()
+    }
+
+    /// True when some session's rule-4 decision currently needs the
+    /// legacy constraint fixpoint (and is not already doomed by a stale
+    /// or bottom violation).
+    fn fixpoint_pending(&self) -> bool {
+        if self.duplicate || self.forward_edge {
+            return false;
+        }
+        self.all_scans().iter().any(|sc| {
+            !self.session_violated[sc.s as usize] && matches!(sc.rule4, Rule4::NeedsFixpoint)
+        })
+    }
+
+    /// The live set a monotone streaming workload implies: each key's
+    /// most recent writer's value (the store content), and a floor one
+    /// past the largest value ever written.
+    fn derive_live(&self, h: &History) -> (BTreeSet<(Key, Value)>, u64) {
+        let mut live = BTreeSet::new();
+        for (&k, per_session) in &self.chains {
+            let tail = per_session.values().filter_map(|c| c.last().copied()).max();
+            if let Some(t) = tail {
+                if let Some(v) = h.transactions()[t - self.base].wrote(k) {
+                    live.insert((k, v));
+                }
+            }
+        }
+        (live, self.next_floor)
+    }
+
+    /// Settle-then-compact GC. See [`CausalChecker::gc_with`] for the
+    /// caller contract; this runs in two phases so a refusal (any state
+    /// whose future verdicts still need the full history) changes
+    /// nothing at all.
+    fn gc(
+        &mut self,
+        h: &mut History,
+        live: &BTreeSet<(Key, Value)>,
+        bottom_keys: &BTreeSet<Key>,
+        floor: u64,
+    ) -> GcStats {
+        let mut stats = GcStats {
+            resident: self.n - self.base,
+            ..GcStats::default()
+        };
+        if self.n == self.base {
+            return stats;
+        }
+        // --- Phase 0: refusal checks (no mutation past this block). ---
+        if self.duplicate {
+            stats.blocked = Some("duplicate values: terminal legacy verdict");
+            return stats;
+        }
+        if self.forward_edge {
+            stats.blocked = Some("forward reads-from edge: whole-verdict legacy fallback");
+            return stats;
+        }
+        if !self.pending_keys.is_empty() {
+            // An unresolved read could still match a later writer and
+            // flip the checker into the legacy fallback — which needs
+            // every transaction back to index 0.
+            stats.blocked = Some("unresolved reads could still resolve forward");
+            return stats;
+        }
+        let floor = floor.max(self.value_floor);
+        // Writers of every declared-live value must be resident: future
+        // reads-from edges will point at them and their frontiers bound
+        // the chain windows below.
+        let mut live_writer: BTreeMap<(Key, Value), usize> = BTreeMap::new();
+        for &(k, v) in live {
+            match self.writer_of(k, v) {
+                Some(w) => {
+                    live_writer.insert((k, v), w);
+                }
+                None => {
+                    stats.blocked = Some("live value with no ingested writer");
+                    return stats;
+                }
+            }
+        }
+
+        // Scan every open edge once. Scan results are final at ingest
+        // time: a future writer of session `s2` lands at a program-order
+        // position ≥ that session's current length ≥ every existing
+        // window's upper bound `clk(reader, s2)`, so no future ingest
+        // can add a writer to — or remove one from — these windows.
+        let nsess = self.txs_of_session.len();
+        let scans = self.all_scans();
+
+        // Rule 4 settlement. `Violated` is final (constraint cycles
+        // never dissolve, so the sticky bit is sound forever). A session
+        // that needs the fixpoint *and is currently serializable* cannot
+        // be settled — a future read could flip it and only the full
+        // history can decide — so the windowed strategy is to run the
+        // fixpoint now: `false` settles as sticky-violated, `true`
+        // refuses this GC round.
+        let mut newly_violated: Vec<u32> = Vec::new();
+        let mut legacy_order: Option<CausalOrder> = None;
+        for scan in &scans {
+            if self.session_violated[scan.s as usize] {
+                continue;
+            }
+            match scan.rule4 {
+                Rule4::Serializable => {}
+                Rule4::Violated => newly_violated.push(scan.s),
+                Rule4::NeedsFixpoint => {
+                    if self.base != 0 {
+                        stats.blocked = Some("rule-4 fixpoint pending after prior compaction");
+                        return stats;
+                    }
+                    let co = legacy_order.get_or_insert_with(|| CausalOrder::build(h));
+                    if client_serializable(h, co, scan.client) {
+                        stats.blocked = Some("rule-4 fixpoint pending and currently serializable");
+                        return stats;
+                    }
+                    newly_violated.push(scan.s);
+                }
+            }
+        }
+
+        // --- Phase 1: settle. Emission order mirrors `verdict` exactly;
+        // settled entries are a strict prefix of every future list. ---
+        let txs = h.transactions();
+        let base = self.base;
+        for p in &self.pending {
+            // `pending_keys` is empty, so every pending read is an
+            // own-write read: permanently unknown.
+            self.settled_unknown.push(Violation::UnknownValue {
+                reader: txs[p.tx - base].id,
+                key: p.key,
+                value: p.value,
+            });
+        }
+        let mut stale: Vec<(usize, Vec<usize>)> = scans
+            .iter()
+            .flat_map(|sc| sc.stale.iter().cloned())
+            .collect();
+        stale.sort_unstable_by_key(|&(rf_idx, _)| rf_idx);
+        for (rf_idx, writers) in &stale {
+            let rf = &self.reads_from[*rf_idx];
+            for &j in writers {
+                self.settled_stale.push(Violation::StaleRead {
+                    reader: txs[rf.reader - base].id,
+                    key: rf.key,
+                    read_from: txs[rf.writer - base].id,
+                    overwritten_by: txs[j - base].id,
+                });
+            }
+        }
+        let mut bottoms: Vec<(usize, Vec<usize>)> = scans
+            .iter()
+            .flat_map(|sc| sc.bottoms.iter().cloned())
+            .collect();
+        bottoms.sort_unstable_by_key(|&(b_idx, _)| b_idx);
+        for (b_idx, writers) in &bottoms {
+            let (reader, key) = self.bottom_reads[*b_idx];
+            for &j in writers {
+                self.settled_bottom.push(Violation::BottomReadAfterWrite {
+                    reader: txs[reader - base].id,
+                    key,
+                    written_by: txs[j - base].id,
+                });
+            }
+        }
+        for s in newly_violated {
+            self.session_violated[s as usize] = true;
+        }
+        stats.settled_edges = self.reads_from.len() + self.pending.len() + self.bottom_reads.len();
+        self.reads_from.clear();
+        self.pending.clear();
+        self.bottom_reads.clear();
+
+        // --- Phase 2: compute the global minimum frontier and prune. ---
+        // F[s2] = min over sessions s of clk(latest(s), s2). Any future
+        // transaction of an existing client has clk ≥ its client's
+        // latest clock ≥ F pointwise, so no future reads-from window can
+        // open below min(F[s2], clk(live writer, s2)).
+        let mut fmin = vec![u32::MAX; nsess];
+        for s in 0..nsess {
+            let last = *self.txs_of_session[s]
+                .last()
+                .expect("every session has at least one resident transaction");
+            for (s2, f) in fmin.iter_mut().enumerate() {
+                *f = (*f).min(self.clk(last, s2 as u32));
+            }
+        }
+
+        // Retained set: last of each session, live writers, and every
+        // chain entry at or above its floor. The cut is its minimum.
+        let mut cut = self.n;
+        for s in 0..nsess {
+            cut = cut.min(*self.txs_of_session[s].last().expect("nonempty session"));
+        }
+        for &w in live_writer.values() {
+            cut = cut.min(w);
+        }
+        let mut chains = std::mem::take(&mut self.chains);
+        let mut newly_pruned: Vec<Key> = Vec::new();
+        for (&k, per_session) in chains.iter_mut() {
+            let pinned = bottom_keys.contains(&k);
+            for (&s2, chain) in per_session.iter_mut() {
+                let mut fl = if pinned { 0 } else { fmin[s2 as usize] };
+                for (&(lk, lv), &w) in live_writer.range((k, Value(0))..=(k, Value(u64::MAX))) {
+                    debug_assert_eq!(lk, k);
+                    let _ = lv;
+                    fl = fl.min(self.clk(w, s2));
+                }
+                let drop_n = chain.partition_point(|&j| self.pos_of(j) < fl);
+                if drop_n > 0 {
+                    chain.drain(..drop_n);
+                    newly_pruned.push(k);
+                }
+                for &j in chain.iter() {
+                    cut = cut.min(j);
+                }
+            }
+            per_session.retain(|_, c| !c.is_empty());
+        }
+        chains.retain(|_, per| !per.is_empty());
+        self.chains = chains;
+        self.pruned_keys.extend(newly_pruned);
+
+        // Ledgers: live values below the new floor move to the spill map
+        // (the only place `writer_of` consults below the floor); dead
+        // entries below it are dropped. Seen-state at or above the floor
+        // is retained so duplicate detection stays exact; writes below
+        // the floor panic instead.
+        for (&(k, v), &w) in &live_writer {
+            if v.0 < floor {
+                self.writer_spill.insert((k, v), w);
+            }
+        }
+        self.writer_spill
+            .retain(|&(k, v), _| v.0 >= floor || live.contains(&(k, v)));
+        self.seen_spill.retain(|&v| v.0 >= floor);
+        self.value_floor = floor;
+
+        // Rebase the dense ledgers: the slots and seen-bits below the
+        // floor are permanently dead (a write below it panics, a read of
+        // it resolves through the spill map), so slide the window up
+        // instead of letting a monotone value stream grow the tables
+        // toward the DENSE_VALUES cap forever — 8 bytes + 1 bit per
+        // value ever written is exactly the kind of creep the soak's
+        // plateau assertion exists to catch. Word-align the new base so
+        // the retained bits keep their offsets after the drain.
+        let new_base = floor & !63;
+        if new_base > self.dense_base {
+            let shift = (new_base - self.dense_base) as usize;
+            if shift >= self.writer_slots.len() {
+                self.writer_slots.clear();
+            } else {
+                self.writer_slots.drain(..shift);
+            }
+            let words = shift / 64;
+            if words >= self.seen_bits.len() {
+                self.seen_bits.clear();
+            } else {
+                self.seen_bits.drain(..words);
+            }
+            self.dense_base = new_base;
+            // Spill entries the slide just pulled into the window move
+            // back to the dense tables, which are the single source of
+            // truth for their range (`writer_of` never falls through
+            // from a dense miss to the spill map at or above the floor).
+            let hi = new_base.saturating_add(DENSE_VALUES);
+            let mut migrate: Vec<(Key, Value, usize)> = Vec::new();
+            self.writer_spill.retain(|&(k, v), w| {
+                if v.0 >= floor && v.0 < hi {
+                    migrate.push((k, v, *w));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (k, v, w) in migrate {
+                self.set_writer(k, v, w);
+            }
+            let mut seen: Vec<Value> = Vec::new();
+            self.seen_spill.retain(|&v| {
+                if v.0 < hi {
+                    seen.push(v);
+                    false
+                } else {
+                    true
+                }
+            });
+            for v in seen {
+                let off = v.0 - self.dense_base;
+                let word = (off / 64) as usize;
+                if self.seen_bits.len() <= word {
+                    self.seen_bits.resize(word + 1, 0);
+                }
+                self.seen_bits[word] |= 1u64 << (off % 64);
+            }
+        }
+
+        // --- Phase 3: compact the retired prefix `[base, cut)`. ---
+        let retire = cut - self.base;
+        if retire > 0 {
+            self.gc_engaged = true;
+            for s in 0..nsess {
+                let list = &mut self.txs_of_session[s];
+                let dn = list.partition_point(|&t| t < cut);
+                if dn > 0 {
+                    list.drain(..dn);
+                    self.session_retired[s] += dn as u32;
+                }
+            }
+            let freed = self.clock_off[cut - self.base] - self.arena_base;
+            self.clock_arena.drain(..freed);
+            self.arena_base += freed;
+            stats.freed_clock_slots = freed;
+            self.session_of.drain(..retire);
+            self.pos.drain(..retire);
+            self.clock_off.drain(..retire);
+            self.clock_len.drain(..retire);
+            h.retire_prefix(retire);
+            self.base = cut;
+            stats.retired = retire;
+        }
+        stats.resident = self.n - self.base;
+        stats
     }
 }
 
@@ -688,5 +1311,150 @@ mod tests {
         let h: History = records.into_iter().collect();
         let (inc, leg) = both(&h);
         assert_eq!(inc, leg);
+    }
+
+    /// Drive the pipeline shape (one writer client, one reader client,
+    /// monotone store) with GC after every round; verdicts must stay
+    /// bit-identical to the unpruned twin and memory must actually drop.
+    #[test]
+    fn gc_is_invisible_on_a_monotone_stream() {
+        let mut pruned = CausalChecker::new();
+        let mut full = CausalChecker::new();
+        let mut store = [0u64; 4];
+        let (mut val, mut id) = (1u64, 0u64);
+        for round in 0..50 {
+            for k in 0..4u32 {
+                store[k as usize] = val;
+                let t = tx(id, 0, &[], &[(k, val)]);
+                pruned.ingest(t.clone());
+                full.ingest(t);
+                id += 1;
+                val += 1;
+            }
+            for k in 0..4u32 {
+                let t = tx(id, 1, &[(k, store[k as usize])], &[]);
+                pruned.ingest(t.clone());
+                full.ingest(t);
+                id += 1;
+            }
+            let stats = pruned.gc();
+            assert_eq!(stats.blocked, None, "round {round}: {stats:?}");
+            assert_eq!(pruned.verdict(), full.verdict(), "round {round}");
+            assert_eq!(pruned.verdict().render(), full.verdict().render());
+        }
+        assert!(pruned.retired() > 300, "retired {}", pruned.retired());
+        let (p, f) = (pruned.resident_stats(), full.resident_stats());
+        assert!(
+            p.txs < f.txs / 4,
+            "resident {} vs unpruned {}",
+            p.txs,
+            f.txs
+        );
+        assert!(p.clock_slots < f.clock_slots / 4);
+        assert!(p.chain_entries < f.chain_entries);
+        assert!(pruned.verdict().is_ok());
+    }
+
+    /// Settled violations survive compaction bit-for-bit: the stale read
+    /// references transactions that are retired afterwards.
+    #[test]
+    fn gc_settles_violations_before_retiring_them() {
+        let records = vec![
+            tx(0, 0, &[], &[(0, 1)]),
+            tx(1, 0, &[], &[(0, 2)]),
+            tx(2, 1, &[(0, 2)], &[]),
+            tx(3, 1, &[(0, 1)], &[]), // regression: stale read
+        ];
+        let mut pruned = CausalChecker::new();
+        let mut full = CausalChecker::new();
+        for t in &records {
+            pruned.ingest(t.clone());
+            full.ingest(t.clone());
+        }
+        let stats = pruned.gc();
+        assert_eq!(stats.blocked, None, "{stats:?}");
+        assert!(stats.settled_edges > 0);
+        assert_eq!(pruned.verdict(), full.verdict());
+        assert_eq!(pruned.verdict().render(), full.verdict().render());
+        assert!(!pruned.verdict().is_ok());
+        // ...and stays identical as more (clean) traffic arrives.
+        for i in 0..10u64 {
+            let t = tx(4 + i, 0, &[], &[(1, 100 + i)]);
+            pruned.ingest(t.clone());
+            full.ingest(t);
+            assert_eq!(pruned.verdict(), full.verdict());
+        }
+    }
+
+    #[test]
+    fn gc_refuses_while_reads_are_unresolved() {
+        let mut ck = CausalChecker::new();
+        ck.ingest(tx(0, 0, &[(0, 77)], &[])); // reads a never-written value
+        let stats = ck.gc();
+        assert!(stats.blocked.is_some());
+        assert_eq!(stats.retired, 0);
+        assert_eq!(ck.retired(), 0);
+    }
+
+    #[test]
+    fn gc_refuses_after_a_forward_edge() {
+        let mut ck = CausalChecker::new();
+        ck.ingest(tx(0, 0, &[(0, 2)], &[(1, 1)]));
+        ck.ingest(tx(1, 1, &[(1, 1)], &[(0, 2)]));
+        let stats = ck.gc();
+        assert!(stats.blocked.is_some());
+        assert_eq!(stats.retired, 0);
+        // Verdict still falls back to the legacy path untouched.
+        assert!(ck.verdict().violations.contains(&Violation::CausalityCycle));
+    }
+
+    fn gc_ready_checker() -> CausalChecker {
+        let mut ck = CausalChecker::new();
+        ck.ingest(tx(0, 0, &[], &[(0, 1)]));
+        ck.ingest(tx(1, 0, &[], &[(0, 2)]));
+        ck.ingest(tx(2, 1, &[(0, 2)], &[]));
+        let stats = ck.gc();
+        assert_eq!(stats.blocked, None);
+        assert!(stats.retired > 0, "{stats:?}");
+        ck
+    }
+
+    #[test]
+    #[should_panic(expected = "below the settled floor")]
+    fn write_below_the_floor_panics() {
+        let mut ck = gc_ready_checker();
+        ck.ingest(tx(9, 0, &[], &[(1, 1)])); // value 1 was settled
+    }
+
+    #[test]
+    #[should_panic(expected = "read of key 0 value 1 below the settled floor")]
+    fn read_of_a_settled_value_panics() {
+        let mut ck = gc_ready_checker();
+        ck.ingest(tx(9, 1, &[(0, 1)], &[])); // key 0's value 1 was settled
+    }
+
+    #[test]
+    #[should_panic(expected = "⊥-read of key 0")]
+    fn bottom_read_of_a_pruned_key_panics() {
+        let mut ck = gc_ready_checker();
+        ck.ingest(tx(9, 1, &[(0, u64::MAX)], &[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "session started after history was compacted")]
+    fn new_writer_client_after_gc_panics() {
+        let mut ck = gc_ready_checker();
+        ck.ingest(tx(9, 7, &[], &[(5, 50)]));
+    }
+
+    #[test]
+    fn live_values_stay_readable_after_gc() {
+        let mut ck = gc_ready_checker();
+        // Key 0's live value is 2: still perfectly readable.
+        ck.ingest(tx(9, 1, &[(0, 2)], &[]));
+        assert!(ck.verdict().is_ok());
+        // New clients may *read* (their windows only see retained state).
+        ck.ingest(tx(10, 7, &[(0, 2)], &[]));
+        assert!(ck.verdict().is_ok());
     }
 }

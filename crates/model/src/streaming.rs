@@ -25,7 +25,7 @@
 
 use crate::checker::Verdict;
 use crate::history::TxRecord;
-use crate::incremental::CausalChecker;
+use crate::incremental::{CausalChecker, GcStats, ResidentStats};
 
 /// `n` independent online checkers plus the client/key→shard ledger
 /// that enforces the isolation promise. See module docs.
@@ -107,6 +107,44 @@ impl ShardedChecker {
                  unsound for this workload; use one shard"
             );
         }
+    }
+
+    /// Garbage-collect every shard independently — no cross-shard
+    /// coordination is needed because shard isolation already guarantees
+    /// no client or key (and therefore no causal edge or frontier)
+    /// crosses a shard boundary: each shard's global minimum frontier
+    /// *is* the global one restricted to its clients. Uses the
+    /// self-derived monotone-workload contract of [`CausalChecker::gc`];
+    /// stats are summed, and `blocked` reports the first shard that
+    /// refused (others may still have retired state).
+    pub fn gc(&mut self) -> GcStats {
+        let mut total = GcStats::default();
+        for shard in &mut self.shards {
+            let s = shard.gc();
+            total.retired += s.retired;
+            total.resident += s.resident;
+            total.settled_edges += s.settled_edges;
+            total.freed_clock_slots += s.freed_clock_slots;
+            if total.blocked.is_none() {
+                total.blocked = s.blocked;
+            }
+        }
+        total
+    }
+
+    /// Summed resident-state sizes across shards, for memory sampling.
+    pub fn resident_stats(&self) -> ResidentStats {
+        let mut total = ResidentStats::default();
+        for shard in &self.shards {
+            let r = shard.resident_stats();
+            total.txs += r.txs;
+            total.clock_slots += r.clock_slots;
+            total.chain_entries += r.chain_entries;
+            total.open_edges += r.open_edges;
+            total.spill_entries += r.spill_entries;
+            total.settled_violations += r.settled_violations;
+        }
+        total
     }
 
     /// The merged verdict: per-shard verdicts computed independently

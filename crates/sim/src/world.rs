@@ -144,6 +144,10 @@ pub struct ProcStats {
 pub struct WorldStats {
     pub events: u64,
     pub per_process: Vec<ProcStats>,
+    /// Timer fires swallowed because an instance of the same message
+    /// kind was already deferred to the same process's recovery instant
+    /// (see the crash-deferral coalescing in the event loop).
+    pub timers_coalesced: u64,
     /// Events recorded in the trace. Zero on the live counters; filled
     /// by [`World::stats_snapshot`] (perf exhibits report it).
     pub trace_events: u64,
@@ -207,6 +211,24 @@ pub struct World<A: Actor> {
     /// step and handed to the next one, so steps stop allocating.
     scratch_outbox: Vec<(ProcessId, A::Msg)>,
     scratch_timers: Vec<(Time, A::Msg)>,
+    /// Timer kinds already deferred to a crashed process's recovery
+    /// instant. Identical timer instances (periodic ticks, re-arms of
+    /// the same retransmit) all land on the *same* recovery instant —
+    /// without coalescing a long dark window grows the queue linearly
+    /// with its length. One instance per (process, message value) is
+    /// exact: at recovery the actor observes "the timer fired", re-arms,
+    /// and proceeds; swallowed *identical* duplicates carried no other
+    /// information, while timers that differ in any payload field (a
+    /// per-request retry id, say) are all kept. The kind key is the
+    /// message's `Debug` rendering — `A::Msg` promises no `Eq`/`Ord`,
+    /// and `Debug` is already required and deterministic. Entries clear
+    /// at recovery; linear scan on purpose (the set is small and a hash
+    /// map would break the sim's determinism rules).
+    deferred_timer_kinds: Vec<(ProcessId, String)>,
+    /// Same guard for `StepDue` events: all due steps deferred by one
+    /// dark window collapse into a single step at recovery (a step
+    /// drains the whole income buffer, so one is exact too).
+    deferred_steps: Vec<ProcessId>,
 }
 
 impl<A: Actor> World<A> {
@@ -236,6 +258,8 @@ impl<A: Actor> World<A> {
                 per_process: vec![ProcStats::default(); n],
                 ..WorldStats::default()
             },
+            deferred_timer_kinds: Vec::new(),
+            deferred_steps: Vec::new(),
             scratch_outbox: Vec::new(),
             scratch_timers: Vec::new(),
         };
@@ -569,6 +593,11 @@ impl<A: Actor> World<A> {
             FaultEv::Recover { pid } => {
                 self.trace.push(TraceEvent::Recover { at: self.now, pid });
                 self.crashed.remove(&pid);
+                // The deferred-event guards only cover the dark window;
+                // the surviving instances fire right after this (same
+                // instant, larger seq) and future crashes start fresh.
+                self.deferred_timer_kinds.retain(|(p, _)| *p != pid);
+                self.deferred_steps.retain(|&p| p != pid);
             }
         }
     }
@@ -804,7 +833,22 @@ impl<A: Actor> World<A> {
                     if let Some(&recover_at) = self.crashed.get(&pid) {
                         // A dark process keeps its timers; they fire at
                         // recovery. (Recover at the same instant has a
-                        // smaller seq, so it is processed first.)
+                        // smaller seq, so it is processed first.) Fires
+                        // coalesce per (process, message value): all the
+                        // deferred instances land on the same recovery
+                        // instant, so keeping one of each identical
+                        // message is exact and keeps a long dark window
+                        // from growing the queue linearly.
+                        let kind = format!("{msg:?}");
+                        if self
+                            .deferred_timer_kinds
+                            .iter()
+                            .any(|(p, k)| *p == pid && *k == kind)
+                        {
+                            self.stats.timers_coalesced += 1;
+                            continue;
+                        }
+                        self.deferred_timer_kinds.push((pid, kind));
                         self.push_event(recover_at.max(ev.time), EvKind::Timer(pid, msg));
                         continue;
                     }
@@ -824,6 +868,13 @@ impl<A: Actor> World<A> {
                 }
                 EvKind::StepDue(pid) => {
                     if let Some(&recover_at) = self.crashed.get(&pid) {
+                        // Same coalescing as timers: one due step at
+                        // recovery drains everything the others would.
+                        if self.deferred_steps.contains(&pid) {
+                            self.stats.timers_coalesced += 1;
+                            continue;
+                        }
+                        self.deferred_steps.push(pid);
                         self.push_event(recover_at.max(ev.time), EvKind::StepDue(pid));
                         continue;
                     }
@@ -1561,6 +1612,58 @@ mod tests {
         // on_crash ran: the counter was reset before the post-recovery
         // fire, so it shows exactly the one fire.
         assert_eq!(n0.volatile, 1);
+    }
+
+    #[derive(Clone, Default)]
+    struct MultiTimerNode {
+        zero_fires: Vec<Time>,
+        one_fires: Vec<Time>,
+    }
+    impl Actor for MultiTimerNode {
+        type Msg = u8;
+        fn on_start(&mut self, ctx: &mut Ctx<u8>) {
+            // Several pending instances of the same timer kind (a
+            // protocol that re-arms per request looks like this), plus
+            // one of a different kind.
+            for d in [20, 40, 60, 80] {
+                ctx.set_timer(d * MICROS, 0);
+            }
+            ctx.set_timer(50 * MICROS, 1);
+        }
+        fn step(&mut self, ctx: &mut Ctx<u8>) {
+            for env in ctx.recv() {
+                match env.msg {
+                    0 => self.zero_fires.push(ctx.now()),
+                    _ => self.one_fires.push(ctx.now()),
+                }
+            }
+        }
+    }
+
+    /// Satellite: timers deferred by a crash coalesce per (process,
+    /// message kind) — a long dark window must not pile one event per
+    /// swallowed fire onto the recovery instant.
+    #[test]
+    fn crash_deferred_timers_coalesce_per_kind() {
+        let mut w = World::new(
+            vec![MultiTimerNode::default(), MultiTimerNode::default()],
+            LatencyModel::constant_default(),
+            SimConfig {
+                fault: Some(FaultPlan::new(0).with_crash(ProcessId(0), 10 * MICROS, MILLIS, false)),
+                ..SimConfig::default()
+            },
+        );
+        w.run_until_quiescent();
+        let n0 = w.actor(ProcessId(0));
+        // One surviving instance per kind, both firing at recovery.
+        assert_eq!(n0.zero_fires, vec![MILLIS]);
+        assert_eq!(n0.one_fires, vec![MILLIS]);
+        // The other three kind-0 fires were swallowed, and counted.
+        assert_eq!(w.stats_snapshot().timers_coalesced, 3);
+        // The untouched twin saw all five fires on schedule.
+        let n1 = w.actor(ProcessId(1));
+        assert_eq!(n1.zero_fires.len(), 4);
+        assert_eq!(n1.one_fires.len(), 1);
     }
 
     /// Regression (satellite): freezing a process's links must not stall

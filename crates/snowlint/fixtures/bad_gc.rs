@@ -1,0 +1,32 @@
+//! Known-bad clone of the model crate's checker GC: drops the module's
+//! `#![deny(unsafe_code)]` guard and commits every sin a frontier-GC
+//! refactor is tempted by — wall-clock-triggered collection (the exact
+//! nondeterminism the soak's replay digest exists to catch), a hash
+//! map for the retired index, and an unsafe arena compaction. Lexed by
+//! the fixture tests under the path `crates/model/src/incremental.rs`;
+//! never compiled.
+
+use std::collections::HashMap; // line: hash
+use std::time::Instant;
+
+pub struct FrontierGc {
+    retired: HashMap<u64, u32>, // line: hash-field
+    arena: Vec<u32>,
+    last_gc: Option<Instant>,
+}
+
+impl FrontierGc {
+    pub fn maybe_gc(&mut self, cut: usize) -> usize {
+        // Real time deciding GC timing makes retirement counts differ
+        // between bit-identical replays.
+        let now = Instant::now(); // line: clock
+        if self.last_gc.is_some_and(|t| now.duration_since(t).as_millis() < 5) {
+            return 0;
+        }
+        self.last_gc = Some(now);
+        let src = self.arena[cut..].as_ptr();
+        unsafe { std::ptr::copy(src, self.arena.as_mut_ptr(), self.arena.len() - cut) } // line: unsafe
+        self.arena.truncate(self.arena.len() - cut);
+        cut
+    }
+}

@@ -46,13 +46,18 @@ const THREAD_ALLOWED_CRATE: &str = "crates/par/";
 /// arithmetic, exactly the terrain where `unsafe` creeps in) and the
 /// streaming pipeline (the sink, the sharded checker and the pipeline
 /// harness move trace segments and transactions across a thread
-/// boundary, where `unsafe` shortcuts would be just as tempting).
+/// boundary, where `unsafe` shortcuts would be just as tempting), plus
+/// the bounded-memory tier (the checker's frontier GC compacts arenas
+/// and rebases value ledgers with raw index arithmetic, and the soak
+/// harness is the exhibit that certifies the whole stack's plateau).
 const GUARDED_FILES: &[&str] = &[
     "crates/sim/src/slab.rs",
     "crates/sim/src/calendar.rs",
     "crates/sim/src/sink.rs",
     "crates/model/src/streaming.rs",
+    "crates/model/src/incremental.rs",
     "crates/bench/src/pipeline.rs",
+    "crates/bench/src/soak.rs",
 ];
 
 /// Run every determinism rule over one lexed file. `path` is

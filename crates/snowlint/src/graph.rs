@@ -192,12 +192,7 @@ impl HandlerGraph {
             ));
         }
         let d = &self.derived;
-        let names = |vs: &[String]| {
-            vs.iter()
-                .map(|v| json_str(v))
-                .collect::<Vec<_>>()
-                .join(",")
-        };
+        let names = |vs: &[String]| vs.iter().map(|v| json_str(v)).collect::<Vec<_>>().join(",");
         format!(
             "{{\"system\":{},\"path\":{},\"derived\":{{\"rounds\":{},\"values\":{},\
              \"nonblocking\":{},\"write_tx\":{},\"consistency\":{},\

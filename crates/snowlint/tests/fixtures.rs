@@ -207,6 +207,74 @@ fn bad_pipeline_fails_the_guard_and_determinism_rules() {
 }
 
 #[test]
+fn bad_gc_fails_the_guard_and_determinism_rules() {
+    // The checker's frontier GC and the soak harness (PR 7) join
+    // GUARDED_FILES: a clone that drops its `#![deny(unsafe_code)]`
+    // guard, triggers collection off the wall clock and compacts its
+    // arena with raw pointer copies must light up every applicable
+    // rule at the exact file and line. Under the model path the hash
+    // rule joins in at its marked lines.
+    let src = fixture("bad_gc.rs");
+    let path = "crates/model/src/incremental.rs";
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&src), &mut out);
+
+    expect(&out, determinism::RULE_GUARD, path, 1);
+    expect(
+        &out,
+        determinism::RULE_HASH,
+        path,
+        line_of(&src, "// line: hash"),
+    );
+    expect(
+        &out,
+        determinism::RULE_HASH,
+        path,
+        line_of(&src, "// line: hash-field"),
+    );
+    expect(
+        &out,
+        determinism::RULE_CLOCK,
+        path,
+        line_of(&src, "// line: clock"),
+    );
+    expect(
+        &out,
+        determinism::RULE_UNSAFE,
+        path,
+        line_of(&src, "// line: unsafe"),
+    );
+    assert_eq!(
+        out.len(),
+        5,
+        "guard + 2 hash + clock + unsafe:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+
+    // The soak harness path is guarded too, but lives in bench where
+    // hash maps are legal and the wall clock is allowlisted at the
+    // workspace level (snowlint.toml) — the raw pass still reports it.
+    let path = "crates/bench/src/soak.rs";
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&src), &mut out);
+    expect(&out, determinism::RULE_GUARD, path, 1);
+    expect(
+        &out,
+        determinism::RULE_UNSAFE,
+        path,
+        line_of(&src, "// line: unsafe"),
+    );
+    assert!(out.iter().all(|f| f.rule != determinism::RULE_HASH));
+
+    // Restoring the guard silences only the guard rule.
+    let fixed = format!("#![deny(unsafe_code)]\n{src}");
+    let mut out = Vec::new();
+    determinism::check("crates/model/src/incremental.rs", &lex(&fixed), &mut out);
+    assert!(out.iter().all(|f| f.rule != determinism::RULE_GUARD));
+    assert_eq!(out.len(), 4);
+}
+
+#[test]
 fn bad_cops_snow_clone_fails_the_property_rules() {
     let src = fixture("bad_cops_snow.rs");
     let path = "crates/protocols/src/bad_cops_snow.rs";
