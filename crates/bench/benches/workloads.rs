@@ -1,0 +1,71 @@
+//! Workload-generator performance: the [`ClientSwarm`] batch hot path
+//! (the swarm tiers' op source, gated at ≥10M ops/sec by `repro
+//! perfbench`), the [`AliasTable`] O(1) Zipf sampler it draws from,
+//! and the allocation-bearing [`Workload`] stream for contrast.
+
+use cbf_workloads::{AliasTable, ClientSwarm, Mix, SwarmOp, SwarmSpec, Workload, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn swarm_fill_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swarm_fill_batch");
+    // Client counts spanning the load exhibit's tiers: per-client state
+    // is the cache-residency variable, ops per batch stays fixed.
+    for &clients in &[1_000u32, 100_000, 1_000_000] {
+        const BATCH: usize = 4_096;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |b, &clients| {
+                let mut swarm =
+                    ClientSwarm::new(SwarmSpec::standard(clients, 4096, Mix::ycsb_a()), 7);
+                let mut buf: Vec<SwarmOp> = Vec::with_capacity(BATCH);
+                b.iter(|| {
+                    swarm.fill_batch(BATCH, &mut buf);
+                    buf.iter().map(|op| op.keys[0] as u64).sum::<u64>()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn alias_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alias_sample");
+    for &keys in &[256u32, 4_096, 1_048_576] {
+        g.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, &keys| {
+            let table = AliasTable::zipf(keys as usize, 0.99);
+            b.iter(|| {
+                // A cheap xorshift stream stands in for the swarm's RNG
+                // so the measurement is the table lookup, not StdRng.
+                let mut x = 0x9e3779b97f4a7c15u64;
+                let mut acc = 0u64;
+                for _ in 0..1_024 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    acc = acc.wrapping_add(table.sample_raw(x) as u64);
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+fn workload_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_next_op");
+    g.bench_function("ycsb_a", |b| {
+        let mut w = Workload::new(WorkloadSpec::minimal(Mix::ycsb_a()), 7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_024 {
+                acc = acc.wrapping_add(w.next_op().client().0 as u64);
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(workloads, swarm_fill_batch, alias_sampling, workload_stream);
+criterion_main!(workloads);

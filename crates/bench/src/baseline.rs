@@ -126,7 +126,7 @@ pub fn gate_perfbench(
     baseline_json: &str,
     report: &crate::perfbench::PerfReport,
 ) -> Vec<GateCheck> {
-    report
+    let mut checks: Vec<GateCheck> = report
         .exhibits
         .iter()
         .filter_map(|e| {
@@ -142,7 +142,22 @@ pub fn gate_perfbench(
                 e.speedup,
             ))
         })
-        .collect()
+        .collect();
+    // The generator section keys on its client count (the only place
+    // `clients` appears in BENCH_harness.json).
+    if let Some(base) = entry_field(
+        baseline_json,
+        "clients",
+        &report.generator.clients.to_string(),
+        "ops_per_sec",
+    ) {
+        checks.push(check(
+            "perfbench/generator ops/sec".to_string(),
+            base,
+            report.generator.ops_per_sec,
+        ));
+    }
+    checks
 }
 
 /// Gate a scale report: checker `incr_tps`, world `events_per_sec` and

@@ -56,6 +56,7 @@ fn run(what: &str) -> Result<(), String> {
         "chaos" => chaos(),
         "scale" => scale(),
         "soak" => soak(),
+        "load" => load(),
         "perfbench" => run_perfbench(),
         "all" => {
             for f in [
@@ -80,7 +81,7 @@ fn run(what: &str) -> Result<(), String> {
         }
         other => {
             eprintln!("unknown exhibit: {other}");
-            eprintln!("known: table1 table2 fig1 fig2 fig3 theorem1 theorem2 limits latency ablations daggers freshness chaos scale soak perfbench all");
+            eprintln!("known: table1 table2 fig1 fig2 fig3 theorem1 theorem2 limits latency ablations daggers freshness chaos scale soak load perfbench all");
             std::process::exit(2);
         }
     }
@@ -408,7 +409,7 @@ fn latency() -> Result<(), String> {
         all.extend(rows);
         println!();
     }
-    save_json("latency", &all)?;
+    save_json("latency", &cbf_bench::LatencyReport { rows: all })?;
     println!("Shape to verify against the theorem: one-round designs (COPS-SNOW,");
     println!("Spanner-like off the write path) sit at ~1 RTT (100 µs); two-round");
     println!("designs (COPS contention-free, Wren, Eiger round-1-settled) at ~2 RTT;");
@@ -694,6 +695,162 @@ fn scale() -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------
+// Load — contention cells + the million-client swarm tiers
+// ---------------------------------------------------------------------
+
+fn load() -> Result<(), String> {
+    use cbf_bench::load::{
+        cell_key, expected_load_digest, load_cells, render_cells, render_tiers, swarm_tiers,
+        LoadReport,
+    };
+    // `repro load [tier]` caps the swarm tiers by client count: CI runs
+    // `repro load 100k`; plain `repro load` includes the 1M tier.
+    let cap = match std::env::args().nth(2) {
+        Some(arg) => cbf_bench::scale::parse_tier(&arg)?,
+        None => 1_000_000,
+    };
+    println!("LOAD — latency under contention, and the million-client swarm");
+    println!("Cells: 5 protocols × 2 YCSB mixes on 3 sharded servers with a");
+    println!("20 µs/op service queue, driven by 48 closed-loop Zipf(0.99)");
+    println!("clients, up to 24 transactions in flight. Tiers: up to 1M");
+    println!("closed-loop clients over 8 servers, streamed through the sharded");
+    println!("online checker in bounded memory. All digests pinned.\n");
+
+    let cells = load_cells(21);
+    print!("{}", render_cells(&cells));
+
+    // Hard gates on the cells: causal verdicts, pinned digests, a
+    // non-degenerate tail somewhere, and the theorem's separation —
+    // COPS-SNOW's one-round reads beat a non-latency-optimal design.
+    let mut unpinned = Vec::new();
+    for c in &cells {
+        if !c.causal_ok {
+            return Err(format!(
+                "load: cell {}:{} failed the causal check",
+                c.protocol, c.mix
+            ));
+        }
+        match expected_load_digest(&cell_key(c)) {
+            Some(want) if want != c.digest => {
+                return Err(format!(
+                    "load: cell {}:{} digest {:016x} != pinned {want:016x}",
+                    c.protocol, c.mix, c.digest
+                ));
+            }
+            Some(_) => {}
+            None => unpinned.push(cell_key(c)),
+        }
+    }
+    let tail_ok = cells
+        .iter()
+        .any(|c| c.read_hist_us.percentile(99.0) > c.read_hist_us.percentile(50.0));
+    if !tail_ok {
+        return Err("load: every cell's read p99 == p50 — the service queue is not biting".into());
+    }
+    for mix in ["ycsb_a", "ycsb_b"] {
+        let p50 = |proto: &str| {
+            cells
+                .iter()
+                .find(|c| c.protocol == proto && c.mix == mix)
+                .map(|c| c.read_hist_us.percentile(50.0))
+                .ok_or_else(|| format!("load: missing cell {proto}:{mix}"))
+        };
+        let snow = p50("COPS-SNOW")?;
+        let slowest = ["COPS", "Eiger", "RAMP", "Spanner-like"]
+            .iter()
+            .map(|p| p50(p))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .max()
+            .expect("four protocols");
+        if snow >= slowest {
+            return Err(format!(
+                "load: COPS-SNOW read p50 {snow} µs not separated below the slowest protocol ({slowest} µs) under {mix}"
+            ));
+        }
+    }
+
+    println!();
+    let tiers = swarm_tiers(cap, 2_026);
+    print!("{}", render_tiers(&tiers));
+    for t in &tiers {
+        if !t.verdict.is_ok() {
+            return Err(format!(
+                "load: swarm tier {} failed the causal check",
+                t.clients
+            ));
+        }
+        if t.read_hist_us.percentile(99.0) <= t.read_hist_us.percentile(50.0) {
+            return Err(format!(
+                "load: swarm tier {} has a degenerate read tail (p99 {} ≤ p50 {})",
+                t.clients,
+                t.read_hist_us.percentile(99.0),
+                t.read_hist_us.percentile(50.0)
+            ));
+        }
+        let bound = cbf_bench::load::swarm_segment_bound();
+        if t.peak_segments_resident > bound {
+            return Err(format!(
+                "load: swarm tier {} held {} trace segments resident (bound {bound})",
+                t.clients, t.peak_segments_resident
+            ));
+        }
+        match expected_load_digest(&format!("swarm:{}", t.clients)) {
+            Some(want) if want != t.digest => {
+                return Err(format!(
+                    "load: swarm tier {} digest {:016x} != pinned {want:016x}",
+                    t.clients, t.digest
+                ));
+            }
+            Some(_) => {}
+            None => unpinned.push(format!("swarm:{}", t.clients)),
+        }
+    }
+    if !unpinned.is_empty() {
+        println!("\nWARNING: digests not yet pinned in fixtures/load_digests.txt:");
+        for k in &unpinned {
+            println!("  {k}");
+        }
+    }
+
+    let report = LoadReport { cells, tiers };
+    save_json("BENCH_load", &report)?;
+
+    // Wall-clock throughput gate: the swarm engine must sustain ≥1M
+    // generated+simulated+checked ops/sec at its largest tier. Demoted
+    // to a warning with --report-only / SNOWBOUND_GATE=report (CI).
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(t) = report.tiers.last() {
+        println!(
+            "\nSwarm engine at {} clients: {:.2}M ops/sec wall-clock ({} ops in {:.0} ms), \
+             {} segments recycled (peak {} resident), checker resident {} txs after {} GC passes.",
+            t.clients,
+            t.ops_per_sec / 1e6,
+            t.ops,
+            t.wall_ms,
+            t.recycled_segments,
+            t.peak_segments_resident,
+            t.resident.txs,
+            t.gc_passes
+        );
+        if t.ops_per_sec < 1e6 {
+            let msg = format!(
+                "load: swarm throughput {:.2}M ops/sec below the 1M ops/sec floor",
+                t.ops_per_sec / 1e6
+            );
+            if baseline::report_only(&args) {
+                println!("WARNING (report-only): {msg}");
+            } else {
+                return Err(msg);
+            }
+        }
+    }
+    println!("\nEvery cell and tier passed its sharded causal check; digests are");
+    println!("replay fingerprints (same seed ⇒ same digest, bit-for-bit).");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Soak — the bounded-memory forever-run
 // ---------------------------------------------------------------------
 
@@ -820,12 +977,38 @@ fn run_perfbench() -> Result<(), String> {
         exhibits.push(perf);
     }
 
+    // The swarm tiers' op source, measured bare: 100k clients, 4M ops,
+    // no simulator attached. The tiers budget ~1 µs/op end to end, so
+    // the generator must stay an order of magnitude faster.
+    let generator = perfbench::measure_generator(100_000, 4_000_000, 42);
+    println!(
+        "\n  generator  {} clients  {} ops  {:>7.1} ms  {:>6.1}M ops/sec  checksum {:016x}",
+        generator.clients,
+        generator.ops,
+        generator.wall_ms,
+        generator.ops_per_sec / 1e6,
+        generator.checksum
+    );
+    let args: Vec<String> = std::env::args().collect();
+    if generator.ops_per_sec < 10_000_000.0 {
+        let msg = format!(
+            "perfbench: generator at {:.2}M ops/sec fell below the 10M ops/sec floor",
+            generator.ops_per_sec / 1e6
+        );
+        if baseline::report_only(&args) {
+            println!("  WARNING (report-only): {msg}");
+        } else {
+            return Err(msg);
+        }
+    }
+
     let mem = cbf_bench::memstats::MemStats::sample();
     let report = perfbench::PerfReport {
         threads: cbf_par::thread_budget(),
         peak_rss_kb: mem.peak_rss_kb,
         current_rss_kb: mem.current_rss_kb,
         exhibits,
+        generator,
     };
     let path = "results/BENCH_harness.json";
     std::fs::write(path, report.to_json(0)).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -835,7 +1018,6 @@ fn run_perfbench() -> Result<(), String> {
     // speedup fell more than the tolerance below the committed
     // baseline. `--report-only` / SNOWBOUND_GATE=report demote to a
     // warning on noisy runners.
-    let args: Vec<String> = std::env::args().collect();
     match baseline::load("BENCH_harness.json") {
         Some(base) => baseline::enforce(
             &baseline::gate_perfbench(&base, &report),

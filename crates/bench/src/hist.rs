@@ -1,0 +1,285 @@
+//! A log-bucketed latency histogram (HDR-style).
+//!
+//! Values (virtual nanoseconds) are binned into buckets whose width
+//! grows geometrically: every octave is split into `2^SUB_BITS`
+//! sub-buckets, so the relative quantization error is bounded by
+//! `2^-SUB_BITS` (≈ 3% at the default 5 bits) across the full `u64`
+//! range while the whole table stays under 2k counters. Recording is
+//! O(1) and allocation-free; percentiles are exact over the quantized
+//! domain. Everything is integer arithmetic — deterministic and
+//! platform-independent, so histogram summaries can sit in bit-stable
+//! exhibit columns.
+
+use std::fmt::Write as _;
+
+/// Sub-bucket resolution: `2^SUB_BITS` buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Total buckets needed to cover `u64`.
+const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+
+/// Bucket index of a value. Values below `2^SUB_BITS` get exact
+/// single-value buckets; above that, bucket = (octave, top `SUB_BITS`
+/// mantissa bits).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    let v = v.max(1);
+    let msb = 63 - v.leading_zeros(); // floor(log2 v)
+    if msb < SUB_BITS {
+        v as usize
+    } else {
+        let sub = (v >> (msb - SUB_BITS)) - (1 << SUB_BITS);
+        (((msb - SUB_BITS + 1) as u64) << SUB_BITS) as usize + sub as usize
+    }
+}
+
+/// Lower bound of the value range a bucket covers (its reported
+/// representative).
+#[inline]
+fn bucket_low(b: usize) -> u64 {
+    let b = b as u64;
+    let sub_count = 1u64 << SUB_BITS;
+    if b < sub_count {
+        b
+    } else {
+        let octave = (b >> SUB_BITS) - 1 + SUB_BITS as u64;
+        let sub = b & (sub_count - 1);
+        (sub_count + sub) << (octave - SUB_BITS as u64)
+    }
+}
+
+/// A fixed-size log-bucketed histogram over `u64` values.
+#[derive(Clone, Debug)]
+pub struct LogHist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHist {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` occurrences of a value.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (0–100): the lower bound of the first
+    /// bucket at which the cumulative count reaches `p`% of the total,
+    /// clamped into the exact observed `[min, max]`. Empty → 0.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_low(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Sparse `(bucket_lower_bound, count)` pairs for every non-empty
+    /// bucket, in ascending value order — the JSON export shape.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (bucket_low(b), c))
+            .collect()
+    }
+
+    /// The sparse buckets as a JSON array fragment `[[low,count],…]`.
+    pub fn buckets_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (low, c)) in self.nonzero_buckets().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{low},{c}]");
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let h = LogHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.buckets_json(), "[]");
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHist::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        // Buckets below 2^SUB_BITS hold a single value each.
+        assert_eq!(h.percentile(100.0), 31);
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LogHist::new();
+        for &v in &[1_000u64, 50_000, 123_456, 7_000_000, u64::MAX / 3] {
+            h.record(v);
+            let b = bucket_of(v);
+            let low = bucket_low(b);
+            assert!(low <= v, "bucket low {low} above value {v}");
+            // Next bucket's low bounds the error: width/low ≤ 2^-SUB_BITS.
+            let next = bucket_low(b + 1);
+            assert!(
+                (next - low) as f64 / low as f64 <= 1.0 / 32.0 + 1e-12,
+                "bucket [{low},{next}) too wide for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_clamped() {
+        let mut h = LogHist::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 37);
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        let p999 = h.percentile(99.9);
+        assert!(p50 <= p99 && p99 <= p999 && p999 <= h.max());
+        // Quantization stays within one sub-bucket of the true values.
+        assert!((p50 as f64 - 185_000.0).abs() / 185_000.0 < 0.05, "{p50}");
+        assert!((p99 as f64 - 366_300.0).abs() / 366_300.0 < 0.05, "{p99}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHist::new();
+        let mut b = LogHist::new();
+        let mut both = LogHist::new();
+        for i in 0..500u64 {
+            let v = i * i + 17;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.max(), both.max());
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(a.percentile(p), both.percentile(p));
+        }
+        assert_eq!(a.buckets_json(), both.buckets_json());
+    }
+
+    #[test]
+    fn buckets_json_shape() {
+        let mut h = LogHist::new();
+        h.record_n(5, 3);
+        assert_eq!(h.buckets_json(), "[[5,3]]");
+    }
+
+    #[test]
+    fn bucket_roundtrip_covers_u64() {
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            for v in [v, v + v / 3, v.saturating_mul(2).saturating_sub(1)] {
+                let b = bucket_of(v);
+                assert!(b < NUM_BUCKETS, "bucket {b} out of range for {v}");
+                assert!(bucket_low(b) <= v.max(1));
+                if b + 1 < NUM_BUCKETS {
+                    assert!(bucket_low(b + 1) > v, "value {v} beyond bucket {b}");
+                }
+            }
+        }
+    }
+}

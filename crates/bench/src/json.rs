@@ -130,9 +130,102 @@ impl ToJson for crate::LatencyRow {
             .f64("rot_mean_us", self.rot_mean_us)
             .u64("rot_p50_us", self.rot_p50_us)
             .u64("rot_p99_us", self.rot_p99_us)
+            .u64("rot_p999_us", self.rot_p999_us)
+            .u64("rot_max_us", self.rot_max_us)
+            // Sparse log-bucketed histogram: [[bucket_low_us, count], …].
+            .raw("rot_hist_us", self.rot_hist_us.buckets_json())
             .f64("msgs_per_op", self.msgs_per_op)
             .u64("max_values", self.max_values as u64)
             .bool("causal_ok", self.causal_ok)
+            .render(indent)
+    }
+}
+
+impl ToJson for crate::LatencyReport {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            // v1 was the bare row array with flat p50/p99; v2 adds the
+            // schema tag, p999/max, and per-row histograms.
+            .str("schema", "snowbound-latency-v2")
+            .raw("rows", self.rows.to_json(indent + 1))
+            .render(indent)
+    }
+}
+
+impl ToJson for crate::load::LoadCell {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .str("protocol", &self.protocol)
+            .str("mix", &self.mix)
+            .u64("ops", self.ops)
+            .u64("reads", self.reads)
+            .u64("downgraded", self.downgraded)
+            .u64("read_p50_us", self.read_hist_us.percentile(50.0))
+            .u64("read_p99_us", self.read_hist_us.percentile(99.0))
+            .u64("read_p999_us", self.read_hist_us.percentile(99.9))
+            .u64("write_p50_us", self.write_hist_us.percentile(50.0))
+            .u64("write_p99_us", self.write_hist_us.percentile(99.0))
+            .raw("read_hist_us", self.read_hist_us.buckets_json())
+            .raw("write_hist_us", self.write_hist_us.buckets_json())
+            .f64("msgs_per_op", self.msgs_per_op)
+            .f64("queued_frac", self.queued_frac)
+            .bool("causal_ok", self.causal_ok)
+            .str("digest", &format!("{:016x}", self.digest))
+            .render(indent)
+    }
+}
+
+impl ToJson for crate::load::SwarmTier {
+    fn to_json(&self, indent: usize) -> String {
+        let shard_txs = format!(
+            "[{}]",
+            self.shard_txs
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        Obj::new()
+            .u64("clients", self.clients)
+            .u64("ops", self.ops)
+            .u64("init_ops", self.init_ops)
+            .u64("events", self.events)
+            .u64("trace_events", self.trace_events)
+            .u64("read_p50_us", self.read_hist_us.percentile(50.0))
+            .u64("read_p99_us", self.read_hist_us.percentile(99.0))
+            .u64("read_p999_us", self.read_hist_us.percentile(99.9))
+            .u64("write_p50_us", self.write_hist_us.percentile(50.0))
+            .u64("write_p99_us", self.write_hist_us.percentile(99.0))
+            .raw("read_hist_us", self.read_hist_us.buckets_json())
+            .raw("write_hist_us", self.write_hist_us.buckets_json())
+            .f64("queued_frac", self.queued_frac)
+            .u64("max_queue_wait_us", self.max_queue_wait_us)
+            .u64("peak_segments_resident", self.peak_segments_resident)
+            .u64("recycled_segments", self.recycled_segments)
+            .raw("shard_txs", shard_txs)
+            .u64("gc_passes", self.gc_passes)
+            .u64("gc_retired", self.gc_retired)
+            .u64("checker_resident_txs", self.resident.txs as u64)
+            .bool("causal_ok", self.verdict.is_ok())
+            .str("digest", &format!("{:016x}", self.digest))
+            // Wall-clock columns: machine-dependent, excluded from the
+            // bit-stable double-run comparison in CI.
+            .f64("wall_ms", self.wall_ms)
+            .f64("ops_per_sec", self.ops_per_sec)
+            .render(indent)
+    }
+}
+
+impl ToJson for crate::load::LoadReport {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .str("schema", "snowbound-load-v1")
+            .raw(
+                "memory",
+                crate::memstats::MemStats::sample().to_json(indent + 1),
+            )
+            .raw("cells", self.cells.to_json(indent + 1))
+            .raw("tiers", self.tiers.to_json(indent + 1))
             .render(indent)
     }
 }

@@ -19,7 +19,9 @@ use snowbound::theorem;
 
 pub mod baseline;
 pub mod chaos;
+pub mod hist;
 pub mod json;
+pub mod load;
 pub mod memstats;
 pub mod perfbench;
 pub mod pipeline;
@@ -43,6 +45,15 @@ pub struct LatencyRow {
     pub rot_p50_us: u64,
     /// Tail ROT latency (virtual µs).
     pub rot_p99_us: u64,
+    /// Extreme-tail ROT latency (virtual µs).
+    pub rot_p999_us: u64,
+    /// Maximum ROT latency observed (virtual µs).
+    pub rot_max_us: u64,
+    /// Log-bucketed histogram of ROT latencies (virtual µs). The
+    /// scalar percentiles above are exact (computed from the sorted
+    /// sample); the histogram carries the full shape for the JSON
+    /// export at bounded size.
+    pub rot_hist_us: hist::LogHist,
     /// Messages sent per completed operation.
     pub msgs_per_op: f64,
     /// Worst values-per-message observed (V).
@@ -60,6 +71,10 @@ pub fn latency_row<N: ProtocolNode>(mix: Mix, mix_name: &str, ops: usize, seed: 
     let summary = drive(&mut cluster, &mut wl, ops, DriveOptions::default())
         .unwrap_or_else(|e| panic!("{}: {e}", N::NAME));
     let sent = cluster.world.stats().total_sent() - before_msgs;
+    let mut h = hist::LogHist::new();
+    for &ns in &summary.rot_latencies {
+        h.record(ns / 1_000); // virtual µs
+    }
     LatencyRow {
         protocol: N::NAME.to_string(),
         mix: mix_name.to_string(),
@@ -67,10 +82,23 @@ pub fn latency_row<N: ProtocolNode>(mix: Mix, mix_name: &str, ops: usize, seed: 
         rot_mean_us: summary.profile.mean_rot_latency() / 1_000.0,
         rot_p50_us: summary.rot_latency_percentile(50.0) / 1_000,
         rot_p99_us: summary.rot_latency_percentile(99.0) / 1_000,
+        rot_p999_us: summary.rot_latency_percentile(99.9) / 1_000,
+        rot_max_us: summary.rot_latencies.iter().copied().max().unwrap_or(0) / 1_000,
+        rot_hist_us: h,
         msgs_per_op: sent as f64 / summary.completed.max(1) as f64,
         max_values: summary.profile.max_values,
         causal_ok: summary.verdict.is_ok(),
     }
+}
+
+/// The versioned latency artifact: schema tag plus every (protocol,
+/// mix) row. `latency-v1` was the bare row array with flat p50/p99;
+/// v2 wraps it and each row carries p999, max and the log-bucketed
+/// histogram.
+#[derive(Clone, Debug)]
+pub struct LatencyReport {
+    /// One row per (protocol, mix) cell.
+    pub rows: Vec<LatencyRow>,
 }
 
 /// The latency table across the whole implemented design space, for one
@@ -148,17 +176,18 @@ pub fn render_latency_table(mix_name: &str, rows: &[LatencyRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("-- {mix_name}\n"));
     out.push_str(&format!(
-        "   {:<16} {:>6} {:>10} {:>9} {:>9} {:>9} {:>5}  causal\n",
-        "protocol", "ROTs", "mean µs", "p50 µs", "p99 µs", "msgs/op", "V"
+        "   {:<16} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9} {:>5}  causal\n",
+        "protocol", "ROTs", "mean µs", "p50 µs", "p99 µs", "p999 µs", "msgs/op", "V"
     ));
     for r in rows {
         out.push_str(&format!(
-            "   {:<16} {:>6} {:>10.1} {:>9} {:>9} {:>9.2} {:>5}  {}\n",
+            "   {:<16} {:>6} {:>10.1} {:>9} {:>9} {:>9} {:>9.2} {:>5}  {}\n",
             r.protocol,
             r.rots,
             r.rot_mean_us,
             r.rot_p50_us,
             r.rot_p99_us,
+            r.rot_p999_us,
             r.msgs_per_op,
             r.max_values,
             if r.causal_ok { "OK" } else { "FAIL" }

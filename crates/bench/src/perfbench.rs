@@ -46,6 +46,82 @@ impl ToJson for ExhibitPerf {
     }
 }
 
+/// Generator hot-path measurement: [`ClientSwarm::fill_batch`] driven
+/// flat out, no simulator attached. The swarm tiers budget ~1 µs/op
+/// end to end, so the generator itself must stay an order of magnitude
+/// faster — `repro perfbench` holds it to a 10M ops/sec floor.
+///
+/// [`ClientSwarm::fill_batch`]: cbf_workloads::ClientSwarm::fill_batch
+#[derive(Clone, Debug)]
+pub struct GenPerf {
+    /// Virtual clients in the measured swarm.
+    pub clients: u64,
+    /// Operations generated.
+    pub ops: u64,
+    /// Wall-clock for the whole stream, milliseconds.
+    pub wall_ms: f64,
+    /// `ops / wall` — the gated metric.
+    pub ops_per_sec: f64,
+    /// FNV-1a fold of every generated op. Defeats dead-code
+    /// elimination, and doubles as a determinism witness: same seed ⇒
+    /// same checksum, asserted by the unit tests.
+    pub checksum: u64,
+}
+
+impl ToJson for GenPerf {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .u64("clients", self.clients)
+            .u64("ops", self.ops)
+            .f64("wall_ms", self.wall_ms)
+            .f64("ops_per_sec", self.ops_per_sec)
+            .str("checksum", &format!("{:016x}", self.checksum))
+            .render(indent)
+    }
+}
+
+/// Run the generator flat out: `ops` operations from a `clients`-client
+/// swarm (the load exhibits' standard shape), batch by batch, folding
+/// every op into an FNV-1a checksum.
+pub fn measure_generator(clients: u32, ops: u64, seed: u64) -> GenPerf {
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut swarm = cbf_workloads::ClientSwarm::new(
+        cbf_workloads::SwarmSpec::standard(clients, 4096, cbf_workloads::Mix::ycsb_a()),
+        seed,
+    );
+    let mut buf = Vec::with_capacity(4096);
+    let mut checksum = 0xcbf29ce484222325u64;
+    let mut fold = |x: u64| {
+        for b in x.to_le_bytes() {
+            checksum ^= b as u64;
+            checksum = checksum.wrapping_mul(FNV_PRIME);
+        }
+    };
+    let mut generated = 0u64;
+    let start = Instant::now();
+    while generated < ops {
+        let want = 4096.min((ops - generated) as usize);
+        swarm.fill_batch(want, &mut buf);
+        for op in &buf {
+            fold(u64::from(op.client) << 1 | u64::from(op.write));
+            fold(u64::from(op.keys[0]));
+        }
+        generated += buf.len() as u64;
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    GenPerf {
+        clients: clients as u64,
+        ops: generated,
+        wall_ms,
+        ops_per_sec: if wall_ms > 0.0 {
+            generated as f64 / (wall_ms / 1e3)
+        } else {
+            f64::INFINITY
+        },
+        checksum,
+    }
+}
+
 /// The whole perfbench report.
 #[derive(Clone, Debug)]
 pub struct PerfReport {
@@ -58,6 +134,8 @@ pub struct PerfReport {
     pub current_rss_kb: u64,
     /// Per-exhibit measurements.
     pub exhibits: Vec<ExhibitPerf>,
+    /// Generator hot-path measurement (the swarm tiers' op source).
+    pub generator: GenPerf,
 }
 
 impl ToJson for PerfReport {
@@ -68,6 +146,7 @@ impl ToJson for PerfReport {
             .u64("peak_rss_kb", self.peak_rss_kb)
             .u64("current_rss_kb", self.current_rss_kb)
             .raw("exhibits", self.exhibits.to_json(indent + 1))
+            .raw("generator", self.generator.to_json(indent + 1))
             .render(indent)
     }
 }
@@ -129,6 +208,17 @@ mod tests {
         }
     }
 
+    #[test]
+    fn generator_measurement_is_deterministic() {
+        let a = measure_generator(1_000, 50_000, 11);
+        let b = measure_generator(1_000, 50_000, 11);
+        assert_eq!(a.ops, 50_000);
+        assert_eq!(a.checksum, b.checksum, "same seed must fold identically");
+        let c = measure_generator(1_000, 50_000, 12);
+        assert_ne!(a.checksum, c.checksum, "different seed, different stream");
+        assert!(a.ops_per_sec > 0.0);
+    }
+
     #[derive(Clone)]
     struct Idle;
     impl cbf_sim::Actor for Idle {
@@ -167,10 +257,18 @@ mod tests {
                 forks_parallel: 3,
                 outputs_identical: true,
             }],
+            generator: GenPerf {
+                clients: 1000,
+                ops: 50_000,
+                wall_ms: 2.5,
+                ops_per_sec: 2e7,
+                checksum: 0xdeadbeef,
+            },
         };
         let s = report.to_json(0);
         assert!(s.contains("snowbound-perfbench-v1"));
         assert!(s.contains("\"speedup\": 2.0"));
         assert!(s.contains("outputs_identical"));
+        assert!(s.contains("\"checksum\": \"00000000deadbeef\""));
     }
 }

@@ -1082,7 +1082,19 @@ impl IngestState {
                 for (&(lk, lv), &w) in live_writer.range((k, Value(0))..=(k, Value(u64::MAX))) {
                     debug_assert_eq!(lk, k);
                     let _ = lv;
-                    fl = fl.min(self.clk(w, s2));
+                    // A live writer's own frontier entry is `pos + 1`,
+                    // which would prune the writer itself out of its
+                    // chain — and a key whose chain vanished drops out
+                    // of the self-derived live set even though its
+                    // value is still readable (a cold key written once
+                    // and read forever after). Keep the live writer's
+                    // entry resident in its own session's chain.
+                    let bound = if self.sess_of(w) == s2 {
+                        self.pos_of(w)
+                    } else {
+                        self.clk(w, s2)
+                    };
+                    fl = fl.min(bound);
                 }
                 let drop_n = chain.partition_point(|&j| self.pos_of(j) < fl);
                 if drop_n > 0 {
@@ -1352,6 +1364,58 @@ mod tests {
         );
         assert!(p.clock_slots < f.clock_slots / 4);
         assert!(p.chain_entries < f.chain_entries);
+        assert!(pruned.verdict().is_ok());
+    }
+
+    /// A cold key — written once, never rewritten, read forever after —
+    /// must stay in the self-derived live set across repeated GC passes.
+    /// Regression: the live writer's own chain entry used to be pruned
+    /// (its frontier entry is `pos + 1`), so the key vanished from
+    /// `derive_live` and the next read of its still-current value
+    /// tripped the settled-floor panic.
+    #[test]
+    fn gc_keeps_cold_live_keys_readable() {
+        let mut pruned = CausalChecker::new();
+        let mut full = CausalChecker::new();
+        let mut id = 0u64;
+        let both_ingest = |p: &mut CausalChecker, f: &mut CausalChecker, t: TxRecord| {
+            p.ingest(t.clone());
+            f.ingest(t);
+        };
+        // Warmup: hot-key traffic only (values 1..=20), GC each round.
+        let mut hot_val = 1u64;
+        for round in 0..5 {
+            for _ in 0..4 {
+                both_ingest(&mut pruned, &mut full, tx(id, 0, &[], &[(1, hot_val)]));
+                both_ingest(&mut pruned, &mut full, tx(id + 1, 1, &[(1, hot_val)], &[]));
+                id += 2;
+                hot_val += 1;
+            }
+            let stats = pruned.gc();
+            assert_eq!(stats.blocked, None, "warmup {round}: {stats:?}");
+        }
+        // The cold write: key 0 gets value 100, then is only ever read.
+        both_ingest(&mut pruned, &mut full, tx(id, 0, &[], &[(0, 100)]));
+        id += 1;
+        hot_val = 101;
+        for round in 0..10 {
+            for _ in 0..4 {
+                both_ingest(&mut pruned, &mut full, tx(id, 0, &[], &[(1, hot_val)]));
+                both_ingest(
+                    &mut pruned,
+                    &mut full,
+                    tx(id + 1, 1, &[(1, hot_val), (0, 100)], &[]),
+                );
+                id += 2;
+                hot_val += 1;
+            }
+            let stats = pruned.gc();
+            assert_eq!(stats.blocked, None, "round {round}: {stats:?}");
+            assert_eq!(pruned.verdict(), full.verdict(), "round {round}");
+        }
+        // The traffic before the cold write retired; the cold writer
+        // itself (and everything after it) is pinned by liveness.
+        assert!(pruned.retired() > 0, "retired {}", pruned.retired());
         assert!(pruned.verdict().is_ok());
     }
 

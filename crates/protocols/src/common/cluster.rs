@@ -237,6 +237,111 @@ impl<N: ProtocolNode> Cluster<N> {
     ) -> Result<WtxResult, TxError> {
         self.write_tx(client, &[(key, value)])
     }
+
+    // ------------------------------------------------------------------
+    // Concurrent (open-loop) driving
+    // ------------------------------------------------------------------
+    //
+    // `read_tx`/`write_tx` run each transaction to completion before the
+    // next is injected, so the deployment only ever sees one transaction
+    // in flight — fine for the property audits, useless for measuring
+    // contention. The `begin_*`/`finish_tx` triple splits invocation
+    // from harvest: a driver begins a whole epoch of transactions (one
+    // per issuing client at most — protocol client actors hold one
+    // outstanding op), runs the world until all complete, then finishes
+    // each. Trace-suffix audits are skipped under concurrency (the
+    // suffix interleaves every open transaction); message costs come
+    // from world-level counters instead.
+
+    /// Invoke a read-only transaction without running the world.
+    pub fn begin_read_tx(&mut self, client: ClientId, keys: &[Key]) -> InFlightTx {
+        let id = self.alloc_tx();
+        let pid = self.topo.client_pid(client);
+        let invoked_at = self.world.now();
+        self.world.inject(pid, N::rot_invoke(id, keys.to_vec()));
+        InFlightTx {
+            id,
+            client,
+            pid,
+            invoked_at,
+            writes: Vec::new(),
+        }
+    }
+
+    /// Invoke a write transaction without running the world. Fresh
+    /// distinct values are allocated for the keys.
+    pub fn begin_write_tx(
+        &mut self,
+        client: ClientId,
+        keys: &[Key],
+    ) -> Result<InFlightTx, TxError> {
+        let distinct: std::collections::BTreeSet<Key> = keys.iter().copied().collect();
+        if distinct.len() > 1 && !N::SUPPORTS_MULTI_WRITE {
+            return Err(TxError::MultiWriteUnsupported);
+        }
+        let writes: Vec<(Key, Value)> = distinct
+            .into_iter()
+            .map(|k| (k, self.alloc_value()))
+            .collect();
+        let id = self.alloc_tx();
+        let pid = self.topo.client_pid(client);
+        let invoked_at = self.world.now();
+        self.world.inject(pid, N::wtx_invoke(id, writes.clone()));
+        Ok(InFlightTx {
+            id,
+            client,
+            pid,
+            invoked_at,
+            writes,
+        })
+    }
+
+    /// Run the world until every open transaction has completed (or the
+    /// horizon passes). Returns true when all completed.
+    pub fn run_open(&mut self, open: &[InFlightTx]) -> bool {
+        let outcome = self.world.run_until_within(self.horizon, |w| {
+            open.iter()
+                .all(|t| w.actor(t.pid).completed(t.id).is_some())
+        });
+        outcome.is_settled()
+    }
+
+    /// Harvest one begun transaction: record it in the history and
+    /// return its measured latency (virtual ns).
+    pub fn finish_tx(&mut self, t: InFlightTx) -> Result<Time, TxError> {
+        let done = self
+            .world
+            .actor_mut(t.pid)
+            .take_completed(t.id)
+            .ok_or(TxError::Incomplete)?;
+        let latency = done.completed_at.saturating_sub(t.invoked_at);
+        self.history.push(TxRecord {
+            id: t.id,
+            client: t.client,
+            reads: done.reads,
+            writes: t.writes,
+            invoked_at: t.invoked_at,
+            completed_at: done.completed_at,
+        });
+        Ok(latency)
+    }
+}
+
+/// A transaction invoked via [`Cluster::begin_read_tx`] /
+/// [`Cluster::begin_write_tx`] but not yet harvested with
+/// [`Cluster::finish_tx`].
+#[derive(Clone, Debug)]
+pub struct InFlightTx {
+    /// The assigned transaction id.
+    pub id: TxId,
+    /// The issuing client.
+    pub client: ClientId,
+    /// The client's simulated process.
+    pub pid: ProcessId,
+    /// Virtual time of invocation.
+    pub invoked_at: Time,
+    /// The writes (empty for a read-only transaction).
+    pub writes: Vec<(Key, Value)>,
 }
 
 /// Count client→server communication rounds since `mark`: the number of

@@ -31,6 +31,6 @@ pub fn max_values_per_object(keys: impl Iterator<Item = cbf_model::Key>) -> u32 
     max
 }
 pub use clock::{HybridClock, LamportClock, TrueTime};
-pub use cluster::{audit_rot, count_rounds, Cluster, RotResult, WtxResult};
+pub use cluster::{audit_rot, count_rounds, Cluster, InFlightTx, RotResult, WtxResult};
 pub use store::{MvStore, Version};
 pub use topology::Topology;

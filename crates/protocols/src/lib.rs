@@ -42,7 +42,7 @@ pub mod spanner;
 pub mod wren;
 
 pub use common::{
-    Cluster, Completed, ProtocolNode, RotResult, SnowDecl, Topology, TxError, WtxResult,
+    Cluster, Completed, InFlightTx, ProtocolNode, RotResult, SnowDecl, Topology, TxError, WtxResult,
 };
 pub use naive::{NaiveFast, NaiveFourPhase, NaiveNode, NaiveThreePhase, NaiveTwoPhase};
 

@@ -59,5 +59,8 @@ pub use latency::{LatencyKind, LatencyModel};
 pub use sink::{CountingSink, FnSink, SegmentSink};
 pub use smallvec::SmallVec;
 pub use trace::{Trace, TraceEvent, TraceView, SEAL_CAP};
-pub use types::{Link, MsgId, ProcessId, RunOutcome, SimConfig, Time, MICROS, MILLIS, SECONDS};
+pub use types::{
+    Link, MsgId, ProcessId, RunOutcome, ServiceModel, ServiceStats, SimConfig, Time, MICROS,
+    MILLIS, SECONDS,
+};
 pub use world::{forks_taken, Flight, ProcStats, World, WorldStats};

@@ -40,28 +40,116 @@ const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 /// FNV-1a prime.
 const FNV_PRIME: u64 = 0x100000001b3;
 
-/// Fold one event into an FNV-1a state, over its `Debug` rendering —
-/// the same byte stream [`Trace::digest`] has always hashed, factored
-/// out so the recycled prefix and the resident suffix use one code
-/// path.
+/// Fold one event into an FNV-1a state, factored out so the recycled
+/// prefix and the resident suffix use one code path.
+///
+/// The byte stream is a compact binary encoding: a one-byte variant
+/// tag, then each envelope field (times, message ids, process ids) as
+/// little-endian bytes, then — for the variants that carry one — the
+/// message payload's `Debug` rendering. The digest used to hash the
+/// whole event's `Debug` rendering; at the swarm tiers' millions of
+/// events per second the formatter became the single hottest path in
+/// the repository, and integer fields don't need decimal rendering to
+/// be fingerprinted. Changing this encoding changes every trace digest
+/// — the pinned fixtures (`scale_digests.txt`, `pipeline_digests.txt`,
+/// `load_digests.txt`) were repinned when it landed.
 fn fold_event<M: fmt::Debug>(h: &mut u64, ev: &TraceEvent<M>) {
     use fmt::Write as _;
+    #[inline]
+    fn mix(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
     // Streaming adapter: hashes the formatter's output as it is
-    // produced instead of materializing a `String` per event — the
+    // produced instead of materializing a `String` per message — the
     // digest fold runs once per trace event, so the allocation would be
-    // the hot path's dominant cost. The byte stream (and therefore
-    // every digest) is unchanged.
+    // the hot path's dominant cost.
     struct Fnv<'a>(&'a mut u64);
     impl fmt::Write for Fnv<'_> {
         fn write_str(&mut self, s: &str) -> fmt::Result {
-            for b in s.bytes() {
-                *self.0 ^= b as u64;
-                *self.0 = self.0.wrapping_mul(FNV_PRIME);
-            }
+            mix(self.0, s.as_bytes());
             Ok(())
         }
     }
-    let _ = write!(Fnv(h), "{ev:?}");
+    match ev {
+        TraceEvent::Send {
+            at,
+            id,
+            from,
+            to,
+            msg,
+        } => {
+            mix(h, &[0]);
+            mix(h, &at.to_le_bytes());
+            mix(h, &id.0.to_le_bytes());
+            mix(h, &from.0.to_le_bytes());
+            mix(h, &to.0.to_le_bytes());
+            let _ = write!(Fnv(h), "{msg:?}");
+        }
+        TraceEvent::Deliver { at, id, from, to } => {
+            mix(h, &[1]);
+            mix(h, &at.to_le_bytes());
+            mix(h, &id.0.to_le_bytes());
+            mix(h, &from.0.to_le_bytes());
+            mix(h, &to.0.to_le_bytes());
+        }
+        TraceEvent::Step { at, pid } => {
+            mix(h, &[2]);
+            mix(h, &at.to_le_bytes());
+            mix(h, &pid.0.to_le_bytes());
+        }
+        TraceEvent::Inject { at, pid, msg } => {
+            mix(h, &[3]);
+            mix(h, &at.to_le_bytes());
+            mix(h, &pid.0.to_le_bytes());
+            let _ = write!(Fnv(h), "{msg:?}");
+        }
+        TraceEvent::TimerFire { at, pid } => {
+            mix(h, &[4]);
+            mix(h, &at.to_le_bytes());
+            mix(h, &pid.0.to_le_bytes());
+        }
+        TraceEvent::Drop { at, id, from, to } => {
+            mix(h, &[5]);
+            mix(h, &at.to_le_bytes());
+            mix(h, &id.0.to_le_bytes());
+            mix(h, &from.0.to_le_bytes());
+            mix(h, &to.0.to_le_bytes());
+        }
+        TraceEvent::Duplicate {
+            at,
+            id,
+            of,
+            from,
+            to,
+        } => {
+            mix(h, &[6]);
+            mix(h, &at.to_le_bytes());
+            mix(h, &id.0.to_le_bytes());
+            mix(h, &of.0.to_le_bytes());
+            mix(h, &from.0.to_le_bytes());
+            mix(h, &to.0.to_le_bytes());
+        }
+        TraceEvent::Partition { at, a, b, healed } => {
+            mix(h, &[7]);
+            mix(h, &at.to_le_bytes());
+            mix(h, &a.0.to_le_bytes());
+            mix(h, &b.0.to_le_bytes());
+            mix(h, &[u8::from(*healed)]);
+        }
+        TraceEvent::Crash { at, pid } => {
+            mix(h, &[8]);
+            mix(h, &at.to_le_bytes());
+            mix(h, &pid.0.to_le_bytes());
+        }
+        TraceEvent::Recover { at, pid } => {
+            mix(h, &[9]);
+            mix(h, &at.to_le_bytes());
+            mix(h, &pid.0.to_le_bytes());
+        }
+    }
 }
 
 /// One recorded event.

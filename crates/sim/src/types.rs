@@ -75,6 +75,41 @@ impl Link {
     }
 }
 
+/// A per-server service-time model: each message delivered to a server
+/// process occupies that server for `service_time` of virtual time, and
+/// a message arriving while the server is busy queues behind the work in
+/// front of it. Deliveries to non-server processes (clients, drivers)
+/// are unaffected.
+///
+/// This makes delivery latency *load-dependent*: under contention a hot
+/// server's queue grows and its percentile tail stretches, which is what
+/// separates a latency-optimal protocol from one paying extra server
+/// rounds. The model is deterministic — queueing delay is a pure
+/// function of the arrival schedule — so traces and digests stay
+/// replayable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Processes `0..servers` are servers and queue; the rest do not.
+    pub servers: u32,
+    /// Virtual time one message occupies its server (M/D/1-style
+    /// deterministic service).
+    pub service_time: Time,
+}
+
+/// Counters for the service-time model, reported by
+/// [`crate::World::service_stats`]. All zeros when no model is
+/// configured.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Messages that passed through a server's service queue.
+    pub served: u64,
+    /// Of those, how many found the server busy and had to wait.
+    pub delayed: u64,
+    /// The largest queueing wait (virtual ns) any message experienced,
+    /// excluding its own service time.
+    pub max_wait: Time,
+}
+
 /// Simulator-wide configuration knobs.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -103,6 +138,17 @@ pub struct SimConfig {
     /// hint". Purely an allocation hint — it never affects scheduling,
     /// trace contents or digests.
     pub trace_capacity_hint: usize,
+    /// Optional per-server service-time/queueing model. `None` (the
+    /// default) delivers at the sampled network latency with no
+    /// queueing, exactly as before the model existed.
+    pub service: Option<ServiceModel>,
+    /// Record `Inject` events in the trace. Injections are harness
+    /// inputs, not network behaviour — the million-client exhibits turn
+    /// this off so the trace (and its digest) covers exactly the
+    /// sends, deliveries and steps of the simulated system, at one
+    /// less recorded event (and one less message clone) per driven op.
+    /// On by default: existing pinned digests include injections.
+    pub trace_injects: bool,
 }
 
 impl Default for SimConfig {
@@ -114,6 +160,8 @@ impl Default for SimConfig {
             max_events: 10_000_000,
             fault: None,
             trace_capacity_hint: 0,
+            service: None,
+            trace_injects: true,
         }
     }
 }

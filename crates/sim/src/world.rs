@@ -26,7 +26,7 @@ use crate::latency::LatencyModel;
 use crate::slab::{FlightSlab, SlotRef};
 use crate::smallvec::SmallVec;
 use crate::trace::{Trace, TraceEvent};
-use crate::types::{Link, MsgId, ProcessId, RunOutcome, SimConfig, Time};
+use crate::types::{Link, MsgId, ProcessId, RunOutcome, ServiceStats, SimConfig, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
@@ -229,6 +229,11 @@ pub struct World<A: Actor> {
     /// dark window collapse into a single step at recovery (a step
     /// drains the whole income buffer, so one is exact too).
     deferred_steps: Vec<ProcessId>,
+    /// With [`SimConfig::service`]: per-server time at which the server
+    /// next becomes free. Indexed by `ProcessId`; entries past
+    /// `service.servers` are unused. Empty when no model is configured.
+    service_free: Vec<Time>,
+    service_stats: ServiceStats,
 }
 
 impl<A: Actor> World<A> {
@@ -262,7 +267,13 @@ impl<A: Actor> World<A> {
             deferred_steps: Vec::new(),
             scratch_outbox: Vec::new(),
             scratch_timers: Vec::new(),
+            service_free: Vec::new(),
+            service_stats: ServiceStats::default(),
         };
+        if let Some(sm) = w.config.service {
+            assert!(sm.service_time > 0, "service_time must be positive");
+            w.service_free = vec![0; (sm.servers as usize).min(n)];
+        }
         // Expand the fault plan's scheduled events into the queue before
         // anything runs, so they interleave deterministically with
         // protocol traffic. (Seq order makes a Recover at time T process
@@ -386,6 +397,12 @@ impl<A: Actor> World<A> {
         &self.stats
     }
 
+    /// Service-queue counters (all zeros unless [`SimConfig::service`]
+    /// is set).
+    pub fn service_stats(&self) -> ServiceStats {
+        self.service_stats
+    }
+
     /// A copy of the counters with the trace's length and allocated
     /// capacity filled in (the live [`World::stats`] keeps those at
     /// zero; the trace owns the authoritative numbers).
@@ -450,6 +467,30 @@ impl<A: Actor> World<A> {
             let floor = self.last_arrival.get(&link).copied().unwrap_or(0);
             arrival = arrival.max(floor.saturating_add(1));
             self.last_arrival.insert(link, arrival);
+        }
+        // Service model: a message delivered to a server occupies it for
+        // `service_time`, and queues behind whatever is already booked.
+        // Deliveries are re-timed to service *completion*, so queueing
+        // delay shows up in end-to-end latency. Note this books service
+        // in *send* order (the sim is single-threaded and deterministic);
+        // with heterogeneous network delays a message can book ahead of
+        // one that would arrive earlier — an acceptable approximation
+        // for the constant-latency deployments that use the model. Each
+        // directed link's deliveries stay in order because completion
+        // times per server are monotone.
+        if let Some(sm) = self.config.service {
+            if (to.0 as usize) < self.service_free.len() && sm.service_time > 0 {
+                let free = &mut self.service_free[to.index()];
+                let start = arrival.max(*free);
+                let wait = start - arrival;
+                self.service_stats.served += 1;
+                if wait > 0 {
+                    self.service_stats.delayed += 1;
+                    self.service_stats.max_wait = self.service_stats.max_wait.max(wait);
+                }
+                arrival = start + sm.service_time;
+                *free = arrival;
+            }
         }
         let slot = self.in_flight.insert(
             id,
@@ -712,11 +753,13 @@ impl<A: Actor> World<A> {
     /// paper models invocations as external inputs to the client's state
     /// machine; this is that input.
     pub fn inject(&mut self, pid: ProcessId, msg: A::Msg) {
-        self.trace.push(TraceEvent::Inject {
-            at: self.now,
-            pid,
-            msg: msg.clone(),
-        });
+        if self.config.trace_injects {
+            self.trace.push(TraceEvent::Inject {
+                at: self.now,
+                pid,
+                msg: msg.clone(),
+            });
+        }
         let id = self.fresh_msg_id();
         self.inboxes[pid.index()].push(Envelope { from: pid, id, msg });
         self.push_event(self.now, EvKind::StepDue(pid));
@@ -734,11 +777,13 @@ impl<A: Actor> World<A> {
     /// Like [`World::inject`] but without scheduling a step — the
     /// adversary decides when the process runs (see [`World::kick`]).
     pub fn inject_no_step(&mut self, pid: ProcessId, msg: A::Msg) {
-        self.trace.push(TraceEvent::Inject {
-            at: self.now,
-            pid,
-            msg: msg.clone(),
-        });
+        if self.config.trace_injects {
+            self.trace.push(TraceEvent::Inject {
+                at: self.now,
+                pid,
+                msg: msg.clone(),
+            });
+        }
         let id = self.fresh_msg_id();
         self.inboxes[pid.index()].push(Envelope { from: pid, id, msg });
     }
@@ -1771,5 +1816,78 @@ mod tests {
         };
         assert_eq!(digest(5), digest(5));
         assert_ne!(digest(5), digest(6), "different seeds take different paths");
+    }
+
+    fn service_world(service: Option<crate::types::ServiceModel>) -> World<Node> {
+        World::new(
+            vec![
+                Node::Server { count: 0 },
+                Node::Client {
+                    server: ProcessId(0),
+                    got: vec![],
+                },
+                Node::Client {
+                    server: ProcessId(0),
+                    got: vec![],
+                },
+            ],
+            LatencyModel::constant_default(),
+            SimConfig {
+                service,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn service_queue_serialises_concurrent_arrivals() {
+        use crate::types::MICROS;
+        let mut w = service_world(Some(crate::types::ServiceModel {
+            servers: 1,
+            service_time: 10 * MICROS,
+        }));
+        w.inject(ProcessId(1), Msg::Ping(1));
+        w.inject(ProcessId(2), Msg::Ping(2));
+        assert_eq!(w.run_until_quiescent(), RunOutcome::Quiescent);
+        // Both pings would arrive at 50 µs; the server serves them one at
+        // a time (10 µs each), so the second completes service at 70 µs
+        // and its pong (clients don't queue) lands at 120 µs.
+        assert_eq!(w.now(), 120 * MICROS);
+        let ss = w.service_stats();
+        assert_eq!(ss.served, 2);
+        assert_eq!(ss.delayed, 1);
+        assert_eq!(ss.max_wait, 10 * MICROS, "second ping waited one slot");
+        match w.actor(ProcessId(0)) {
+            Node::Server { count } => assert_eq!(*count, 2),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn no_service_model_is_the_legacy_timing() {
+        use crate::types::MICROS;
+        let mut w = service_world(None);
+        w.inject(ProcessId(1), Msg::Ping(1));
+        w.inject(ProcessId(2), Msg::Ping(2));
+        assert_eq!(w.run_until_quiescent(), RunOutcome::Quiescent);
+        // Without the model both round trips overlap perfectly.
+        assert_eq!(w.now(), 100 * MICROS);
+        assert_eq!(w.service_stats(), crate::types::ServiceStats::default());
+    }
+
+    #[test]
+    fn service_model_keeps_runs_deterministic() {
+        use crate::types::MICROS;
+        let digest = || {
+            let mut w = service_world(Some(crate::types::ServiceModel {
+                servers: 1,
+                service_time: 7 * MICROS,
+            }));
+            w.inject(ProcessId(1), Msg::Ping(1));
+            w.inject(ProcessId(2), Msg::Ping(2));
+            w.run_until_quiescent();
+            w.trace.digest()
+        };
+        assert_eq!(digest(), digest());
     }
 }

@@ -1,0 +1,51 @@
+//! Known-bad fixture: a fake client-swarm generator that breaks every
+//! determinism rule the million-client tiers depend on. Never compiled
+//! — lexed by `tests/fixtures.rs`, which presents it to the lint as
+//! `crates/workloads/src/swarm.rs` (a guarded file in a deterministic
+//! crate) and asserts each rule fires at the right line. It also drops
+//! the `#![deny(unsafe_code)]` guard the real module carries.
+
+use std::collections::HashMap; // line: hash-use
+use std::time::SystemTime;
+
+pub struct BadSwarm {
+    /// The actual bug pattern: per-client state keyed by a seeded-order
+    /// map, so the order clients drain from a wheel slot depends on the
+    /// process, not the seed — and the op stream digests diverge.
+    due: HashMap<u32, u64>, // line: hash-field
+}
+
+impl BadSwarm {
+    pub fn new(clients: u32) -> Self {
+        // Seeding from the wall clock makes every run a different
+        // stream: no pinned digest can survive this.
+        let seed = SystemTime::now() // line: clock
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos() as u64;
+        let mut due = HashMap::new();
+        for c in 0..clients {
+            due.insert(c, seed.wrapping_add(c as u64) % 8);
+        }
+        Self { due }
+    }
+
+    pub fn fill_batch(&mut self, want: usize, buf: &mut Vec<(u32, u64)>) {
+        buf.clear();
+        for (&client, &slot) in self.due.iter() {
+            if buf.len() == want {
+                break;
+            }
+            buf.push((client, slot));
+        }
+    }
+
+    pub fn prefetch_in_background(self) {
+        std::thread::spawn(move || drop(self)); // line: thread
+    }
+
+    pub fn sample_raw(&self, idx: usize) -> u64 {
+        let table = [0u64; 8];
+        unsafe { *table.get_unchecked(idx % 8) } // line: unsafe
+    }
+}

@@ -4,7 +4,7 @@
 //! rules keep nondeterminism out *statically*:
 //!
 //! - `hash-collections` — no `HashMap`/`HashSet` in the deterministic
-//!   crates (`model`, `core`, `sim`): their iteration order is seeded
+//!   crates (`model`, `core`, `sim`, `workloads`): their iteration order is seeded
 //!   per-process, so any iteration (and therefore any construction —
 //!   the iteration is one refactor away) can leak schedule-dependent
 //!   order into checker verdicts and traces. Use `BTreeMap`/`BTreeSet`.
@@ -31,7 +31,15 @@ pub const RULE_UNSAFE: &str = "unsafe-block";
 pub const RULE_GUARD: &str = "missing-unsafe-guard";
 
 /// The crates whose behaviour must be a pure function of the seed.
-const DETERMINISTIC_CRATES: &[&str] = &["crates/model/", "crates/core/", "crates/sim/"];
+/// `workloads` joined the list with the million-client swarm: the op
+/// stream it generates is folded into pinned trace digests, so a
+/// schedule-dependent key order there corrupts every load exhibit.
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "crates/model/",
+    "crates/core/",
+    "crates/sim/",
+    "crates/workloads/",
+];
 
 /// The one file allowed to contain `unsafe`.
 const UNSAFE_ALLOWED_FILE: &str = "crates/sim/src/smallvec.rs";
@@ -49,7 +57,10 @@ const THREAD_ALLOWED_CRATE: &str = "crates/par/";
 /// boundary, where `unsafe` shortcuts would be just as tempting), plus
 /// the bounded-memory tier (the checker's frontier GC compacts arenas
 /// and rebases value ledgers with raw index arithmetic, and the soak
-/// harness is the exhibit that certifies the whole stack's plateau).
+/// harness is the exhibit that certifies the whole stack's plateau),
+/// plus the workload generators (the alias table, the swarm's time
+/// wheel and the batch emitter are index-arithmetic hot paths feeding
+/// the million-client tiers — the same temptation profile as the slab).
 const GUARDED_FILES: &[&str] = &[
     "crates/sim/src/slab.rs",
     "crates/sim/src/calendar.rs",
@@ -58,6 +69,10 @@ const GUARDED_FILES: &[&str] = &[
     "crates/model/src/incremental.rs",
     "crates/bench/src/pipeline.rs",
     "crates/bench/src/soak.rs",
+    "crates/workloads/src/alias.rs",
+    "crates/workloads/src/zipf.rs",
+    "crates/workloads/src/gen.rs",
+    "crates/workloads/src/swarm.rs",
 ];
 
 /// Run every determinism rule over one lexed file. `path` is
@@ -221,8 +236,10 @@ mod tests {
             1
         );
         assert_eq!(run("src/driver.rs", "SystemTime::now()").len(), 1);
+        // lib.rs rather than gen.rs: the generator hot paths are
+        // guarded files now, which would add a guard finding here.
         assert_eq!(
-            run("crates/workloads/src/gen.rs", "rand::thread_rng()").len(),
+            run("crates/workloads/src/lib.rs", "rand::thread_rng()").len(),
             1
         );
         // A stored Instant value (no ::now) is not flagged.

@@ -275,6 +275,84 @@ fn bad_gc_fails_the_guard_and_determinism_rules() {
 }
 
 #[test]
+fn bad_workload_fails_the_guard_and_determinism_rules() {
+    // The workload generators (PR 8) join both lists: `workloads` is a
+    // deterministic crate (its op stream is folded into pinned trace
+    // digests) and the swarm/alias hot paths are guarded files. A swarm
+    // clone that drops its `#![deny(unsafe_code)]` guard, seeds from
+    // the wall clock, drains clients in HashMap order and indexes its
+    // table unchecked must light up every rule at the exact line.
+    let src = fixture("bad_workload.rs");
+    let path = "crates/workloads/src/swarm.rs";
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&src), &mut out);
+
+    expect(&out, determinism::RULE_GUARD, path, 1);
+    expect(
+        &out,
+        determinism::RULE_HASH,
+        path,
+        line_of(&src, "// line: hash-use"),
+    );
+    expect(
+        &out,
+        determinism::RULE_HASH,
+        path,
+        line_of(&src, "// line: hash-field"),
+    );
+    expect(
+        &out,
+        determinism::RULE_CLOCK,
+        path,
+        line_of(&src, "// line: clock"),
+    );
+    expect(
+        &out,
+        determinism::RULE_THREAD,
+        path,
+        line_of(&src, "// line: thread"),
+    );
+    expect(
+        &out,
+        determinism::RULE_UNSAFE,
+        path,
+        line_of(&src, "// line: unsafe"),
+    );
+    // The fixture constructs two more HashMaps inside `new`.
+    let hash_count = out
+        .iter()
+        .filter(|f| f.rule == determinism::RULE_HASH)
+        .count();
+    assert!(
+        hash_count >= 2,
+        "at least the two marked hash sites:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+
+    // Restoring the guard silences only the guard rule.
+    let fixed = format!("#![deny(unsafe_code)]\n{src}");
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&fixed), &mut out);
+    assert!(out.iter().all(|f| f.rule != determinism::RULE_GUARD));
+
+    // The same source under a path outside the deterministic crates
+    // and the guarded list keeps only the global rules.
+    let path = "crates/bench/src/bad_workload.rs";
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&src), &mut out);
+    assert!(out.iter().all(|f| f.rule != determinism::RULE_HASH));
+    assert!(out.iter().all(|f| f.rule != determinism::RULE_GUARD));
+    // Clock fires on every `SystemTime` mention (the use, the ::now
+    // and UNIX_EPOCH), plus the thread and unsafe sites.
+    assert_eq!(
+        out.len(),
+        5,
+        "3 clock + thread + unsafe:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+}
+
+#[test]
 fn bad_cops_snow_clone_fails_the_property_rules() {
     let src = fixture("bad_cops_snow.rs");
     let path = "crates/protocols/src/bad_cops_snow.rs";

@@ -1,0 +1,193 @@
+//! O(1) Zipfian sampling via Walker's alias method.
+//!
+//! The CDF sampler in [`crate::zipf`] is exact but pays O(log n) per
+//! draw; at swarm scale (millions of clients pulling millions of keys
+//! per second) the binary search is the hot path. The alias method
+//! precomputes, for each of `n` equiprobable columns, an acceptance
+//! threshold and an alias index; a sample is then one uniform draw, one
+//! multiply and one compare — constant time, allocation-free, and
+//! branch-predictable.
+//!
+//! The table is stateless: callers thread their own seeded RNG through
+//! [`AliasTable::sample`], so one table can back any number of
+//! deterministic streams (the swarm shares a single table across a
+//! million virtual clients).
+
+#![deny(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+/// A precomputed alias table for Zipf(θ) over keys `0..n`.
+///
+/// Acceptance thresholds are stored as fixed-point `u32` fractions so a
+/// sample needs no floating point at all: determinism is then a matter
+/// of integer arithmetic, identical on every target.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// `accept[j]`: sample stays in column `j` when the fractional part
+    /// of the draw is below this threshold (scaled to `0..=u32::MAX`).
+    accept: Vec<u32>,
+    /// `alias[j]`: where the rejected mass of column `j` goes.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build the table for `n` keys with Zipf exponent `theta`
+    /// (`theta = 0` is uniform; YCSB's default skew is `0.99`).
+    pub fn zipf(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "need at least one key");
+        assert!(n <= u32::MAX as usize, "key space must fit in u32");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).collect();
+        Self::from_weights(&weights)
+    }
+
+    /// Build from arbitrary positive weights (normalized internally).
+    pub fn from_weights(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "need at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive mass");
+        // Scaled probabilities: p[i] * n, so a "full" column is 1.0.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut accept = vec![u32::MAX; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        // Walker's pairing: move deficit columns under surplus ones.
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            accept[s as usize] =
+                (scaled[s as usize] * (u32::MAX as f64 + 1.0)).min(u32::MAX as f64) as u32;
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers (floating-point dust): full columns, no alias.
+        for i in small.into_iter().chain(large) {
+            accept[i as usize] = u32::MAX;
+        }
+        AliasTable { accept, alias }
+    }
+
+    /// Number of keys.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Sample one key index (0 is the most popular) from one 64-bit
+    /// draw: high 32 bits pick the column (Lemire reduction), low 32
+    /// bits decide accept-vs-alias.
+    #[inline]
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        self.sample_raw(rng.next_u64())
+    }
+
+    /// [`AliasTable::sample`] from a caller-supplied uniform `u64` (the
+    /// benches use this to time the table without RNG overhead).
+    #[inline]
+    pub fn sample_raw(&self, r: u64) -> usize {
+        let n = self.accept.len() as u64;
+        let col = (((r >> 32) * n) >> 32) as usize;
+        let frac = (r & 0xFFFF_FFFF) as u32;
+        if frac < self.accept[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+/// The closed-form Zipf(θ) probability of key `i` among `n` keys —
+/// the reference the statistical tests compare samplers against.
+pub fn zipf_pmf(n: usize, theta: f64, i: usize) -> f64 {
+    let h: f64 = (0..n).map(|j| 1.0 / ((j + 1) as f64).powf(theta)).sum();
+    (1.0 / ((i + 1) as f64).powf(theta)) / h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let t = AliasTable::zipf(7, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5_000 {
+            assert!(t.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let t = AliasTable::zipf(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u64; 10];
+        for _ in 0..100_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 100_000.0;
+            assert!((0.08..0.12).contains(&frac), "uniform fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn skew_matches_closed_form_head() {
+        let n = 1000;
+        let t = AliasTable::zipf(n, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws = 200_000;
+        let mut head = 0u64;
+        for _ in 0..draws {
+            if t.sample(&mut rng) == 0 {
+                head += 1;
+            }
+        }
+        let expect = zipf_pmf(n, 0.99, 0);
+        let got = head as f64 / draws as f64;
+        assert!(
+            (got - expect).abs() < 0.01,
+            "head frequency {got} vs closed form {expect}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = AliasTable::zipf(100, 0.8);
+        let draw = |seed| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| t.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn single_key_always_samples_zero() {
+        let t = AliasTable::zipf(1, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_keys_rejected() {
+        AliasTable::zipf(0, 0.5);
+    }
+}

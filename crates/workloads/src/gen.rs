@@ -1,6 +1,8 @@
 //! Seeded operation-stream generators: mixes, presets, and the stream
 //! itself.
 
+#![deny(unsafe_code)]
+
 use crate::zipf::Zipfian;
 use cbf_model::{ClientId, Key};
 use rand::rngs::StdRng;
@@ -73,6 +75,18 @@ impl Mix {
         }
     }
 
+    /// YCSB-F-like: read-modify-write. The closed-loop generators model
+    /// the RMW pair as equal parts reads and dependent writes (a swarm
+    /// client's write in one think quantum follows its read in an
+    /// earlier one), so the mix is 50% reads, 50% single-key writes.
+    pub fn ycsb_f() -> Mix {
+        Mix {
+            read: 0.50,
+            write: 0.50,
+            multi_write: 0.0,
+        }
+    }
+
     /// The read-dominated mix the paper motivates with production
     /// measurements (Facebook-style: ~99.8% reads).
     pub fn read_dominated() -> Mix {
@@ -83,7 +97,8 @@ impl Mix {
         }
     }
 
-    fn validate(&self) {
+    /// Panic unless the fractions are non-negative and sum to 1.
+    pub fn validate(&self) {
         let sum = self.read + self.write + self.multi_write;
         assert!(
             (sum - 1.0).abs() < 1e-9,
@@ -214,6 +229,7 @@ mod tests {
             Mix::ycsb_a(),
             Mix::ycsb_b(),
             Mix::ycsb_c(),
+            Mix::ycsb_f(),
             Mix::read_dominated(),
         ] {
             m.validate();

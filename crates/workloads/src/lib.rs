@@ -1,17 +1,28 @@
 //! # cbf-workloads — seeded workload generators
 //!
 //! Deterministic operation streams for the benchmarks and examples:
-//! Zipfian key popularity ([`Zipfian`]), the standard YCSB-style mixes
-//! plus the read-dominated mix the paper motivates ([`Mix`]), and a
-//! generator ([`Workload`]) that turns a [`WorkloadSpec`] and a seed into
-//! a reproducible stream of transactions.
+//! Zipfian key popularity (exact O(log n) [`Zipfian`], O(1) hot-path
+//! [`AliasTable`]), the standard YCSB-style mixes plus the
+//! read-dominated mix the paper motivates ([`Mix`]), a generator
+//! ([`Workload`]) that turns a [`WorkloadSpec`] and a seed into a
+//! reproducible stream of transactions, and the [`ClientSwarm`] driver
+//! that multiplexes millions of closed-loop virtual clients onto a
+//! simulated deployment.
+//!
+//! This crate is under the snowlint determinism gate: every stream is a
+//! pure function of its seed — no wall clock, no ambient RNG, no
+//! threads, no hash-order iteration.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alias;
 pub mod gen;
+pub mod swarm;
 pub mod zipf;
 
+pub use alias::{zipf_pmf, AliasTable};
 pub use gen::{Mix, Op, Workload, WorkloadSpec};
+pub use swarm::{ClientSwarm, SwarmOp, SwarmSpec, MAX_TX_KEYS};
 pub use zipf::Zipfian;

@@ -1,0 +1,355 @@
+//! `ClientSwarm`: a streaming, allocation-free driver for huge
+//! closed-loop client populations.
+//!
+//! The swarm multiplexes up to millions of *virtual* clients onto a
+//! simulated deployment without making any of them a simulator actor.
+//! Each client lives in exactly one slot of a deterministic time wheel;
+//! one wheel slot is one *think quantum*. Draining a slot makes every
+//! client due in it issue one operation and re-inserts the client
+//! `think` quanta ahead, with `think ≥ 1` sampled from the swarm's
+//! seeded RNG — a closed loop, because the harness runs the simulated
+//! world to quiescence between batches, so a client's next operation is
+//! always issued after its previous one completed.
+//!
+//! Everything is O(1) amortized per op and O(clients) memory: the wheel
+//! holds each client id exactly once, operations are emitted into a
+//! caller-owned reusable buffer, keys come from a shared [`AliasTable`]
+//! (one uniform draw per key), and the mix decision is a single integer
+//! threshold compare. No wall clock, no threads, one `StdRng`: the op
+//! stream is a pure function of `(spec, seed)`, byte-identical under
+//! any thread count because generation never leaves the calling thread.
+
+#![deny(unsafe_code)]
+
+use crate::alias::AliasTable;
+use crate::gen::Mix;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Upper bound on keys per generated transaction (inline storage in
+/// [`SwarmOp`] keeps the stream allocation-free).
+pub const MAX_TX_KEYS: usize = 4;
+
+/// Shape of a swarm population.
+#[derive(Clone, Copy, Debug)]
+pub struct SwarmSpec {
+    /// Virtual clients multiplexed onto the deployment.
+    pub num_clients: u32,
+    /// Key-space size the samplers draw from. Harnesses are free to
+    /// re-map sampled keys (e.g. rank → shard-local key).
+    pub num_keys: u32,
+    /// Zipf skew (0 = uniform, 0.99 = YCSB default).
+    pub theta: f64,
+    /// Operation mix. `multi_write` mass becomes `write_keys`-key
+    /// write transactions; `write` mass is single-key writes.
+    pub mix: Mix,
+    /// Keys per read operation (1..=[`MAX_TX_KEYS`]).
+    pub read_keys: u8,
+    /// Keys per multi-write operation (1..=[`MAX_TX_KEYS`]).
+    pub write_keys: u8,
+    /// Think-time wheel slots (≥ 2). A client's think time is uniform
+    /// over `1..wheel_slots` quanta, so the steady-state fraction of
+    /// clients due per slot is `≈ 2 / wheel_slots`.
+    pub wheel_slots: u32,
+}
+
+impl SwarmSpec {
+    /// A standard swarm: YCSB-default skew, single-key ops, 16-slot
+    /// wheel — the shape the load exhibits run.
+    pub fn standard(num_clients: u32, num_keys: u32, mix: Mix) -> SwarmSpec {
+        SwarmSpec {
+            num_clients,
+            num_keys,
+            theta: 0.99,
+            mix,
+            read_keys: 1,
+            write_keys: 1,
+            wheel_slots: 16,
+        }
+    }
+}
+
+/// One operation issued by a virtual client. Keys are sampler indices
+/// (0 = most popular); `keys[..nkeys as usize]` are distinct.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwarmOp {
+    /// Issuing virtual client.
+    pub client: u32,
+    /// Write (single- or multi-key) vs read-only.
+    pub write: bool,
+    /// How many of `keys` are live.
+    pub nkeys: u8,
+    /// Inline key storage (`keys[nkeys..]` is zero padding).
+    pub keys: [u32; MAX_TX_KEYS],
+}
+
+/// The swarm driver. See module docs for the wheel mechanics and the
+/// determinism argument.
+#[derive(Clone, Debug)]
+pub struct ClientSwarm {
+    spec: SwarmSpec,
+    alias: AliasTable,
+    rng: StdRng,
+    /// `wheel[s]` holds the ids of clients due in slot `s`.
+    wheel: Vec<Vec<u32>>,
+    /// Slot currently draining.
+    cursor: usize,
+    /// Next undrained index into `wheel[cursor]`.
+    slot_pos: usize,
+    /// Mix thresholds scaled to `u64` (read, read+write).
+    read_t: u64,
+    single_t: u64,
+    issued: u64,
+    slots_drained: u64,
+}
+
+/// Scale a probability to a `u64` threshold (`roll <= t` accepts).
+fn scale(p: f64) -> u64 {
+    if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p * u64::MAX as f64) as u64
+    }
+}
+
+impl ClientSwarm {
+    /// Build a swarm from a spec and a seed. The initial population is
+    /// spread round-robin across the wheel so the first lap already
+    /// offers steady-state load.
+    pub fn new(spec: SwarmSpec, seed: u64) -> ClientSwarm {
+        spec.mix.validate();
+        assert!(spec.num_clients > 0, "need at least one client");
+        assert!(spec.num_keys > 0, "need at least one key");
+        assert!(spec.wheel_slots >= 2, "wheel needs at least two slots");
+        for (what, k) in [
+            ("read_keys", spec.read_keys),
+            ("write_keys", spec.write_keys),
+        ] {
+            assert!(
+                (1..=MAX_TX_KEYS as u8).contains(&k),
+                "{what} must be 1..={MAX_TX_KEYS}"
+            );
+            assert!(k as u32 <= spec.num_keys, "{what} exceeds the key space");
+        }
+        let mut wheel: Vec<Vec<u32>> = vec![Vec::new(); spec.wheel_slots as usize];
+        for c in 0..spec.num_clients {
+            wheel[(c % spec.wheel_slots) as usize].push(c);
+        }
+        ClientSwarm {
+            alias: AliasTable::zipf(spec.num_keys as usize, spec.theta),
+            rng: StdRng::seed_from_u64(seed ^ 0x5AA8_11E5_5EED),
+            wheel,
+            cursor: 0,
+            slot_pos: 0,
+            read_t: scale(spec.mix.read),
+            single_t: scale(spec.mix.read + spec.mix.write),
+            issued: 0,
+            slots_drained: 0,
+            spec,
+        }
+    }
+
+    /// The spec this swarm was built from.
+    pub fn spec(&self) -> &SwarmSpec {
+        &self.spec
+    }
+
+    /// Operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Wheel slots fully drained so far (the virtual think clock).
+    pub fn slots_drained(&self) -> u64 {
+        self.slots_drained
+    }
+
+    /// Sample `k` distinct keys into `out[..k]`: bounded rejection from
+    /// the alias table, then a deterministic linear fill (same shape as
+    /// `Zipfian::sample_distinct`, without the allocation).
+    fn pick_distinct(&mut self, k: usize, out: &mut [u32; MAX_TX_KEYS]) {
+        let mut len = 0usize;
+        let mut tries = 0usize;
+        while len < k && tries < 16 * k {
+            let s = self.alias.sample(&mut self.rng) as u32;
+            if !out[..len].contains(&s) {
+                out[len] = s;
+                len += 1;
+            }
+            tries += 1;
+        }
+        let mut next = 0u32;
+        while len < k {
+            if !out[..len].contains(&next) {
+                out[len] = next;
+                len += 1;
+            }
+            next += 1;
+        }
+        for slot in out.iter_mut().skip(k) {
+            *slot = 0;
+        }
+    }
+
+    /// Emit up to `max` operations into `out` (cleared first), draining
+    /// wheel slots in order and re-inserting each client `think ≥ 1`
+    /// slots ahead. Always emits exactly `max` ops (the wheel never
+    /// empties); a batch may end mid-slot — the remainder drains on the
+    /// next call, which preserves the closed loop (re-insertions only
+    /// ever target later slots).
+    pub fn fill_batch(&mut self, max: usize, out: &mut Vec<SwarmOp>) {
+        out.clear();
+        let slots = self.wheel.len();
+        while out.len() < max {
+            if self.slot_pos >= self.wheel[self.cursor].len() {
+                self.wheel[self.cursor].clear();
+                self.slot_pos = 0;
+                self.cursor = (self.cursor + 1) % slots;
+                self.slots_drained += 1;
+                continue;
+            }
+            let client = self.wheel[self.cursor][self.slot_pos];
+            self.slot_pos += 1;
+            out.push(self.emit(client));
+            let think = 1 + (self.rng.next_u64() % (slots as u64 - 1)) as usize;
+            let target = (self.cursor + think) % slots;
+            self.wheel[target].push(client);
+        }
+    }
+
+    /// Generate one operation for `client` (the mix roll and key draws).
+    fn emit(&mut self, client: u32) -> SwarmOp {
+        self.issued += 1;
+        let roll = self.rng.next_u64();
+        let mut keys = [0u32; MAX_TX_KEYS];
+        let (write, nkeys) = if roll <= self.read_t {
+            (false, self.spec.read_keys)
+        } else if roll <= self.single_t {
+            (true, 1)
+        } else {
+            (true, self.spec.write_keys)
+        };
+        self.pick_distinct(nkeys as usize, &mut keys);
+        SwarmOp {
+            client,
+            write,
+            nkeys,
+            keys,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(clients: u32) -> SwarmSpec {
+        SwarmSpec::standard(clients, 256, Mix::ycsb_a())
+    }
+
+    #[test]
+    fn emits_exactly_the_requested_batch() {
+        let mut s = ClientSwarm::new(spec(100), 1);
+        let mut out = Vec::new();
+        s.fill_batch(64, &mut out);
+        assert_eq!(out.len(), 64);
+        s.fill_batch(1_000, &mut out);
+        assert_eq!(out.len(), 1_000);
+        assert_eq!(s.issued(), 1_064);
+    }
+
+    #[test]
+    fn every_client_is_always_in_exactly_one_wheel_slot() {
+        let mut s = ClientSwarm::new(spec(37), 5);
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            s.fill_batch(100, &mut out);
+            let mut pop: Vec<u32> = s.wheel.iter().flatten().copied().collect();
+            // Exclude the drained prefix of the current slot (those
+            // clients were re-inserted ahead and counted there).
+            let drained: Vec<u32> = s.wheel[s.cursor][..s.slot_pos].to_vec();
+            for d in drained {
+                let i = pop.iter().position(|&c| c == d).unwrap();
+                pop.swap_remove(i);
+            }
+            pop.sort_unstable();
+            pop.dedup();
+            assert_eq!(pop.len(), 37, "population must be conserved");
+        }
+    }
+
+    #[test]
+    fn closed_loop_spacing_is_at_least_one_slot() {
+        // think >= 1: a client's consecutive operations are always
+        // separated by at least one wheel-slot boundary, so with the
+        // harness quiescing between slots the loop really is closed.
+        let mut s = ClientSwarm::new(spec(8), 9);
+        let mut out = Vec::new();
+        let mut last_slot = [u64::MAX; 8];
+        for _ in 0..400 {
+            s.fill_batch(1, &mut out);
+            let op = out[0];
+            let slot = s.slots_drained();
+            if last_slot[op.client as usize] != u64::MAX {
+                assert!(
+                    slot > last_slot[op.client as usize],
+                    "client {} issued twice in slot {slot}",
+                    op.client
+                );
+            }
+            last_slot[op.client as usize] = slot;
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct_and_in_range() {
+        let mut s = ClientSwarm::new(
+            SwarmSpec {
+                read_keys: 3,
+                write_keys: 2,
+                ..spec(16)
+            },
+            3,
+        );
+        let mut out = Vec::new();
+        s.fill_batch(2_000, &mut out);
+        for op in &out {
+            let live = &op.keys[..op.nkeys as usize];
+            for &k in live {
+                assert!(k < 256);
+            }
+            let mut v = live.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), live.len(), "keys within an op are distinct");
+        }
+    }
+
+    #[test]
+    fn mix_fractions_converge() {
+        let mut s = ClientSwarm::new(spec(1_000), 11);
+        let mut out = Vec::new();
+        s.fill_batch(50_000, &mut out);
+        let reads = out.iter().filter(|o| !o.write).count() as f64;
+        let frac = reads / out.len() as f64;
+        assert!((0.48..0.52).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = ClientSwarm::new(spec(500), seed);
+            let mut out = Vec::new();
+            s.fill_batch(10_000, &mut out);
+            out
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_rejected() {
+        ClientSwarm::new(spec(0), 0);
+    }
+}
