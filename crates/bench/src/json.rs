@@ -230,6 +230,41 @@ impl ToJson for crate::load::LoadReport {
     }
 }
 
+impl ToJson for crate::net::NetRow {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .str("protocol", &self.protocol)
+            .str("mix", &self.mix)
+            .u64("txs", self.txs)
+            .u64("rots", self.rots)
+            // Wall-clock microseconds — the only exhibit measured on a
+            // real kernel rather than in virtual time.
+            .u64("rot_p50_us", self.rot_p50_us)
+            .u64("rot_p99_us", self.rot_p99_us)
+            .u64("rot_p999_us", self.rot_p999_us)
+            .u64("wtx_p50_us", self.wtx_p50_us)
+            .u64("wtx_p99_us", self.wtx_p99_us)
+            .raw("rot_hist_us", self.rot_hist_us.buckets_json())
+            .raw("wtx_hist_us", self.wtx_hist_us.buckets_json())
+            .u64("recorded_steps", self.recorded_steps)
+            .u64("replay_steps", self.replay_steps)
+            .str("digest", &format!("{:016x}", self.digest))
+            .bool("causal_ok", self.causal_ok)
+            .bool("replay_ok", self.replay_ok)
+            .render(indent)
+    }
+}
+
+impl ToJson for crate::net::NetReport {
+    fn to_json(&self, indent: usize) -> String {
+        Obj::new()
+            .str("schema", "snowbound-net-v1")
+            .str("tier", &self.tier)
+            .raw("rows", self.rows.to_json(indent + 1))
+            .render(indent)
+    }
+}
+
 impl ToJson for crate::chaos::ChaosRow {
     fn to_json(&self, indent: usize) -> String {
         Obj::new()

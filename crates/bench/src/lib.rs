@@ -23,6 +23,7 @@ pub mod hist;
 pub mod json;
 pub mod load;
 pub mod memstats;
+pub mod net;
 pub mod perfbench;
 pub mod pipeline;
 pub mod scale;

@@ -1,0 +1,79 @@
+//! End-to-end checks of the real-socket runtime through the `repro`
+//! binary: a loopback smoke cluster must run, replay bit-identically
+//! against the simulator and write its artifact; the hidden `net-node`
+//! child entry point and the tier parser must fail loudly, never
+//! silently half-run.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn net_smoke_runs_replays_and_writes_the_artifact() {
+    let dir = scratch("smoke");
+    let out = repro()
+        .args(["net", "smoke"])
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "net smoke failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("replayed bit-identically"),
+        "success epilogue announces the replay verdict: {stdout}"
+    );
+    let json = std::fs::read_to_string(dir.join("results/BENCH_net.json"))
+        .expect("net smoke writes results/BENCH_net.json");
+    assert!(json.contains("snowbound-net-v1"), "schema tag: {json}");
+    assert!(json.contains("\"tier\": \"smoke\""));
+    assert!(
+        json.contains("COPS-SNOW"),
+        "both smoke protocols present: {json}"
+    );
+    assert!(json.contains("\"replay_ok\": true"));
+    assert!(json.contains("\"causal_ok\": true"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn net_node_with_bad_args_exits_one() {
+    // The hidden child entry point must exit 1 on malformed invocation
+    // so the launcher's exit-status propagation sees a real failure.
+    let out = repro().args(["net-node", "cops"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "net-node arg errors exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("net-node:") && stderr.contains("7 args"),
+        "stderr names the problem: {stderr}"
+    );
+}
+
+#[test]
+fn net_rejects_unknown_tiers() {
+    let dir = scratch("tier");
+    let out = repro()
+        .args(["net", "warp"])
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "usage errors are errors");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown net tier") && stderr.contains("smoke"),
+        "stderr lists the valid tiers: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -8,9 +8,11 @@ pub mod cluster;
 pub mod snow;
 pub mod store;
 pub mod topology;
+pub mod wire;
 
 pub use api::{Completed, ProtocolNode, TxError};
 pub use snow::SnowDecl;
+pub use wire::{Wire, WireError, MAX_SEQ_LEN};
 
 /// Maximum client retry attempts when [`Topology::retry_after`] is set.
 /// With exponential doubling the total retry window is

@@ -42,7 +42,8 @@ pub mod spanner;
 pub mod wren;
 
 pub use common::{
-    Cluster, Completed, InFlightTx, ProtocolNode, RotResult, SnowDecl, Topology, TxError, WtxResult,
+    Cluster, Completed, InFlightTx, ProtocolNode, RotResult, SnowDecl, Topology, TxError, Wire,
+    WireError, WtxResult,
 };
 pub use naive::{NaiveFast, NaiveFourPhase, NaiveNode, NaiveThreePhase, NaiveTwoPhase};
 

@@ -1,0 +1,247 @@
+//! Wire-codec property tests: encode∘decode is the identity for every
+//! variant of every protocol `Msg` alphabet, and malformed buffers —
+//! strict prefixes of valid encodings, arbitrary garbage — must return
+//! `Err`, never panic. These are the guarantees cbf-net's framing layer
+//! leans on when it feeds socket bytes into `Wire::from_bytes`.
+//!
+//! The `Msg` enums deliberately do not implement `PartialEq` (they are
+//! protocol alphabets, not values), so identity is checked on `Debug`
+//! renderings, which print every field of every variant.
+
+use cbf_model::{Key, TxId, Value};
+use cbf_protocols::common::Wire;
+use cbf_protocols::{cops, cops_snow, eiger, spanner};
+use cbf_sim::ProcessId;
+use proptest::prelude::*;
+
+const CASES: u32 = if cfg!(debug_assertions) { 64 } else { 256 };
+
+fn key() -> impl Strategy<Value = Key> {
+    any::<u32>().prop_map(Key)
+}
+fn value() -> impl Strategy<Value = Value> {
+    any::<u64>().prop_map(Value)
+}
+fn txid() -> impl Strategy<Value = TxId> {
+    any::<u64>().prop_map(TxId)
+}
+fn pid() -> impl Strategy<Value = ProcessId> {
+    any::<u32>().prop_map(ProcessId)
+}
+fn keys() -> impl Strategy<Value = Vec<Key>> {
+    prop::collection::vec(key(), 0..6)
+}
+fn writes() -> impl Strategy<Value = Vec<(Key, Value)>> {
+    prop::collection::vec((key(), value()), 0..6)
+}
+fn deps() -> impl Strategy<Value = Vec<(Key, u64)>> {
+    prop::collection::vec((key(), any::<u64>()), 0..6)
+}
+
+fn cops_msg() -> impl Strategy<Value = cops::Msg> {
+    let item =
+        (key(), value(), any::<u64>(), deps()).prop_map(|(key, value, ts, deps)| cops::Item {
+            key,
+            value,
+            ts,
+            deps,
+        });
+    prop_oneof![
+        (txid(), keys()).prop_map(|(id, keys)| cops::Msg::InvokeRot { id, keys }),
+        (txid(), writes()).prop_map(|(id, writes)| cops::Msg::InvokeWtx { id, writes }),
+        (txid(), key(), value(), deps()).prop_map(|(id, key, value, deps)| cops::Msg::PutReq {
+            id,
+            key,
+            value,
+            deps
+        }),
+        (txid(), key(), any::<u64>()).prop_map(|(id, key, ts)| cops::Msg::PutAck { id, key, ts }),
+        (txid(), keys()).prop_map(|(id, keys)| cops::Msg::GetReq { id, keys }),
+        (txid(), prop::collection::vec(item, 0..4))
+            .prop_map(|(id, items)| cops::Msg::GetResp { id, items }),
+        (txid(), key(), any::<u64>()).prop_map(|(id, key, ts)| cops::Msg::GetExactReq {
+            id,
+            key,
+            ts
+        }),
+        (txid(), key(), value(), any::<u64>())
+            .prop_map(|(id, key, value, ts)| cops::Msg::GetExactResp { id, key, value, ts }),
+        (txid(), any::<u32>()).prop_map(|(id, attempt)| cops::Msg::RetryTick { id, attempt }),
+    ]
+}
+
+fn cops_snow_msg() -> impl Strategy<Value = cops_snow::Msg> {
+    prop_oneof![
+        (txid(), keys()).prop_map(|(id, keys)| cops_snow::Msg::InvokeRot { id, keys }),
+        (txid(), writes()).prop_map(|(id, writes)| cops_snow::Msg::InvokeWtx { id, writes }),
+        (txid(), keys()).prop_map(|(id, keys)| cops_snow::Msg::RotReq { id, keys }),
+        (
+            txid(),
+            prop::collection::vec((key(), value(), any::<u64>()), 0..6)
+        )
+            .prop_map(|(id, reads)| cops_snow::Msg::RotResp { id, reads }),
+        (txid(), key(), value(), deps()).prop_map(|(id, key, value, deps)| {
+            cops_snow::Msg::PutReq {
+                id,
+                key,
+                value,
+                deps,
+            }
+        }),
+        (txid(), deps()).prop_map(|(put, deps)| cops_snow::Msg::OldReaderQuery { put, deps }),
+        (txid(), prop::collection::vec(txid(), 0..6))
+            .prop_map(|(put, readers)| cops_snow::Msg::OldReaderResp { put, readers }),
+        (txid(), key(), any::<u64>()).prop_map(|(id, key, ts)| cops_snow::Msg::PutAck {
+            id,
+            key,
+            ts
+        }),
+        (txid(), any::<u32>()).prop_map(|(id, attempt)| cops_snow::Msg::RetryTick { id, attempt }),
+    ]
+}
+
+fn items() -> impl Strategy<Value = Vec<(Key, Value, u64)>> {
+    prop::collection::vec((key(), value(), any::<u64>()), 0..6)
+}
+
+fn maybe_ts() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn eiger_msg() -> impl Strategy<Value = eiger::Msg> {
+    let pending =
+        (txid(), any::<u64>(), pid(), writes()).prop_map(|(tx, proposed, coordinator, writes)| {
+            eiger::PendingInfo {
+                tx,
+                proposed,
+                coordinator,
+                writes,
+            }
+        });
+    prop_oneof![
+        (txid(), keys()).prop_map(|(id, keys)| eiger::Msg::InvokeRot { id, keys }),
+        (txid(), writes()).prop_map(|(id, writes)| eiger::Msg::InvokeWtx { id, writes }),
+        (txid(), writes(), any::<u64>()).prop_map(|(id, writes, dep_ts)| eiger::Msg::WtxReq {
+            id,
+            writes,
+            dep_ts
+        }),
+        (txid(), writes(), any::<u64>(), pid()).prop_map(|(id, writes, dep_ts, coordinator)| {
+            eiger::Msg::Prepare {
+                id,
+                writes,
+                dep_ts,
+                coordinator,
+            }
+        }),
+        (txid(), any::<u64>()).prop_map(|(id, proposed)| eiger::Msg::PrepareResp { id, proposed }),
+        (txid(), any::<u64>()).prop_map(|(id, ts)| eiger::Msg::Commit { id, ts }),
+        (txid(), any::<u64>()).prop_map(|(id, ts)| eiger::Msg::WtxAck { id, ts }),
+        (txid(), keys()).prop_map(|(id, keys)| eiger::Msg::Read1 { id, keys }),
+        (txid(), items(), any::<u64>(), any::<u64>()).prop_map(
+            |(id, items, promise, min_pending)| eiger::Msg::Read1Resp {
+                id,
+                items,
+                promise,
+                min_pending,
+            }
+        ),
+        (txid(), keys(), any::<u64>()).prop_map(|(id, keys, t)| eiger::Msg::Read2 { id, keys, t }),
+        (txid(), items(), prop::collection::vec(pending, 0..4)).prop_map(
+            |(id, items, pendings)| eiger::Msg::Read2Resp {
+                id,
+                items,
+                pendings
+            }
+        ),
+        (txid(), prop::collection::vec(txid(), 0..6))
+            .prop_map(|(id, txs)| eiger::Msg::CheckTx { id, txs }),
+        (txid(), prop::collection::vec((txid(), maybe_ts()), 0..6))
+            .prop_map(|(id, decisions)| eiger::Msg::CheckResp { id, decisions }),
+        (txid(), any::<u32>()).prop_map(|(id, attempt)| eiger::Msg::RetryTick { id, attempt }),
+    ]
+}
+
+fn spanner_msg() -> impl Strategy<Value = spanner::Msg> {
+    prop_oneof![
+        (txid(), keys()).prop_map(|(id, keys)| spanner::Msg::InvokeRot { id, keys }),
+        (txid(), writes()).prop_map(|(id, writes)| spanner::Msg::InvokeWtx { id, writes }),
+        (txid(), keys(), any::<u64>()).prop_map(|(id, keys, at)| spanner::Msg::ReadAt {
+            id,
+            keys,
+            at
+        }),
+        (
+            txid(),
+            prop::collection::vec((key(), value(), any::<u64>()), 0..6)
+        )
+            .prop_map(|(id, reads)| spanner::Msg::ReadAtResp { id, reads }),
+        (txid(), writes()).prop_map(|(id, writes)| spanner::Msg::WtxReq { id, writes }),
+        (txid(), writes(), pid()).prop_map(|(id, writes, coordinator)| spanner::Msg::Prepare {
+            id,
+            writes,
+            coordinator
+        }),
+        (txid(), any::<u64>()).prop_map(|(id, ts)| spanner::Msg::PrepareResp { id, ts }),
+        (txid(), any::<u64>()).prop_map(|(id, ts)| spanner::Msg::Commit { id, ts }),
+        txid().prop_map(|id| spanner::Msg::CommitAck { id }),
+        (txid(), any::<u64>()).prop_map(|(id, ts)| spanner::Msg::WtxAck { id, ts }),
+        Just(spanner::Msg::Poll),
+        (txid(), any::<u32>()).prop_map(|(id, attempt)| spanner::Msg::RetryTick { id, attempt }),
+    ]
+}
+
+/// Identity: decode(encode(m)) must reproduce every field (checked via
+/// Debug, which prints them all). Also: every *strict prefix* of the
+/// encoding must fail — each encoded byte is load-bearing.
+fn roundtrip_and_truncate<M: Wire + std::fmt::Debug>(msg: &M) -> Result<(), TestCaseError> {
+    let bytes = msg.to_bytes();
+    let back = M::from_bytes(&bytes);
+    match back {
+        Ok(ref b) => prop_assert_eq!(format!("{:?}", msg), format!("{:?}", b)),
+        Err(ref e) => prop_assert!(false, "decode failed: {e:?} for {msg:?}"),
+    }
+    for cut in 0..bytes.len() {
+        prop_assert!(
+            M::from_bytes(&bytes[..cut]).is_err(),
+            "strict prefix of {cut}/{} bytes decoded for {msg:?}",
+            bytes.len()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn cops_roundtrip(msg in cops_msg()) {
+        roundtrip_and_truncate(&msg)?;
+    }
+
+    #[test]
+    fn cops_snow_roundtrip(msg in cops_snow_msg()) {
+        roundtrip_and_truncate(&msg)?;
+    }
+
+    #[test]
+    fn eiger_roundtrip(msg in eiger_msg()) {
+        roundtrip_and_truncate(&msg)?;
+    }
+
+    #[test]
+    fn spanner_roundtrip(msg in spanner_msg()) {
+        roundtrip_and_truncate(&msg)?;
+    }
+
+    /// Arbitrary garbage must decode to Ok or Err — never panic, never
+    /// allocate absurdly. (Running the decoder at all is the assertion;
+    /// proptest catches panics.)
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = cops::Msg::from_bytes(&bytes);
+        let _ = cops_snow::Msg::from_bytes(&bytes);
+        let _ = eiger::Msg::from_bytes(&bytes);
+        let _ = spanner::Msg::from_bytes(&bytes);
+    }
+}

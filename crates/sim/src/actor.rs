@@ -13,6 +13,12 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
+/// Messages a step sent, as `(destination, payload)` in send order.
+pub type Sends<M> = Vec<(ProcessId, M)>;
+
+/// Timers a step armed, as `(delay, payload)` in arm order.
+pub type ArmedTimers<M> = Vec<(Time, M)>;
+
 /// Everything a process may do during one computation step.
 ///
 /// Mirrors the paper's step semantics: the process *reads all messages
@@ -58,6 +64,23 @@ impl<M> Ctx<M> {
             outbox,
             timers,
         }
+    }
+
+    /// Build a context outside any [`crate::World`] — the entry point for
+    /// alternative runtimes (cbf-net's socket event loop) that drive the
+    /// same actors without a simulator. Pair with [`Ctx::into_outputs`]
+    /// to collect what the step produced.
+    pub fn standalone(me: ProcessId, now: Time, inbox: Vec<Envelope<M>>) -> Self {
+        Ctx::new(me, now, inbox)
+    }
+
+    /// Consume the context after a step, returning `(sends, timers)`:
+    /// the messages the actor sent (in send order) and the timers it
+    /// armed (as `(delay, msg)` pairs). Only useful with
+    /// [`Ctx::standalone`]; inside a `World` the simulator drains these
+    /// buffers itself.
+    pub fn into_outputs(self) -> (Sends<M>, ArmedTimers<M>) {
+        (self.outbox, self.timers)
     }
 
     /// The id of the process taking this step.

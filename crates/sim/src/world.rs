@@ -706,6 +706,32 @@ impl<A: Actor> World<A> {
         self.do_step(pid);
     }
 
+    /// Replay: make `pid` take one computation step with the virtual
+    /// clock set to exactly `at`. This is the entry point for replaying
+    /// a recorded real-socket run (cbf-net), where each step carries the
+    /// wall-clock instant it happened at and the merged order can
+    /// interleave per-process clocks non-monotonically — hence an exact
+    /// assignment, not a `max`. Outside replay prefer [`World::step_now`],
+    /// which preserves the usual monotone virtual time.
+    pub fn step_now_at(&mut self, pid: ProcessId, at: Time) {
+        self.now = at;
+        self.do_step(pid);
+    }
+
+    /// Replay: deliver the *oldest* in-flight message on the directed
+    /// link `src → dst` (send order — per-link FIFO, exactly a TCP
+    /// connection's order), without stepping the destination. Returns
+    /// the delivered message's id, or `None` if the link is empty —
+    /// which during replay means the recorded order references a message
+    /// the replayed actors never sent (a divergence).
+    pub fn deliver_next_on(&mut self, src: ProcessId, dst: ProcessId) -> Option<MsgId> {
+        // `in_flight_on` returns MsgId-ascending order; ids are minted in
+        // send order, so the head is the oldest undelivered message.
+        let id = self.in_flight_on(src, dst).into_iter().next()?;
+        self.do_deliver_by_id(id)?;
+        Some(id)
+    }
+
     /// Number of messages sitting in `pid`'s income buffer.
     pub fn inbox_len(&self, pid: ProcessId) -> usize {
         self.inboxes[pid.index()].len()
@@ -1213,6 +1239,45 @@ mod tests {
         w.step_now(ProcessId(1));
         match w.actor(ProcessId(1)) {
             Node::Client { got, .. } => assert_eq!(got, &vec![6]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn step_now_at_pins_the_clock_even_backwards() {
+        let mut w = two_node_world();
+        w.inject_no_step(ProcessId(1), Msg::Ping(1));
+        w.step_now_at(ProcessId(1), 900);
+        assert_eq!(w.now(), 900);
+        // Replay merges per-process wall clocks, which need not be
+        // monotone across processes: an earlier instant must stick.
+        w.deliver_next_on(ProcessId(1), ProcessId(0)).unwrap();
+        w.step_now_at(ProcessId(0), 350);
+        assert_eq!(w.now(), 350);
+        w.deliver_next_on(ProcessId(0), ProcessId(1)).unwrap();
+        w.step_now_at(ProcessId(1), 1100);
+        match w.actor(ProcessId(1)) {
+            Node::Client { got, .. } => assert_eq!(got, &vec![2]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn deliver_next_on_is_per_link_fifo() {
+        let mut w = two_node_world();
+        w.inject_no_step(ProcessId(1), Msg::Ping(1));
+        w.inject_no_step(ProcessId(1), Msg::Ping(2));
+        w.step_now(ProcessId(1)); // both pings depart in one step
+        assert_eq!(w.in_flight_on(ProcessId(1), ProcessId(0)).len(), 2);
+        let first = w.deliver_next_on(ProcessId(1), ProcessId(0)).unwrap();
+        let second = w.deliver_next_on(ProcessId(1), ProcessId(0)).unwrap();
+        assert!(first < second, "send order: {first:?} then {second:?}");
+        // Empty link: a recorded delivery with no matching send is None,
+        // never a panic — replay reports it as divergence.
+        assert_eq!(w.deliver_next_on(ProcessId(1), ProcessId(0)), None);
+        w.step_now(ProcessId(0));
+        match w.actor(ProcessId(0)) {
+            Node::Server { count } => assert_eq!(*count, 2),
             _ => unreachable!(),
         }
     }

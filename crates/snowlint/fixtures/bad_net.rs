@@ -1,0 +1,26 @@
+//! Deliberately-bad net-runtime clone for the fixture tests.
+//!
+//! One source, two boundary violations, lexed under two paths:
+//!
+//! * as `crates/sim/src/transport.rs` — a socket smuggled into a
+//!   deterministic crate: `net-boundary` fires on every socket type,
+//!   and the wall-clock / ad-hoc-thread rules fire as usual;
+//! * as `crates/net/src/node.rs` — the sockets, the clock and the
+//!   thread are the runtime's business, but the simulator oracle types
+//!   in the hot path (`sim-in-net-hot-path`) and the dropped
+//!   `#![deny(unsafe_code)]` guard are not.
+
+use std::net::TcpStream; // line: socket-use
+
+/// The replay oracle smuggled into the event loop: if the hot path can
+/// consult the sim, a replay match proves nothing.
+struct HotPath {
+    oracle: World,  // line: sim-world
+    cfg: SimConfig, // line: sim-config
+}
+
+fn dial(addr: &str) -> TcpStream { // line: socket-dial
+    let started = SystemTime::now(); // line: clock
+    std::thread::spawn(move || drop(started)); // line: thread
+    TcpStream::connect(addr).expect("dial") // line: socket-connect
+}

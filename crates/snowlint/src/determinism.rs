@@ -10,9 +10,24 @@
 //!   order into checker verdicts and traces. Use `BTreeMap`/`BTreeSet`.
 //! - `wall-clock` — no `SystemTime`, `Instant::now` or `thread_rng`
 //!   anywhere in first-party code: virtual time and seeded RNGs only.
+//!   Exception: `crates/net`, the real-socket runtime, whose whole job
+//!   is to drive the same actors against ambient time — its recordings
+//!   are re-verified in virtual time by the replay oracle.
 //! - `ad-hoc-threads` — no `thread::spawn` or `rayon` outside
 //!   `crates/par`, whose `parallel_map` is the one audited fan-out
 //!   primitive (bit-identical to the serial loop by construction).
+//!   Same `crates/net` exception: its per-connection reader threads
+//!   feed a recorded, replayable delivery order.
+//! - `net-boundary` — no socket types (`TcpStream`, `TcpListener`,
+//!   `UdpSocket`) outside `crates/net`: the simulator and everything
+//!   above it must stay runnable with no network at all, and a socket
+//!   in a deterministic crate is wall-clock nondeterminism by another
+//!   name.
+//! - `sim-in-net-hot-path` — inside `crates/net`, the simulator's
+//!   oracle types (`World`, `SimConfig`, `LatencyModel`, `Trace`) may
+//!   appear only in `replay.rs`. The event loop must drive actors
+//!   through the public `Ctx::standalone` step API alone; if the hot
+//!   path could consult the sim, a replay match would prove nothing.
 //! - `unsafe-block` — no `unsafe` outside `crates/sim/src/smallvec.rs`,
 //!   the single file allowed to earn it back with Miri coverage.
 
@@ -29,6 +44,10 @@ pub const RULE_THREAD: &str = "ad-hoc-threads";
 pub const RULE_UNSAFE: &str = "unsafe-block";
 /// Rule name: scheduler-core files missing their `#![deny(unsafe_code)]`.
 pub const RULE_GUARD: &str = "missing-unsafe-guard";
+/// Rule name: socket types outside the net runtime crate.
+pub const RULE_NET: &str = "net-boundary";
+/// Rule name: simulator oracle types in cbf-net's hot path.
+pub const RULE_SIM_IN_NET: &str = "sim-in-net-hot-path";
 
 /// The crates whose behaviour must be a pure function of the seed.
 /// `workloads` joined the list with the million-client swarm: the op
@@ -47,6 +66,26 @@ const UNSAFE_ALLOWED_FILE: &str = "crates/sim/src/smallvec.rs";
 /// The one crate allowed to create threads.
 const THREAD_ALLOWED_CRATE: &str = "crates/par/";
 
+/// The real-socket runtime: the one crate allowed to open sockets,
+/// read the wall clock and spawn reader threads. Its nondeterminism is
+/// the experiment — every run records its delivery order and is
+/// re-verified bit-for-bit by the deterministic replay oracle, so the
+/// carve-out is earned dynamically rather than assumed.
+const NET_RUNTIME_CRATE: &str = "crates/net/";
+
+/// The one cbf-net module allowed to name the simulator's oracle
+/// types: it rebuilds a `World` from a recording to diff against the
+/// real run. Everywhere else in the crate the actors are driven
+/// through `Ctx::standalone` only.
+const NET_REPLAY_FILE: &str = "crates/net/src/replay.rs";
+
+/// Socket types that must not appear outside [`NET_RUNTIME_CRATE`].
+const SOCKET_TYPES: &[&str] = &["TcpStream", "TcpListener", "UdpSocket"];
+
+/// Simulator oracle types confined, within cbf-net, to
+/// [`NET_REPLAY_FILE`].
+const SIM_ORACLE_TYPES: &[&str] = &["World", "SimConfig", "LatencyModel", "Trace"];
+
 /// Modules that promise safety in their docs and must carry their own
 /// `#![deny(unsafe_code)]` even though the crate root is already the
 /// lexer's concern. Two families: the scheduler core (the slab flight
@@ -60,7 +99,10 @@ const THREAD_ALLOWED_CRATE: &str = "crates/par/";
 /// harness is the exhibit that certifies the whole stack's plateau),
 /// plus the workload generators (the alias table, the swarm's time
 /// wheel and the batch emitter are index-arithmetic hot paths feeding
-/// the million-client tiers — the same temptation profile as the slab).
+/// the million-client tiers — the same temptation profile as the slab),
+/// plus the net runtime's codec and event loop (length-prefixed frame
+/// parsing and inbox/timer bookkeeping are exactly where a "fast"
+/// unchecked byte-slice read would creep in).
 const GUARDED_FILES: &[&str] = &[
     "crates/sim/src/slab.rs",
     "crates/sim/src/calendar.rs",
@@ -73,12 +115,15 @@ const GUARDED_FILES: &[&str] = &[
     "crates/workloads/src/zipf.rs",
     "crates/workloads/src/gen.rs",
     "crates/workloads/src/swarm.rs",
+    "crates/net/src/frame.rs",
+    "crates/net/src/node.rs",
 ];
 
 /// Run every determinism rule over one lexed file. `path` is
 /// workspace-relative with `/` separators.
 pub fn check(path: &str, lx: &Lexed, out: &mut Vec<Finding>) {
     let in_deterministic_crate = DETERMINISTIC_CRATES.iter().any(|p| path.starts_with(p));
+    let in_net_runtime = path.starts_with(NET_RUNTIME_CRATE);
     let toks = &lx.tokens;
 
     if GUARDED_FILES.contains(&path) {
@@ -132,9 +177,10 @@ pub fn check(path: &str, lx: &Lexed, out: &mut Vec<Finding>) {
             );
         }
 
-        if t.text == "SystemTime"
-            || t.text == "thread_rng"
-            || (t.text == "Instant" && next_is(i + 1, "::") && ident_at(i + 2, "now"))
+        if !in_net_runtime
+            && (t.text == "SystemTime"
+                || t.text == "thread_rng"
+                || (t.text == "Instant" && next_is(i + 1, "::") && ident_at(i + 2, "now")))
         {
             out.push(
                 Finding::error(
@@ -162,6 +208,7 @@ pub fn check(path: &str, lx: &Lexed, out: &mut Vec<Finding>) {
         }
 
         if !path.starts_with(THREAD_ALLOWED_CRATE)
+            && !in_net_runtime
             && ((t.text == "thread" && next_is(i + 1, "::") && ident_at(i + 2, "spawn"))
                 || t.text == "rayon")
         {
@@ -178,6 +225,55 @@ pub fn check(path: &str, lx: &Lexed, out: &mut Vec<Finding>) {
                 .with_help(
                     "use `cbf_par::parallel_map`, which joins results in input \
                      order and honours SNOWBOUND_THREADS=1"
+                        .to_string(),
+                ),
+            );
+        }
+
+        if !in_net_runtime && SOCKET_TYPES.iter().any(|s| t.text == *s) {
+            out.push(
+                Finding::error(
+                    RULE_NET,
+                    path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` outside crates/net: sockets are wall-clock \
+                         nondeterminism by another name, and everything above \
+                         the runtime must run with no network at all",
+                        t.text
+                    ),
+                )
+                .with_help(
+                    "real I/O belongs in the cbf-net runtime; drive the actors \
+                     through `Ctx::standalone` there and keep this crate on \
+                     virtual time"
+                        .to_string(),
+                ),
+            );
+        }
+
+        if in_net_runtime
+            && path != NET_REPLAY_FILE
+            && SIM_ORACLE_TYPES.iter().any(|s| t.text == *s)
+        {
+            out.push(
+                Finding::error(
+                    RULE_SIM_IN_NET,
+                    path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` in cbf-net's hot path: the runtime may touch the \
+                         simulator only through the replay oracle \
+                         (crates/net/src/replay.rs)",
+                        t.text
+                    ),
+                )
+                .with_help(
+                    "if the event loop could consult the sim, a replay match \
+                     would prove nothing — move oracle work into replay.rs or \
+                     use the public `Ctx::standalone` step API"
                         .to_string(),
                 ),
             );
@@ -244,6 +340,9 @@ mod tests {
         );
         // A stored Instant value (no ::now) is not flagged.
         assert!(run("crates/core/src/x.rs", "fn f(t: Instant) {}").is_empty());
+        // The net runtime runs on the wall clock by design.
+        assert!(run("crates/net/src/launch.rs", "let t = Instant::now();").is_empty());
+        assert!(run("crates/net/src/lib.rs", "SystemTime::now()").is_empty());
     }
 
     #[test]
@@ -251,6 +350,9 @@ mod tests {
         let src = "std::thread::spawn(|| {});";
         assert_eq!(run("crates/sim/src/world.rs", src).len(), 1);
         assert!(run("crates/par/src/lib.rs", src).is_empty());
+        // ... and in the net runtime, whose reader threads feed a
+        // recorded, replay-verified delivery order.
+        assert!(run("crates/net/src/launch.rs", src).is_empty());
         assert_eq!(
             run("crates/bench/src/lib.rs", "use rayon::prelude::*;").len(),
             1
@@ -258,6 +360,34 @@ mod tests {
         // scoped spawns inside par's primitive shape are fine elsewhere
         // only when not thread::spawn.
         assert!(run("crates/bench/src/lib.rs", "scope.spawn(|| {});").is_empty());
+    }
+
+    #[test]
+    fn sockets_allowed_only_in_net() {
+        let src = "let s = TcpStream::connect(addr);";
+        assert_eq!(run("crates/sim/src/world.rs", src)[0].rule, RULE_NET);
+        assert_eq!(run("crates/bench/src/lib.rs", src).len(), 1);
+        assert!(run("crates/net/src/launch.rs", src).is_empty());
+        for ty in ["TcpListener", "UdpSocket"] {
+            let src = format!("use std::net::{ty};");
+            assert_eq!(run("crates/model/src/x.rs", &src).len(), 1, "{ty}");
+        }
+        // Mentions in comments and strings stay silent.
+        assert!(run("crates/sim/src/world.rs", "// a TcpStream here").is_empty());
+    }
+
+    #[test]
+    fn sim_oracle_types_confined_to_the_replay_module() {
+        for ty in SIM_ORACLE_TYPES {
+            let src = format!("let w: {ty} = todo!();");
+            let out = run("crates/net/src/launch.rs", &src);
+            assert_eq!(out.len(), 1, "{ty} in the hot path");
+            assert_eq!(out[0].rule, RULE_SIM_IN_NET);
+            // The replay oracle is the sanctioned user...
+            assert!(run(NET_REPLAY_FILE, &src).is_empty(), "{ty} in replay");
+            // ...and outside cbf-net the names are ordinary.
+            assert!(run("crates/bench/src/lib.rs", &src).is_empty());
+        }
     }
 
     #[test]

@@ -353,6 +353,89 @@ fn bad_workload_fails_the_guard_and_determinism_rules() {
 }
 
 #[test]
+fn bad_net_crosses_the_runtime_boundary_both_ways() {
+    // The real-socket runtime (PR 10) draws a two-way boundary: sockets
+    // stay inside crates/net, and the simulator's oracle types stay out
+    // of crates/net's hot path. One fixture violates both, and which
+    // rules fire depends on which side of the boundary it is lexed on.
+    let src = fixture("bad_net.rs");
+
+    // Under a deterministic crate the sockets are the offence, and the
+    // net carve-outs do not apply: clock and thread fire too.
+    let path = "crates/sim/src/transport.rs";
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&src), &mut out);
+    for marker in [
+        "// line: socket-use",
+        "// line: socket-dial",
+        "// line: socket-connect",
+    ] {
+        expect(&out, determinism::RULE_NET, path, line_of(&src, marker));
+    }
+    expect(
+        &out,
+        determinism::RULE_CLOCK,
+        path,
+        line_of(&src, "// line: clock"),
+    );
+    expect(
+        &out,
+        determinism::RULE_THREAD,
+        path,
+        line_of(&src, "// line: thread"),
+    );
+    assert_eq!(
+        out.len(),
+        5,
+        "3 sockets + clock + thread:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+
+    // Under the event loop's own path the sockets, clock and thread are
+    // the runtime's business — but the oracle types in the hot path and
+    // the dropped `#![deny(unsafe_code)]` guard fire.
+    let path = "crates/net/src/node.rs";
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&src), &mut out);
+    expect(&out, determinism::RULE_GUARD, path, 1);
+    expect(
+        &out,
+        determinism::RULE_SIM_IN_NET,
+        path,
+        line_of(&src, "// line: sim-world"),
+    );
+    expect(
+        &out,
+        determinism::RULE_SIM_IN_NET,
+        path,
+        line_of(&src, "// line: sim-config"),
+    );
+    assert_eq!(
+        out.len(),
+        3,
+        "guard + 2 oracle types:\n{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+
+    // Restoring the guard silences only the guard rule.
+    let fixed = format!("#![deny(unsafe_code)]\n{src}");
+    let mut out = Vec::new();
+    determinism::check(path, &lex(&fixed), &mut out);
+    assert!(out.iter().all(|f| f.rule != determinism::RULE_GUARD));
+    assert_eq!(out.len(), 2);
+
+    // The replay oracle is the sanctioned home for every one of these
+    // names: same source, zero findings.
+    let mut out = Vec::new();
+    determinism::check("crates/net/src/replay.rs", &lex(&src), &mut out);
+    assert!(
+        out.is_empty(),
+        "{}",
+        out.iter().map(|f| f.render()).collect::<String>()
+    );
+}
+
+#[test]
 fn bad_cops_snow_clone_fails_the_property_rules() {
     let src = fixture("bad_cops_snow.rs");
     let path = "crates/protocols/src/bad_cops_snow.rs";
